@@ -1,0 +1,51 @@
+// Ablation A4 (Section 2.1): why the processor is integer-only. The Agilex
+// DSP Block in floating-point mode tops out at 771 MHz (the original eGPU's
+// ceiling); the integer modes reach 958 MHz, so approaching 1 GHz requires
+// switching the architecture to fixed point.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "fit/fitter.hpp"
+#include "hw/dsp_block.hpp"
+
+int main() {
+  using namespace simt;
+
+  std::puts("== Ablation: floating-point vs integer datapath ==\n");
+
+  std::printf("DSP Block ceilings: fp32 %.0f MHz, int modes %.0f MHz\n\n",
+              hw::dsp_fmax_mhz(hw::DspMode::Fp32),
+              hw::dsp_fmax_mhz(hw::DspMode::SumOfTwo18x19));
+
+  const auto dev = fabric::Device::agfd019();
+  const fit::Fitter fitter(dev);
+  const auto cfg = core::CoreConfig::table1_flagship();
+
+  fit::CompileOptions integer;
+  integer.moves_per_atom = 400;
+  fit::CompileOptions fp = integer;
+  fp.fp_datapath = true;
+
+  const auto r_int = fitter.sweep(cfg, integer, 3);
+  const auto r_fp = fitter.sweep(cfg, fp, 3);
+
+  Table t({"Datapath", "fmax_restricted", "paper"});
+  t.add_row({"fp32 (eGPU baseline)",
+             fmt_mhz(r_fp.best().timing.fmax_restricted_mhz),
+             "771 (eGPU operating frequency)"});
+  t.add_row({"int32 (this work)",
+             fmt_mhz(r_int.best().timing.fmax_restricted_mhz),
+             "956 (DSP-limited)"});
+  t.print();
+
+  const double speedup = r_int.best().timing.fmax_restricted_mhz /
+                         r_fp.best().timing.fmax_restricted_mhz;
+  std::printf(
+      "\ninteger datapath clock advantage: %.2fx (paper: 958/771 = 1.24x)\n",
+      speedup);
+  std::puts(
+      "fixed-point DSP processors historically covered these workloads;\n"
+      "scaling/normalization is handled by the arithmetic right shifts the\n"
+      "integrated shifter provides (Section 4.2).");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// P2: validation of the Section 3.1 cycle model across thread counts.
+// Prints measured clocks per instruction class next to the closed-form
+// values the paper's pipeline control implements:
+//   operation: rows               (512 threads / 16 SPs -> 32 clocks)
+//   load:      4 x rows           (16 lanes / 4 read ports)
+//   store:     16 x rows          (16 lanes / 1 write port)
+//   branch:    1 + decode_depth bubble when taken
+//   zero-overhead loop back edge: free
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "common/table.hpp"
+#include "core/gpgpu.hpp"
+
+namespace {
+
+using namespace simt;
+
+std::uint64_t cycles_of(const std::string& src, unsigned threads) {
+  core::CoreConfig cfg;
+  cfg.max_threads = 1024;
+  cfg.shared_mem_words = 4096;
+  core::Gpgpu gpu(cfg);
+  gpu.load_program(assembler::assemble(src));
+  gpu.set_thread_count(threads);
+  return gpu.run().perf.cycles;
+}
+
+// Cost of one instruction = program_with_it - program_without_it.
+std::uint64_t marginal(const std::string& instr, unsigned threads) {
+  const std::string base = "movsr %r0, %tid\nexit\n";
+  const std::string with = "movsr %r0, %tid\n" + instr + "\nexit\n";
+  return cycles_of(with, threads) - cycles_of(base, threads);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Cycle model validation (Section 3.1) ==\n");
+
+  Table t({"threads", "rows", "op (=rows)", "load (=4r)", "store (=16r)"});
+  for (const unsigned threads : {16u, 64u, 256u, 512u, 1024u}) {
+    const unsigned rows = (threads + 15) / 16;
+    const auto op = marginal("addi %r1, %r0, 1", threads);
+    const auto ld = marginal("lds %r1, [%r0]", threads);
+    const auto st = marginal("sts [%r0], %r0", threads);
+    t.add_row({fmt_int(threads), fmt_int(rows), fmt_int(static_cast<long long>(op)),
+               fmt_int(static_cast<long long>(ld)),
+               fmt_int(static_cast<long long>(st))});
+  }
+  t.print();
+
+  std::puts("\npaper example: 512 threads -> 32 clocks per operation, a load");
+  std::puts("requires 4 clocks per block width for a depth of 32 (=128).\n");
+
+  // Control-flow costs.
+  const auto taken =
+      cycles_of("bra skip\nnop\nskip: exit\n", 16) - cycles_of("exit\n", 16);
+  const auto zol = cycles_of(
+      "loopi 8, end\naddi %r1, %r0, 1\nend: exit\n", 16);
+  const auto branch_loop = cycles_of(
+      "movi %r1, 8\nmovi %r3, 0\n"
+      "again:\naddi %r2, %r0, 1\nsubi %r1, %r1, 1\n"
+      "setp.ne %p0, %r1, %r3\nbrp %p0, again\nexit\n",
+      16);
+  std::printf("taken branch: %llu clocks (1 issue + %u-deep pipeline zeroing)\n",
+              static_cast<unsigned long long>(taken),
+              core::CoreConfig{}.decode_depth);
+  std::printf(
+      "8-iteration loop, zero-overhead hardware: %llu clocks; with a\n"
+      "counter+branch loop instead: %llu clocks (%0.1fx)\n",
+      static_cast<unsigned long long>(zol),
+      static_cast<unsigned long long>(branch_loop),
+      static_cast<double>(branch_loop) / static_cast<double>(zol));
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Fig. 7: the tightly constrained placement -- the core packed
+// into a rectangular bounding box at 93% logic utilization, 32 rows tall
+// (the height the single-DSP-column-per-sector geometry forces).
+//
+// Legend: S/s shared memory (M20K / mux logic), I/i instruction block,
+// c control delay chain, 0-9A-F the sixteen SPs, D used DSP blocks,
+// | empty DSP column, m empty M20K site, . empty LAB.
+#include <cstdio>
+
+#include "fit/fitter.hpp"
+#include "fit/floorplan.hpp"
+
+int main() {
+  using namespace simt;
+
+  std::puts("== Fig. 7: tightly constrained placement (93% utilization) ==\n");
+
+  const auto dev = fabric::Device::agfd019();
+  const fit::Fitter fitter(dev);
+  const auto cfg = core::CoreConfig::table1_flagship();
+
+  fit::CompileOptions opt;
+  opt.moves_per_atom = 400;
+  opt.box_utilization = 0.93;
+  const auto res = fitter.compile(cfg, opt);
+
+  std::printf("compile: %s\n", res.timing.summary().c_str());
+  if (res.region) {
+    std::printf("bounding box: cols %u..%u, rows %u..%u (%ux%u)\n\n",
+                res.region->x0, res.region->x1, res.region->y0,
+                res.region->y1, res.region->width(), res.region->height());
+  }
+  std::fputs(fit::render_floorplan(dev, res.netlist, res.placement).c_str(),
+             stdout);
+  return 0;
+}

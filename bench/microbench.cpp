@@ -1,0 +1,152 @@
+// google-benchmark microbenchmarks: datapath models, assembler, the
+// cycle-accurate simulator (thread-operations per second), and the fitter.
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hpp"
+#include "common/rng.hpp"
+#include "core/gpgpu.hpp"
+#include "fit/fitter.hpp"
+#include "hw/alu.hpp"
+#include "hw/mul33.hpp"
+#include "hw/shifter.hpp"
+
+namespace {
+
+using namespace simt;
+
+void BM_Mul33_Signed(benchmark::State& state) {
+  hw::Mul33 mul;
+  Xoshiro256 rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc ^= mul.multiply(rng.next_u32(), rng.next_u32(), true);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Mul33_Signed);
+
+void BM_IntegratedShifter(benchmark::State& state) {
+  hw::Mul33 mul;
+  hw::IntegratedShifter sft(&mul);
+  Xoshiro256 rng(2);
+  std::uint32_t acc = 0;
+  for (auto _ : state) {
+    acc ^= sft.shift(rng.next_u32(),
+                     static_cast<std::uint32_t>(rng.next_below(40)),
+                     hw::ShiftKind::Asr);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_IntegratedShifter);
+
+void BM_BarrelShifter(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  std::uint32_t acc = 0;
+  for (auto _ : state) {
+    acc ^= hw::LogicBarrelShifter::shift(
+        rng.next_u32(), static_cast<std::uint32_t>(rng.next_below(40)),
+        hw::ShiftKind::Asr);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_BarrelShifter);
+
+void BM_Assembler(benchmark::State& state) {
+  const std::string src =
+      "entry:\n"
+      "movsr %r0, %tid\n"
+      "lds %r1, [%r0 + 0]\n"
+      "lds %r2, [%r0 + 512]\n"
+      "add %r3, %r1, %r2\n"
+      "setp.lt %p0, %r1, %r2\n"
+      "@p0 addi %r3, %r3, 1\n"
+      "sts [%r0 + 1024], %r3\n"
+      "loopi 4, end\n"
+      "addi %r4, %r4, 1\n"
+      "end: exit\n";
+  for (auto _ : state) {
+    auto prog = assembler::assemble(src);
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_Assembler);
+
+/// Simulator throughput on the vecadd kernel; reports thread-operations/s.
+void BM_SimulatorVecAdd(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  core::CoreConfig cfg;
+  cfg.max_threads = 1024;
+  cfg.shared_mem_words = 4096;
+  core::Gpgpu gpu(cfg);
+  gpu.load_program(assembler::assemble(
+      "movsr %r0, %tid\n"
+      "lds %r1, [%r0]\n"
+      "lds %r2, [%r0 + 1024]\n"
+      "add %r3, %r1, %r2\n"
+      "sts [%r0 + 2048], %r3\n"
+      "exit\n"));
+  gpu.set_thread_count(threads);
+  std::uint64_t thread_ops = 0;
+  for (auto _ : state) {
+    const auto res = gpu.run();
+    thread_ops += res.perf.thread_ops;
+    benchmark::DoNotOptimize(res.perf.cycles);
+  }
+  state.counters["thread_ops/s"] = benchmark::Counter(
+      static_cast<double>(thread_ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorVecAdd)->Arg(64)->Arg(256)->Arg(1024);
+
+/// Dependent ALU stream: stresses the datapath models and hazard tracking.
+void BM_SimulatorAluStream(benchmark::State& state) {
+  core::CoreConfig cfg;
+  cfg.max_threads = 512;
+  core::Gpgpu gpu(cfg);
+  std::string src = "movsr %r1, %tid\n";
+  for (int i = 0; i < 64; ++i) {
+    src += "mul.lo %r2, %r1, %r1\n";
+    src += "add %r1, %r2, %r1\n";
+    src += "sari %r1, %r1, 1\n";
+  }
+  src += "exit\n";
+  gpu.load_program(assembler::assemble(src));
+  gpu.set_thread_count(512);
+  std::uint64_t thread_ops = 0;
+  for (auto _ : state) {
+    const auto res = gpu.run();
+    thread_ops += res.perf.thread_ops;
+  }
+  state.counters["thread_ops/s"] = benchmark::Counter(
+      static_cast<double>(thread_ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorAluStream);
+
+void BM_NetlistBuild(benchmark::State& state) {
+  const auto cfg = core::CoreConfig::table1_flagship();
+  for (auto _ : state) {
+    auto nl = fabric::build_netlist(cfg, {});
+    benchmark::DoNotOptimize(nl);
+  }
+}
+BENCHMARK(BM_NetlistBuild);
+
+void BM_PlaceAndTime(benchmark::State& state) {
+  const auto dev = fabric::Device::agfd019();
+  const auto cfg = core::CoreConfig::table1_flagship();
+  const fit::Fitter fitter(dev);
+  fit::CompileOptions opt;
+  opt.moves_per_atom = static_cast<double>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    opt.seed = seed++;
+    const auto res = fitter.compile(cfg, opt);
+    benchmark::DoNotOptimize(res.timing.fmax_soft_mhz);
+  }
+  state.counters["moves_per_atom"] =
+      static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PlaceAndTime)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Multi-processor system scaling (Section 6 future work, grounded in the
+// Table 2 clock regime): several SIMT cores on one device run at the
+// multi-stamp clock (~854 MHz) instead of the single-core ~927 MHz, so the
+// system trades per-core clock for parallelism. This bench quantifies the
+// trade on a large FIR workload partitioned across cores.
+//
+// Workload: 1536 output samples = three 512-thread kernel launches. With C
+// cores the launches run ceil(3/C) rounds; wall time is rounds x the
+// slowest launch at the realized clock for that system size.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "kernels/kernels.hpp"
+#include "system/multicore.hpp"
+
+int main() {
+  using namespace simt;
+
+  std::puts("== Multi-core system scaling: 1536-sample FIR, 16 taps ==\n");
+
+  constexpr unsigned kLaunches = 3;  // 3 x 512 threads = 1536 samples
+  constexpr unsigned kTaps = 16;
+
+  Table t({"Cores", "clock", "launch cycles", "rounds", "wall us", "speedup",
+           "ideal"});
+  double base_us = 0;
+
+  for (const unsigned cores : {1u, 2u, 3u}) {
+    system::SystemConfig cfg;
+    cfg.num_cores = cores;
+    cfg.core.max_threads = 512;
+    cfg.core.shared_mem_words = 4096;
+
+    system::MultiCoreSystem sys(cfg);
+    sys.load_kernel_all(kernels::fir(kTaps, 8, 0, 3000, 2048));
+
+    std::vector<system::Dispatch> dispatches;
+    for (unsigned c = 0; c < cores; ++c) {
+      for (unsigned i = 0; i < 512 + kTaps; ++i) {
+        sys.core(c).write_shared(i, ((c * 512 + i) * 37) % 251);
+      }
+      for (unsigned k = 0; k < kTaps; ++k) {
+        sys.core(c).write_shared(3000 + k, k + 1);
+      }
+      dispatches.push_back({c, 512});
+    }
+
+    const auto res = sys.run(dispatches);
+    const unsigned rounds = (kLaunches + cores - 1) / cores;
+    const double wall =
+        rounds * static_cast<double>(res.max_cycles) / cfg.clock_mhz();
+    if (cores == 1) {
+      base_us = wall;
+    }
+    t.add_row({fmt_int(cores), fmt_mhz(cfg.clock_mhz()),
+               fmt_int(static_cast<long long>(res.max_cycles)),
+               fmt_int(rounds), std::to_string(wall).substr(0, 6),
+               fmt_ratio(base_us / wall),
+               fmt_ratio(std::min<double>(cores, kLaunches) *
+                         cfg.clock_mhz() / 927.0)});
+  }
+  t.print();
+
+  std::puts(
+      "\nthree cores deliver ~2.76x, not 3x: the multi-stamp system clock\n"
+      "is 854 MHz vs the single core's 927 MHz (Table 2). The paper's\n"
+      "conclusion stands: 'a system performance of 850 MHz is a reasonable\n"
+      "target', and the throughput win dominates the clock loss.");
+  return 0;
+}

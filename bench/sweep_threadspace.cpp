@@ -1,0 +1,52 @@
+// Thread/register space sweep (Section 2: "parameterized thread and
+// register spaces. Up to 4096 threads and 64K registers can be specified by
+// the user"). The datapath logic is invariant; the register files grow with
+// the thread space, and per-instruction clocks scale with block depth.
+#include <cstdio>
+
+#include "area/resource_model.hpp"
+#include "asm/assembler.hpp"
+#include "common/table.hpp"
+#include "core/gpgpu.hpp"
+#include "kernels/kernels.hpp"
+
+int main() {
+  using namespace simt;
+
+  std::puts("== Thread & register space sweep ==\n");
+
+  Table t({"threads", "regs/thr", "total regs", "RF M20K/SP", "core M20K",
+           "op clk", "vecadd cycles"});
+  struct Point {
+    unsigned threads, regs;
+  };
+  const Point points[] = {{256, 16},  {512, 16},  {1024, 16},
+                          {1024, 32}, {2048, 16}, {4096, 16}};
+  for (const auto& [threads, regs] : points) {
+    core::CoreConfig cfg;
+    cfg.max_threads = threads;
+    cfg.regs_per_thread = regs;
+    cfg.shared_mem_words = 4096;
+    cfg.predicates_enabled = false;
+    const auto res = area::estimate(cfg, {});
+
+    core::Gpgpu gpu(cfg);
+    gpu.load_program(
+        assembler::assemble(kernels::vecadd(0, 1024, 2048)));
+    gpu.set_thread_count(std::min(threads, 1024u));
+    const auto run = gpu.run();
+
+    t.add_row({fmt_int(threads), fmt_int(regs),
+               fmt_int(threads * regs), fmt_int(res.sp_other.m20k),
+               fmt_int(res.gpgpu.m20k), fmt_int(cfg.rows_for(threads)),
+               fmt_int(static_cast<long long>(run.perf.cycles))});
+  }
+  t.print();
+
+  std::puts(
+      "\nthe maximum configuration (4096 threads x 16 regs = 64K registers)\n"
+      "is the paper's stated ceiling; register files dominate the M20K\n"
+      "budget as the thread space grows, while the SP datapath logic stays\n"
+      "constant (371 ALMs).");
+  return 0;
+}

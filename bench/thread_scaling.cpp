@@ -1,0 +1,90 @@
+// Ablation A5 (Section 2): dynamic thread scaling. The 4R-1W multiport
+// shared memory makes stores expensive (16 clocks per thread-block row), but
+// "writing back only a subset of the threads (this may happen during vector
+// reductions) can significantly reduce the number of clocks required for
+// the STO instruction."
+//
+// Workload: tree reduction of 512 values. With scaling, each halving step
+// rescales the thread space with SETTI; without it, the same kernel guards
+// the inactive threads but still sweeps the full thread block.
+#include <cstdio>
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "common/table.hpp"
+#include "core/gpgpu.hpp"
+
+namespace {
+
+std::string reduction_kernel(bool dynamic_scaling, unsigned n) {
+  std::string src = "movsr %r0, %tid\n";
+  for (unsigned stride = n / 2; stride >= 1; stride /= 2) {
+    if (dynamic_scaling) {
+      src += "setti " + std::to_string(stride) + "\n";
+      src += "lds %r1, [%r0]\n";
+      src += "lds %r2, [%r0 + " + std::to_string(stride) + "]\n";
+      src += "add %r1, %r1, %r2\n";
+      src += "sts [%r0], %r1\n";
+    } else {
+      // Full-width, guard-masked version: same data flow, no rescale.
+      src += "movi %r3, " + std::to_string(stride) + "\n";
+      src += "setp.lt %p0, %r0, %r3\n";
+      src += "@p0 lds %r1, [%r0]\n";
+      src += "@p0 lds %r2, [%r0 + " + std::to_string(stride) + "]\n";
+      src += "@p0 add %r1, %r1, %r2\n";
+      src += "@p0 sts [%r0], %r1\n";
+    }
+  }
+  src += "exit\n";
+  return src;
+}
+
+}  // namespace
+
+int main() {
+  using namespace simt;
+
+  std::puts("== Dynamic thread scaling: 512-element tree reduction ==\n");
+
+  constexpr unsigned kN = 512;
+  core::CoreConfig cfg;
+  cfg.max_threads = kN;
+  cfg.shared_mem_words = 2048;
+  cfg.predicates_enabled = true;
+
+  Table t({"Variant", "cycles", "issue", "store clocks saved", "sum"});
+  std::uint64_t scaled_cycles = 0, guarded_cycles = 0;
+
+  for (const bool scaling : {true, false}) {
+    core::Gpgpu gpu(cfg);
+    gpu.load_program(
+        assembler::assemble(reduction_kernel(scaling, kN)));
+    gpu.set_thread_count(kN);
+    for (unsigned i = 0; i < kN; ++i) {
+      gpu.write_shared(i, i + 1);  // sum = N(N+1)/2
+    }
+    const auto res = gpu.run();
+    const auto sum = gpu.read_shared(0);
+    if (scaling) {
+      scaled_cycles = res.perf.cycles;
+    } else {
+      guarded_cycles = res.perf.cycles;
+    }
+    t.add_row({scaling ? "dynamic scaling (SETTI)" : "guards only",
+               fmt_int(static_cast<long long>(res.perf.cycles)),
+               fmt_int(static_cast<long long>(res.perf.issue_cycles)), "-",
+               fmt_int(sum)});
+    if (sum != kN * (kN + 1) / 2) {
+      std::printf("WRONG RESULT: %u\n", sum);
+      return 1;
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nspeedup from dynamic thread scaling: %.2fx (the guarded variant\n"
+      "pays the full 16-clock-per-row STO sweep on every halving step)\n",
+      static_cast<double>(guarded_cycles) /
+          static_cast<double>(scaled_cycles));
+  return 0;
+}

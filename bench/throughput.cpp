@@ -1,0 +1,275 @@
+// P1: end-to-end throughput of the 950 MHz SIMT processor against the
+// scalar soft-CPU baseline the paper motivates against (Section 1:
+// "existing soft processors are typically low performance single threaded
+// RISC ... typically around 300 MHz").
+//
+// Both processors run the same workloads (vector add, Q15 FIR, 16x16
+// matmul, reduction); wall-clock is cycles / realized Fmax: 950 MHz for the
+// SIMT core (the paper's headline), 300 MHz for the scalar baseline.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "baseline/scalar_cpu.hpp"
+#include "common/table.hpp"
+#include "core/gpgpu.hpp"
+
+namespace {
+
+using namespace simt;
+
+constexpr double kSimtMhz = 950.0;
+constexpr unsigned kN = 512;
+constexpr unsigned kTaps = 16;
+
+struct WorkloadResult {
+  std::uint64_t simt_cycles;
+  std::uint64_t scalar_cycles;
+};
+
+core::CoreConfig simt_cfg() {
+  core::CoreConfig cfg;
+  cfg.max_threads = 512;
+  cfg.shared_mem_words = 4096;
+  cfg.predicates_enabled = true;
+  return cfg;
+}
+
+std::uint64_t run_simt(const std::string& src, unsigned threads,
+                       const std::vector<std::uint32_t>& init,
+                       std::uint32_t check_addr, std::uint32_t check_value) {
+  core::Gpgpu gpu(simt_cfg());
+  gpu.load_program(assembler::assemble(src));
+  gpu.set_thread_count(threads);
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    gpu.write_shared(static_cast<std::uint32_t>(i), init[i]);
+  }
+  const auto res = gpu.run();
+  if (!res.exited || gpu.read_shared(check_addr) != check_value) {
+    std::printf("SIMT workload failed validation (%u != %u)\n",
+                gpu.read_shared(check_addr), check_value);
+    std::exit(1);
+  }
+  return res.perf.cycles;
+}
+
+std::uint64_t run_scalar(const std::string& src,
+                         const std::vector<std::uint32_t>& init,
+                         std::uint32_t check_addr, std::uint32_t check_value) {
+  baseline::ScalarCpuConfig cfg;
+  cfg.shared_mem_words = 4096;
+  baseline::ScalarSoftCpu cpu(cfg);
+  cpu.load_program(assembler::assemble(src));
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    cpu.write_mem(static_cast<std::uint32_t>(i), init[i]);
+  }
+  const auto stats = cpu.run();
+  if (cpu.read_mem(check_addr) != check_value) {
+    std::printf("scalar workload failed validation (%u != %u)\n",
+                cpu.read_mem(check_addr), check_value);
+    std::exit(1);
+  }
+  return stats.cycles;
+}
+
+// ---- vector add: c[i] = a[i] + b[i], a@0 b@1024 c@2048 --------------------
+
+WorkloadResult vecadd() {
+  std::vector<std::uint32_t> init(2048);
+  for (unsigned i = 0; i < kN; ++i) {
+    init[i] = 3 * i;
+    init[1024 + i] = 7 * i + 1;
+  }
+  const std::uint32_t expect = 3 * (kN - 1) + 7 * (kN - 1) + 1;
+
+  const std::string simt =
+      "movsr %r0, %tid\n"
+      "lds %r1, [%r0]\n"
+      "lds %r2, [%r0 + 1024]\n"
+      "add %r3, %r1, %r2\n"
+      "sts [%r0 + 2048], %r3\n"
+      "exit\n";
+  const std::string scalar =
+      "movi %r1, 0\n"
+      "loopi 512, end\n"
+      "lds %r2, [%r1]\n"
+      "lds %r3, [%r1 + 1024]\n"
+      "add %r4, %r2, %r3\n"
+      "sts [%r1 + 2048], %r4\n"
+      "addi %r1, %r1, 1\n"
+      "end: exit\n";
+  return {run_simt(simt, kN, init, 2048 + kN - 1, expect),
+          run_scalar(scalar, init, 2048 + kN - 1, expect)};
+}
+
+// ---- FIR: y[i] = sum_k c[k] * x[i+k] >> 8; x@0, coeffs@3072, y@2048 -------
+
+WorkloadResult fir() {
+  std::vector<std::uint32_t> init(3072 + kTaps);
+  for (unsigned i = 0; i < kN + kTaps; ++i) {
+    init[i] = i % 17;
+  }
+  for (unsigned k = 0; k < kTaps; ++k) {
+    init[3072 + k] = k + 1;
+  }
+  // Golden value at output index kN-1.
+  std::int64_t acc = 0;
+  for (unsigned k = 0; k < kTaps; ++k) {
+    acc += static_cast<std::int64_t>(init[3072 + k]) * init[kN - 1 + k];
+  }
+  const auto expect = static_cast<std::uint32_t>(acc >> 8);
+
+  std::string tap_body;
+  for (unsigned k = 0; k < kTaps; ++k) {
+    tap_body += "lds %r2, [%r0 + " + std::to_string(k) + "]\n";
+    tap_body += "lds %r3, [%r5 + " + std::to_string(k) + "]\n";
+    tap_body += "mul.lo %r4, %r2, %r3\n";
+    tap_body += "add %r6, %r6, %r4\n";
+  }
+  const std::string simt =
+      "movsr %r0, %tid\n"
+      "movi %r5, 3072\n"
+      "movi %r6, 0\n" +
+      tap_body +
+      "sari %r6, %r6, 8\n"
+      "sts [%r0 + 2048], %r6\n"
+      "exit\n";
+  const std::string scalar =
+      "movi %r0, 0\n"      // i
+      "loopi 512, iend\n"
+      "movi %r5, 3072\n"
+      "movi %r6, 0\n" +
+      tap_body +
+      "sari %r6, %r6, 8\n"
+      "sts [%r0 + 2048], %r6\n"
+      "addi %r0, %r0, 1\n"
+      "iend: exit\n";
+  return {run_simt(simt, kN, init, 2048 + kN - 1, expect),
+          run_scalar(scalar, init, 2048 + kN - 1, expect)};
+}
+
+// ---- 16x16 matmul: A@0, B@256, C@512 (row-major) --------------------------
+
+WorkloadResult matmul() {
+  std::vector<std::uint32_t> init(512);
+  for (unsigned i = 0; i < 256; ++i) {
+    init[i] = i % 7 + 1;
+    init[256 + i] = i % 5 + 1;
+  }
+  // Golden C[15][15].
+  std::int64_t acc = 0;
+  for (unsigned k = 0; k < 16; ++k) {
+    acc += static_cast<std::int64_t>(init[15 * 16 + k]) *
+           init[256 + k * 16 + 15];
+  }
+  const auto expect = static_cast<std::uint32_t>(acc);
+
+  const std::string simt =
+      "movsr %r1, %lane\n"   // j
+      "movsr %r2, %row\n"    // i
+      "shli %r3, %r2, 4\n"   // a index = i*16 (+k)
+      "mov %r4, %r1\n"       // b index = j (+16k)
+      "movi %r5, 0\n"
+      "loopi 16, kend\n"
+      "lds %r6, [%r3]\n"
+      "lds %r7, [%r4 + 256]\n"
+      "mul.lo %r8, %r6, %r7\n"
+      "add %r5, %r5, %r8\n"
+      "addi %r3, %r3, 1\n"
+      "addi %r4, %r4, 16\n"
+      "kend:\n"
+      "shli %r9, %r2, 4\n"
+      "add %r9, %r9, %r1\n"
+      "sts [%r9 + 512], %r5\n"
+      "exit\n";
+  const std::string scalar =
+      "movi %r0, 0\n"        // linear output index
+      "loopi 256, iend\n"
+      "shri %r2, %r0, 4\n"   // i
+      "andi %r1, %r0, 15\n"  // j
+      "shli %r3, %r2, 4\n"
+      "mov %r4, %r1\n"
+      "movi %r5, 0\n"
+      "loopi 16, kend\n"
+      "lds %r6, [%r3]\n"
+      "lds %r7, [%r4 + 256]\n"
+      "mul.lo %r8, %r6, %r7\n"
+      "add %r5, %r5, %r8\n"
+      "addi %r3, %r3, 1\n"
+      "addi %r4, %r4, 16\n"
+      "kend:\n"
+      "sts [%r0 + 512], %r5\n"
+      "addi %r0, %r0, 1\n"
+      "iend: exit\n";
+  return {run_simt(simt, 256, init, 512 + 255, expect),
+          run_scalar(scalar, init, 512 + 255, expect)};
+}
+
+// ---- reduction: sum of 512 values -> mem[0] --------------------------------
+
+WorkloadResult reduction() {
+  std::vector<std::uint32_t> init(kN);
+  for (unsigned i = 0; i < kN; ++i) {
+    init[i] = i + 1;
+  }
+  const std::uint32_t expect = kN * (kN + 1) / 2;
+
+  std::string simt = "movsr %r0, %tid\n";
+  for (unsigned stride = kN / 2; stride >= 1; stride /= 2) {
+    simt += "setti " + std::to_string(stride) + "\n";
+    simt += "lds %r1, [%r0]\n";
+    simt += "lds %r2, [%r0 + " + std::to_string(stride) + "]\n";
+    simt += "add %r1, %r1, %r2\n";
+    simt += "sts [%r0], %r1\n";
+  }
+  simt += "exit\n";
+
+  const std::string scalar =
+      "movi %r1, 0\n"  // index
+      "movi %r2, 0\n"  // acc
+      "loopi 512, end\n"
+      "lds %r3, [%r1]\n"
+      "add %r2, %r2, %r3\n"
+      "addi %r1, %r1, 1\n"
+      "end:\n"
+      "movi %r1, 0\n"
+      "sts [%r1], %r2\n"
+      "exit\n";
+  return {run_simt(simt, kN, init, 0, expect),
+          run_scalar(scalar, init, 0, expect)};
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Throughput: SIMT @ 950 MHz vs scalar soft CPU @ 300 MHz ==\n");
+
+  Table t({"Workload", "SIMT cycles", "SIMT us", "scalar cycles", "scalar us",
+           "speedup"});
+  struct Row {
+    const char* name;
+    WorkloadResult r;
+  };
+  const Row rows[] = {{"vecadd 512", vecadd()},
+                      {"fir 512x16 (Q24.8)", fir()},
+                      {"matmul 16x16", matmul()},
+                      {"reduction 512", reduction()}};
+  for (const auto& row : rows) {
+    const double simt_us = static_cast<double>(row.r.simt_cycles) / kSimtMhz;
+    const double scalar_us =
+        static_cast<double>(row.r.scalar_cycles) / 300.0;
+    t.add_row({row.name, fmt_int(static_cast<long long>(row.r.simt_cycles)),
+               std::to_string(simt_us).substr(0, 6),
+               fmt_int(static_cast<long long>(row.r.scalar_cycles)),
+               std::to_string(scalar_us).substr(0, 6),
+               fmt_ratio(scalar_us / simt_us)});
+  }
+  t.print();
+
+  std::puts(
+      "\nthe SIMT core wins on both clock rate (950 vs ~300 MHz) and\n"
+      "parallelism (16 SPs), which is the Section 1 motivation for a\n"
+      "high-performance soft GPGPU bridging software and RTL development.");
+  return 0;
+}

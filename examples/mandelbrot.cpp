@@ -1,0 +1,158 @@
+// Fixed-point Mandelbrot set -- a compute-bound, control-divergent workload
+// that exercises predication (the processor's IF/THEN/ELSE, Section 2) and
+// the thread-wide BRN convergence branch.
+//
+// Each thread iterates z <- z^2 + c for one pixel in Q5.26 arithmetic.
+// Escaped threads are masked off with @!p guards; the whole block exits the
+// iteration loop early once *no* thread is still active (brn).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+constexpr unsigned kWidth = 32;
+constexpr unsigned kHeight = 16;
+constexpr unsigned kPixels = kWidth * kHeight;
+constexpr unsigned kQ = 26;  // Q5.26
+constexpr int kMaxIter = 48;
+
+/// Host-side golden model with bit-identical fixed-point arithmetic:
+/// the escape test uses the MULHI halves (Q20) and the updates use the
+/// truncating Q26 composition, exactly as the kernel computes them.
+int golden_iters(std::int32_t cr, std::int32_t ci) {
+  std::int32_t zr = 0, zi = 0;
+  for (int it = 0; it < kMaxIter; ++it) {
+    const std::int64_t zr2 = static_cast<std::int64_t>(zr) * zr;
+    const std::int64_t zi2 = static_cast<std::int64_t>(zi) * zi;
+    const std::int32_t mag_q20 = static_cast<std::int32_t>(zr2 >> 32) +
+                                 static_cast<std::int32_t>(zi2 >> 32);
+    if (mag_q20 >= (std::int32_t{4} << (2 * kQ - 32))) {
+      return it;
+    }
+    const auto t = static_cast<std::int32_t>(
+        (zr2 >> kQ) - (zi2 >> kQ) + cr);
+    const std::int64_t cross = static_cast<std::int64_t>(zr) * zi;
+    zi = static_cast<std::int32_t>(
+        (static_cast<std::int32_t>(cross >> kQ) << 1) + ci);
+    zr = t;
+  }
+  return kMaxIter;
+}
+
+}  // namespace
+
+int main() {
+  using namespace simt;
+
+  core::CoreConfig cfg;
+  cfg.max_threads = kPixels;
+  cfg.regs_per_thread = 16;
+  cfg.shared_mem_words = 4096;
+  cfg.predicates_enabled = true;  // this workload needs the option
+  runtime::EgpuRuntime rt(cfg);
+
+  // Memory map: c_re at 0, c_im at kPixels, iteration counts at 2*kPixels.
+  // Registers: r1=zr r2=zi r3=cr r4=ci r5=iters r6..r9 scratch.
+  // p0 = "this thread is still iterating".
+  // The escape test uses the pure MULHI halves (Q2Q-32 = Q20): they cannot
+  // wrap for any reachable |z|, so an escaped thread stays escaped. The
+  // masked z-updates use the full Q26 composition, which is exact for
+  // threads that are still bounded (|z|^2 <= 4 < 32).
+  const std::string four_q20 = std::to_string(std::int64_t{4} << (2 * kQ - 32));
+  const std::string hi_shift = std::to_string(32 - kQ);
+  const std::string lo_shift = std::to_string(kQ);
+  std::string src =
+      "movsr %r0, %tid\n"
+      "lds %r3, [%r0]\n"                              // cr
+      "lds %r4, [%r0 + " + std::to_string(kPixels) + "]\n"  // ci
+      "movi %r1, 0\n"                                 // zr
+      "movi %r2, 0\n"                                 // zi
+      "movi %r5, 0\n"                                 // iteration count
+      "movi %r10, " + four_q20 + "\n"
+      "movi %r12, " + std::to_string(kMaxIter) + "\n"
+      "iterate:\n"
+      "mul.hi %r6, %r1, %r1\n"                        // hi(zr^2), Q20
+      "mul.hi %r7, %r2, %r2\n"                        // hi(zi^2), Q20
+      "add %r8, %r6, %r7\n"                           // |z|^2, Q20
+      "setp.lt %p0, %r8, %r10\n"                      // still bounded?
+      "setp.lt %p1, %r5, %r12\n"                      // under iteration cap?
+      "pand %p0, %p0, %p1\n"                          // active = both
+      "@p0 addi %r5, %r5, 1\n"
+      // Q26 squares for the update (exact while the thread is bounded).
+      "mul.lo %r9, %r1, %r1\n"
+      "shri %r9, %r9, " + lo_shift + "\n"
+      "shli %r6, %r6, " + hi_shift + "\n"
+      "or %r6, %r6, %r9\n"                            // zr^2, Q26
+      "mul.lo %r9, %r2, %r2\n"
+      "shri %r9, %r9, " + lo_shift + "\n"
+      "shli %r7, %r7, " + hi_shift + "\n"
+      "or %r7, %r7, %r9\n"                            // zi^2, Q26
+      "mul.hi %r9, %r1, %r2\n"
+      "shli %r9, %r9, " + hi_shift + "\n"
+      "mul.lo %r11, %r1, %r2\n"
+      "shri %r11, %r11, " + lo_shift + "\n"
+      "or %r9, %r9, %r11\n"                           // zr*zi, Q26
+      "shli %r9, %r9, 1\n"                            // 2*zr*zi, Q26
+      "@p0 add %r2, %r9, %r4\n"                       // zi'
+      "sub %r6, %r6, %r7\n"
+      "@p0 add %r1, %r6, %r3\n"                       // zr'
+      "brp %p0, iterate\n"                            // loop while ANY active
+      "sts [%r0 + " + std::to_string(2 * kPixels) + "], %r5\n"
+      "exit\n";
+  rt.load_kernel(src);
+
+  // Pixel grid over the classic view window.
+  std::vector<std::int32_t> cre(kPixels), cim(kPixels);
+  for (unsigned y = 0; y < kHeight; ++y) {
+    for (unsigned x = 0; x < kWidth; ++x) {
+      cre[y * kWidth + x] =
+          to_fixed(-2.2 + 3.0 * x / (kWidth - 1), kQ);
+      cim[y * kWidth + x] =
+          to_fixed(-1.2 + 2.4 * y / (kHeight - 1), kQ);
+    }
+  }
+  rt.copy_in_i32(0, cre);
+  rt.copy_in_i32(kPixels, cim);
+
+  const auto res = rt.launch(kPixels);
+  const auto iters = rt.copy_out(2 * kPixels, kPixels);
+
+  // Each thread's count advances while it is personally bounded and under
+  // the iteration cap; the golden model applies the same cap, so the counts
+  // must agree exactly.
+  unsigned max_exec = 0;
+  unsigned mismatches = 0;
+  for (unsigned p = 0; p < kPixels; ++p) {
+    max_exec = std::max(max_exec, iters[p]);
+    if (iters[p] != static_cast<unsigned>(golden_iters(cre[p], cim[p]))) {
+      ++mismatches;
+    }
+  }
+  if (mismatches) {
+    std::printf("MISMATCH: %u pixels disagree with the golden model\n",
+                mismatches);
+    return 1;
+  }
+
+  // Render as ASCII art.
+  const char* shades = " .:-=+*#%@";
+  for (unsigned y = 0; y < kHeight; ++y) {
+    for (unsigned x = 0; x < kWidth; ++x) {
+      const auto it = iters[y * kWidth + x];
+      const unsigned shade =
+          std::min<unsigned>(9, it * 10 / (max_exec + 1));
+      std::putchar(shades[shade]);
+    }
+    std::putchar('\n');
+  }
+  std::printf(
+      "mandelbrot OK: %u pixels, block converged after %u iterations, "
+      "%llu cycles (%.2f us @ 950 MHz)\n",
+      kPixels, max_exec, static_cast<unsigned long long>(res.perf.cycles),
+      runtime::EgpuRuntime::runtime_us(res.perf, 950.0));
+  return 0;
+}

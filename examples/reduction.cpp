@@ -1,0 +1,74 @@
+// Parallel tree reduction with dynamic thread scaling -- the workload the
+// paper uses to motivate per-instruction thread rescaling (Section 2:
+// "writing back only a subset of the threads (this may happen during vector
+// reductions) can significantly reduce the number of clocks required for
+// the STO instruction").
+//
+// Computes the maximum AND the sum of 1024 values in one pass: each halving
+// step rescales the thread space with SETTI, so the expensive stores only
+// sweep the live threads.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+int main() {
+  using namespace simt;
+
+  constexpr unsigned kN = 1024;
+  core::CoreConfig cfg;
+  cfg.max_threads = kN;
+  cfg.shared_mem_words = 4096;
+  runtime::EgpuRuntime rt(cfg);
+
+  // sums live at [0, N), maxima at [N, 2N).
+  std::string src = "movsr %r0, %tid\n";
+  for (unsigned stride = kN / 2; stride >= 1; stride /= 2) {
+    src += "setti " + std::to_string(stride) + "\n";
+    src += "lds %r1, [%r0]\n";
+    src += "lds %r2, [%r0 + " + std::to_string(stride) + "]\n";
+    src += "add %r3, %r1, %r2\n";
+    src += "sts [%r0], %r3\n";
+    src += "lds %r4, [%r0 + " + std::to_string(kN) + "]\n";
+    src += "lds %r5, [%r0 + " + std::to_string(kN + stride) + "]\n";
+    src += "max %r6, %r4, %r5\n";
+    src += "sts [%r0 + " + std::to_string(kN) + "], %r6\n";
+  }
+  src += "exit\n";
+  rt.load_kernel(src);
+
+  std::vector<std::uint32_t> values(kN);
+  std::uint64_t golden_sum = 0;
+  std::int32_t golden_max = INT32_MIN;
+  for (unsigned i = 0; i < kN; ++i) {
+    const auto v = static_cast<std::int32_t>((i * 2654435761u) % 100000) -
+                   50000;
+    values[i] = static_cast<std::uint32_t>(v);
+    golden_sum += static_cast<std::uint32_t>(v);
+    golden_max = std::max(golden_max, v);
+  }
+  rt.copy_in(0, values);
+  rt.copy_in(kN, values);
+
+  const auto res = rt.launch(kN);
+
+  const auto sum = rt.gpu().read_shared(0);
+  const auto mx = static_cast<std::int32_t>(rt.gpu().read_shared(kN));
+  if (sum != static_cast<std::uint32_t>(golden_sum) || mx != golden_max) {
+    std::printf("MISMATCH: sum %u vs %u, max %d vs %d\n", sum,
+                static_cast<std::uint32_t>(golden_sum), mx, golden_max);
+    return 1;
+  }
+
+  std::printf("reduction OK: sum=%u max=%d over %u values\n", sum, mx, kN);
+  std::printf("cycles: %llu (%.2f us @ 950 MHz), stores issued: %llu words\n",
+              static_cast<unsigned long long>(res.perf.cycles),
+              runtime::EgpuRuntime::runtime_us(res.perf, 950.0),
+              static_cast<unsigned long long>(res.perf.shm_writes));
+  std::puts(
+      "every halving step rescales the thread space (SETTI), cutting the\n"
+      "16-clock-per-row store sweeps to the live threads only -- see\n"
+      "bench/thread_scaling for the quantified comparison.");
+  return 0;
+}

@@ -1,0 +1,227 @@
+#include "baseline/scalar_cpu.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace simt::baseline {
+
+using isa::Format;
+using isa::Instr;
+using isa::Opcode;
+using isa::TimingClass;
+
+namespace {
+
+core::CoreConfig scalar_core_config(const ScalarCpuConfig& cfg) {
+  core::CoreConfig c;
+  c.num_sps = 1;
+  c.max_threads = 1;
+  c.regs_per_thread = cfg.regs;
+  c.shared_mem_words = cfg.shared_mem_words;
+  c.predicates_enabled = true;  // scalar compare+branch uses the pred file
+  return c;
+}
+
+}  // namespace
+
+ScalarSoftCpu::ScalarSoftCpu(ScalarCpuConfig cfg)
+    : cfg_(cfg),
+      core_cfg_(scalar_core_config(cfg)),
+      interp_(core_cfg_) {}
+
+void ScalarSoftCpu::load_program(const core::Program& program) {
+  program_ = program;
+  interp_.load_program(program);
+}
+
+std::uint32_t ScalarSoftCpu::read_mem(std::uint32_t addr) const {
+  return interp_.read_shared(addr);
+}
+void ScalarSoftCpu::write_mem(std::uint32_t addr, std::uint32_t value) {
+  interp_.write_shared(addr, value);
+}
+std::uint32_t ScalarSoftCpu::read_reg(unsigned reg) const {
+  return interp_.read_reg(0, reg);
+}
+void ScalarSoftCpu::write_reg(unsigned reg, std::uint32_t value) {
+  interp_.write_reg(0, reg, value);
+}
+
+ScalarRunStats ScalarSoftCpu::run(std::uint64_t max_instructions) {
+  // Functional execution walks the same path as the reference interpreter;
+  // the cycle model classifies each dynamic instruction with the classic
+  // soft-RISC CPI figures. We re-execute instruction by instruction here so
+  // branch taken/not-taken can be charged correctly.
+  ScalarRunStats stats;
+  std::uint32_t pc = 0;
+  std::vector<std::uint32_t> call_stack;
+  struct Loop {
+    std::uint32_t start, end, remaining;
+  };
+  std::vector<Loop> loop_stack;
+
+  auto reg = [&](unsigned r) { return interp_.read_reg(0, r); };
+
+  while (stats.instructions < max_instructions) {
+    if (pc >= program_.size()) {
+      throw Error("scalar baseline: PC out of program");
+    }
+    const Instr& in = program_.at(pc);
+    ++stats.instructions;
+    bool redirected = false;
+
+    switch (in.op) {
+      case Opcode::EXIT:
+        stats.cycles += cfg_.cpi_alu;
+        return stats;
+      case Opcode::BRA:
+        pc = static_cast<std::uint32_t>(in.imm);
+        redirected = true;
+        stats.cycles += cfg_.cpi_branch_taken;
+        break;
+      case Opcode::BRP:
+      case Opcode::BRN: {
+        const bool bit = preds_[in.pa];
+        const bool taken = in.op == Opcode::BRP ? bit : !bit;
+        if (taken) {
+          pc = static_cast<std::uint32_t>(in.imm);
+          redirected = true;
+          stats.cycles += cfg_.cpi_branch_taken;
+        } else {
+          stats.cycles += cfg_.cpi_branch_not_taken;
+        }
+        break;
+      }
+      case Opcode::CALL:
+        call_stack.push_back(pc + 1);
+        pc = static_cast<std::uint32_t>(in.imm);
+        redirected = true;
+        stats.cycles += cfg_.cpi_branch_taken;
+        break;
+      case Opcode::RET:
+        if (call_stack.empty()) {
+          throw Error("scalar baseline: return with empty stack");
+        }
+        pc = call_stack.back();
+        call_stack.pop_back();
+        redirected = true;
+        stats.cycles += cfg_.cpi_branch_taken;
+        break;
+      case Opcode::LOOP:
+      case Opcode::LOOPI: {
+        // A scalar RISC has no zero-overhead loop hardware: the loop
+        // instruction costs an ALU op, and every back-edge is a taken
+        // branch.
+        std::uint32_t count, end;
+        if (in.op == Opcode::LOOP) {
+          count = reg(in.ra);
+          end = static_cast<std::uint32_t>(in.imm);
+        } else {
+          count = static_cast<std::uint32_t>((in.imm >> 16) & 0xffff);
+          end = static_cast<std::uint32_t>(in.imm & 0xffff);
+        }
+        stats.cycles += cfg_.cpi_alu;
+        if (count == 0) {
+          pc = end;
+          redirected = true;
+          stats.cycles += cfg_.cpi_branch_taken;
+        } else if (count > 1) {
+          loop_stack.push_back(Loop{pc + 1, end, count});
+        }
+        break;
+      }
+      case Opcode::SETT:
+      case Opcode::SETTI:
+        throw Error("scalar baseline: SETT is a SIMT-only instruction");
+      case Opcode::NOP:
+      case Opcode::BAR:
+        stats.cycles += cfg_.cpi_alu;
+        break;
+      case Opcode::LDS: {
+        const std::uint32_t addr =
+            reg(in.ra) + static_cast<std::uint32_t>(in.imm);
+        if (addr >= cfg_.shared_mem_words) {
+          throw Error("scalar baseline: load out of bounds");
+        }
+        interp_.write_reg(0, in.rd, interp_.read_shared(addr));
+        stats.cycles += cfg_.cpi_mem;
+        break;
+      }
+      case Opcode::STS: {
+        const std::uint32_t addr =
+            reg(in.ra) + static_cast<std::uint32_t>(in.imm);
+        if (addr >= cfg_.shared_mem_words) {
+          throw Error("scalar baseline: store out of bounds");
+        }
+        interp_.write_shared(addr, reg(in.rd));
+        stats.cycles += cfg_.cpi_mem;
+        break;
+      }
+      default: {
+        const auto& info = isa::op_info(in.op);
+        const bool is_mul = in.op == Opcode::MULLO || in.op == Opcode::MULHI ||
+                            in.op == Opcode::MULHIU || in.op == Opcode::MULI;
+        stats.cycles += is_mul ? cfg_.cpi_mul : cfg_.cpi_alu;
+        switch (info.format) {
+          case Format::RRR:
+            interp_.write_reg(0, in.rd,
+                              core::ref::alu(in, reg(in.ra), reg(in.rb)));
+            break;
+          case Format::RRI:
+            interp_.write_reg(
+                0, in.rd,
+                core::ref::alu(in, reg(in.ra),
+                               static_cast<std::uint32_t>(in.imm)));
+            break;
+          case Format::RR:
+            interp_.write_reg(0, in.rd, core::ref::alu(in, reg(in.ra), 0));
+            break;
+          case Format::RI:
+            interp_.write_reg(
+                0, in.rd,
+                core::ref::alu(in, 0, static_cast<std::uint32_t>(in.imm)));
+            break;
+          case Format::RS:
+            // Scalar core: tid=0, ntid=1, nsp=1, lane=0, row=0, smid=0.
+            interp_.write_reg(
+                0, in.rd,
+                static_cast<isa::SpecialReg>(in.imm) == isa::SpecialReg::Ntid ||
+                        static_cast<isa::SpecialReg>(in.imm) ==
+                            isa::SpecialReg::Nsp
+                    ? 1u
+                    : 0u);
+            break;
+          case Format::PRR:
+            preds_[in.pd] = core::ref::compare(in.op, reg(in.ra), reg(in.rb));
+            break;
+          case Format::PPP:
+          case Format::PP:
+          case Format::SELP:
+            throw Error("scalar baseline: predicate ALU not modeled; use "
+                        "setp + brp/brn");
+          default:
+            throw Error("scalar baseline: unsupported format");
+        }
+        break;
+      }
+    }
+
+    if (!redirected) {
+      std::uint32_t next = pc + 1;
+      while (!loop_stack.empty() && next == loop_stack.back().end) {
+        auto& top = loop_stack.back();
+        if (--top.remaining > 0) {
+          next = top.start;
+          stats.cycles += cfg_.cpi_branch_taken;  // back-edge branch
+          break;
+        }
+        loop_stack.pop_back();
+      }
+      pc = next;
+    }
+  }
+  throw Error("scalar baseline: instruction budget exhausted");
+}
+
+}  // namespace simt::baseline

@@ -1,0 +1,64 @@
+// Scalar soft-CPU baseline (Section 1's motivation).
+//
+// "Existing soft processors are typically low performance single threaded
+// RISC, with a modest speed, typically around 300 MHz" [2][3][4]. This
+// models such a Nios/MicroBlaze-class core: single-threaded, in-order,
+// running the same ISA (restricted to one thread, no predicates needed)
+// with a classic soft-RISC cycle model. The throughput benchmark (bench/
+// throughput) runs equivalent scalar kernels here and SIMT kernels on the
+// Gpgpu and compares wall-clock at each design's realized Fmax.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/perf.hpp"
+#include "core/program.hpp"
+#include "core/ref_interp.hpp"
+
+namespace simt::baseline {
+
+struct ScalarCpuConfig {
+  double fmax_mhz = 300.0;    ///< typical realized soft-RISC clock
+  unsigned cpi_alu = 1;       ///< single-issue ALU op
+  unsigned cpi_mul = 3;       ///< soft multiplier latency
+  unsigned cpi_mem = 2;       ///< tightly-coupled memory access
+  unsigned cpi_branch_taken = 3;
+  unsigned cpi_branch_not_taken = 1;
+  unsigned shared_mem_words = 4096;
+  unsigned regs = 32;
+};
+
+struct ScalarRunStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  double runtime_us(double fmax_mhz) const {
+    return static_cast<double>(cycles) / fmax_mhz;
+  }
+};
+
+class ScalarSoftCpu {
+ public:
+  explicit ScalarSoftCpu(ScalarCpuConfig cfg = {});
+
+  void load_program(const core::Program& program);
+
+  std::uint32_t read_mem(std::uint32_t addr) const;
+  void write_mem(std::uint32_t addr, std::uint32_t value);
+  std::uint32_t read_reg(unsigned reg) const;
+  void write_reg(unsigned reg, std::uint32_t value);
+
+  /// Run to EXIT; returns cycle/instruction counts under the CPI model.
+  ScalarRunStats run(std::uint64_t max_instructions = 1'000'000'000);
+
+  const ScalarCpuConfig& config() const { return cfg_; }
+
+ private:
+  ScalarCpuConfig cfg_;
+  core::CoreConfig core_cfg_;
+  core::ReferenceInterpreter interp_;
+  core::Program program_;
+  bool preds_[isa::kNumPredRegs] = {};  ///< scalar condition flags
+};
+
+}  // namespace simt::baseline

@@ -1,0 +1,98 @@
+// Bit-manipulation primitives shared by the datapath models.
+//
+// Every routine here mirrors an operation that is "free" or near-free in FPGA
+// hardware (bit reversal is wiring, one-hot decode is a single LUT level) and
+// is used by the structural models in src/hw. All functions are constexpr so
+// datapath properties can also be checked at compile time.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace simt {
+
+/// Reverse the low `width` bits of `v`; bits above `width` are dropped.
+/// Hardware cost: zero (pure routing permutation).
+constexpr std::uint64_t bit_reverse(std::uint64_t v, unsigned width) {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    r = (r << 1) | ((v >> i) & 1u);
+  }
+  return r;
+}
+
+/// Reverse all 32 bits (the shifter datapath's RVS blocks in Fig. 4).
+constexpr std::uint32_t bit_reverse32(std::uint32_t v) {
+  return static_cast<std::uint32_t>(bit_reverse(v, 32));
+}
+
+/// One-hot decode of a shift amount (Section 4.2): `5` -> 0b100000.
+/// Amounts >= `width` decode to all-zeroes, which multiplies to zero --
+/// the "shifted out of range" behaviour the paper specifies.
+constexpr std::uint64_t onehot(std::uint32_t amount, unsigned width) {
+  return amount < width ? (std::uint64_t{1} << amount) : 0u;
+}
+
+/// Unary ("thermometer") encoding of a shift amount: `5` -> 0b11111.
+/// Used for the arithmetic-right-shift leading-ones mask (Section 4.2).
+/// Amounts >= `width` saturate to all ones (a fully shifted-out negative
+/// value must become -1).
+constexpr std::uint64_t unary_mask(std::uint32_t amount, unsigned width) {
+  if (amount >= width) {
+    return width >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << width) - 1u);
+  }
+  return (std::uint64_t{1} << amount) - 1u;
+}
+
+/// Sign-extend the low `width` bits of `v` to 64 bits.
+constexpr std::int64_t sext(std::uint64_t v, unsigned width) {
+  if (width == 0 || width >= 64) {
+    return static_cast<std::int64_t>(v);
+  }
+  const std::uint64_t m = std::uint64_t{1} << (width - 1);
+  v &= (std::uint64_t{1} << width) - 1u;
+  return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+/// Zero-extend: mask to the low `width` bits.
+constexpr std::uint64_t zext(std::uint64_t v, unsigned width) {
+  return width >= 64 ? v : v & ((std::uint64_t{1} << width) - 1u);
+}
+
+/// Extract bits [hi:lo] of `v` (inclusive, Verilog-style).
+constexpr std::uint64_t bits(std::uint64_t v, unsigned hi, unsigned lo) {
+  return zext(v >> lo, hi - lo + 1u);
+}
+
+/// Population count (POPC instruction).
+constexpr std::uint32_t popcount32(std::uint32_t v) {
+  return static_cast<std::uint32_t>(std::popcount(v));
+}
+
+/// Count leading zeros of a 32-bit value; clz(0) == 32 (PTX semantics).
+constexpr std::uint32_t clz32(std::uint32_t v) {
+  return v == 0 ? 32u : static_cast<std::uint32_t>(std::countl_zero(v));
+}
+
+/// Ceiling division for cycle-count arithmetic.
+template <typename T>
+constexpr T ceil_div(T num, T den) {
+  static_assert(std::is_integral_v<T>);
+  return (num + den - 1) / den;
+}
+
+/// True if `v` fits in a signed `width`-bit immediate.
+constexpr bool fits_signed(std::int64_t v, unsigned width) {
+  const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+/// True if `v` fits in an unsigned `width`-bit immediate.
+constexpr bool fits_unsigned(std::uint64_t v, unsigned width) {
+  return width >= 64 || v < (std::uint64_t{1} << width);
+}
+
+}  // namespace simt

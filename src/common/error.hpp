@@ -1,0 +1,37 @@
+// Error handling: a single exception type for user-facing errors (assembler
+// diagnostics, bad configurations) plus a hard-check macro for internal
+// invariants. Per the C++ Core Guidelines (E.2/E.14) we throw a dedicated
+// type rather than raw strings, and reserve assertions for programmer errors.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace simt {
+
+/// User-facing error (bad assembly source, invalid configuration, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "SIMT_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace simt
+
+/// Internal invariant check, active in all build types. Violations indicate a
+/// bug in this library, never bad user input.
+#define SIMT_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::simt::detail::check_failed(#expr, __FILE__, __LINE__);  \
+    }                                                           \
+  } while (false)

@@ -1,0 +1,45 @@
+// Fixed-point (Q-format) helpers.
+//
+// The processor is integer-only (Section 2.1): "integer arithmetic will be
+// used for all algorithmic processing", with arithmetic right shifts doing
+// the scaling/normalization work floating point would otherwise absorb.
+// These helpers are the host-side mirror of that convention and are used by
+// the FIR/matmul examples and their golden references.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace simt {
+
+/// Convert a real value to Qm.n fixed point (n fractional bits), with
+/// round-to-nearest and saturation to the 32-bit range.
+constexpr std::int32_t to_fixed(double v, unsigned frac_bits) {
+  const double scaled = v * static_cast<double>(std::int64_t{1} << frac_bits);
+  const double rounded = scaled >= 0 ? scaled + 0.5 : scaled - 0.5;
+  if (rounded >= 2147483647.0) {
+    return 2147483647;
+  }
+  if (rounded <= -2147483648.0) {
+    return -2147483647 - 1;
+  }
+  return static_cast<std::int32_t>(rounded);
+}
+
+/// Convert Qm.n back to a real value.
+constexpr double from_fixed(std::int32_t v, unsigned frac_bits) {
+  return static_cast<double>(v) /
+         static_cast<double>(std::int64_t{1} << frac_bits);
+}
+
+/// Fixed-point multiply: (a * b) >> frac_bits, keeping the high part the way
+/// the processor does it (MULHI followed by a left-adjusting shift when
+/// frac_bits != 32). This matches the kernel idiom used in the examples.
+constexpr std::int32_t fixed_mul(std::int32_t a, std::int32_t b,
+                                 unsigned frac_bits) {
+  const std::int64_t wide =
+      static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b);
+  return static_cast<std::int32_t>(wide >> frac_bits);
+}
+
+}  // namespace simt

@@ -1,0 +1,59 @@
+// Deterministic, seedable PRNG used by the fitter (placement seeds) and the
+// randomized property tests. xoshiro256** is fast, high quality, and --
+// unlike std::mt19937 across standard libraries -- bit-reproducible, which
+// matters because placement results must be identical for identical seeds.
+#pragma once
+
+#include <cstdint>
+
+namespace simt {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x950950950950ULL);
+
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next() >> 32); }
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace simt

@@ -1,0 +1,34 @@
+// Minimal fixed-width ASCII table printer used by the benchmark harnesses to
+// emit the paper's tables (Table 1, Table 2, experiment summaries) in a
+// shape that is easy to diff against the published rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace simt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Convenience: render straight to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by bench binaries.
+std::string fmt_mhz(double mhz);
+std::string fmt_ratio(double r);
+std::string fmt_int(long long v);
+
+}  // namespace simt

@@ -1,0 +1,51 @@
+#include "core/config.hpp"
+
+#include "common/error.hpp"
+#include "isa/isa.hpp"
+
+namespace simt::core {
+
+void CoreConfig::validate() const {
+  if (num_sps == 0 || (num_sps & (num_sps - 1)) != 0) {
+    throw Error("num_sps must be a nonzero power of two");
+  }
+  if (max_threads == 0 || max_threads > 4096) {
+    throw Error("max_threads must be in [1, 4096]");
+  }
+  if (max_threads % num_sps != 0) {
+    throw Error("max_threads must be a multiple of num_sps");
+  }
+  if (regs_per_thread == 0 ||
+      regs_per_thread > static_cast<unsigned>(isa::kMaxRegsPerThread)) {
+    throw Error("regs_per_thread must be in [1, 256]");
+  }
+  if (total_registers() > 65536) {
+    throw Error("register space exceeds 64K registers");
+  }
+  if (shared_mem_words == 0) {
+    throw Error("shared memory must be nonzero");
+  }
+  if (shared_read_ports == 0 || shared_write_ports == 0) {
+    throw Error("shared memory needs at least one port of each kind");
+  }
+  if (imem_depth == 0) {
+    throw Error("instruction memory must be nonzero");
+  }
+  if (decode_depth == 0 || alu_latency == 0 || mem_latency == 0) {
+    throw Error("pipeline depths must be nonzero");
+  }
+}
+
+CoreConfig CoreConfig::table1_flagship() {
+  CoreConfig cfg;
+  cfg.num_sps = 16;
+  cfg.max_threads = 1024;
+  cfg.regs_per_thread = 16;  // 16K registers total
+  cfg.shared_mem_words = 4096;  // 16 KB
+  cfg.predicates_enabled = false;  // "rarely required" for embedded programs
+  cfg.shifter = hw::ShifterImpl::Integrated;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace simt::core

@@ -1,0 +1,87 @@
+#include "core/fetch_decode.hpp"
+
+#include "common/error.hpp"
+
+namespace simt::core {
+
+FetchDecode::FetchDecode(const CoreConfig& cfg) : cfg_(cfg) {
+  stack_.reserve(cfg_.call_stack_depth);
+  loops_.reserve(cfg_.loop_stack_depth);
+}
+
+void FetchDecode::reset(std::uint32_t entry) {
+  pc_ = entry;
+  stack_.clear();
+  loops_.clear();
+  history_.clear();
+  record(entry);
+}
+
+void FetchDecode::record(std::uint32_t pc) {
+  history_.push_back(pc);
+  if (history_.size() > kHistoryDepth) {
+    history_.erase(history_.begin());
+  }
+}
+
+unsigned FetchDecode::advance() {
+  std::uint32_t next = pc_ + 1;
+  // Zero-overhead loop hardware: compare the fall-through address against
+  // the active loop's end address. Nested loops sharing an end address pop
+  // in sequence.
+  while (!loops_.empty() && next == loops_.back().end_pc) {
+    auto& top = loops_.back();
+    if (--top.remaining > 0) {
+      next = top.start_pc;
+      break;
+    }
+    loops_.pop_back();
+  }
+  pc_ = next;
+  record(pc_);
+  return 0;
+}
+
+unsigned FetchDecode::branch_to(std::uint32_t target) {
+  pc_ = target;
+  record(pc_);
+  // "A branch taken zeroes out the following instructions in the pipeline."
+  return cfg_.decode_depth;
+}
+
+unsigned FetchDecode::call(std::uint32_t target) {
+  if (stack_.size() >= cfg_.call_stack_depth) {
+    throw Error("call stack overflow (depth " +
+                std::to_string(cfg_.call_stack_depth) + ")");
+  }
+  stack_.push_back(pc_ + 1);
+  return branch_to(target);
+}
+
+unsigned FetchDecode::ret() {
+  if (stack_.empty()) {
+    throw Error("return with empty branch-return stack");
+  }
+  const std::uint32_t target = stack_.back();
+  stack_.pop_back();
+  return branch_to(target);
+}
+
+unsigned FetchDecode::loop_begin(std::uint32_t count, std::uint32_t end_pc) {
+  if (count == 0) {
+    // Empty trip count: skip the body. This redirects the PC, so it pays
+    // the same bubble as a taken branch.
+    return branch_to(end_pc);
+  }
+  if (count > 1) {
+    if (loops_.size() >= cfg_.loop_stack_depth) {
+      throw Error("loop stack overflow (depth " +
+                  std::to_string(cfg_.loop_stack_depth) + ")");
+    }
+    loops_.push_back(LoopEntry{pc_ + 1, end_pc, count});
+  }
+  // Fall into the body with no bubble (single-cycle loop instruction).
+  return advance();
+}
+
+}  // namespace simt::core

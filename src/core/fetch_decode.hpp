@@ -1,0 +1,76 @@
+// Instruction fetch and decode sequencing (Section 3, Fig. 2).
+//
+// The block is deeply pipelined for speed, which requires (a) a short
+// history of addresses for determining branch returns, (b) a mechanism for
+// zeroing already-decoded instructions when a branch is taken (the
+// pipeline-flush bubble), and (c) hardware stacks: the branch-return stack
+// for CALL/RET and the zero-overhead loop hardware ("single-cycle DSP
+// processor-like loop instructions").
+//
+// Control-flow decisions are made entirely inside this block, so a taken
+// branch costs `decode_depth` zeroed slots; a zero-overhead loop-back costs
+// nothing (the loop hardware redirects the PC before the fetch pipeline
+// sees the fall-through path).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace simt::core {
+
+class FetchDecode {
+ public:
+  explicit FetchDecode(const CoreConfig& cfg);
+
+  void reset(std::uint32_t entry = 0);
+
+  std::uint32_t pc() const { return pc_; }
+
+  /// Fall through to the next instruction. If the next address matches an
+  /// active zero-overhead loop end, the loop hardware redirects to the loop
+  /// start (or pops the loop) with no bubble. Returns flush cycles (0).
+  unsigned advance();
+
+  /// Taken branch: redirect and zero the decoded instructions behind it.
+  /// Returns the flush bubble (decode_depth cycles).
+  unsigned branch_to(std::uint32_t target);
+
+  /// CALL: push the return address (pc+1) on the branch-return stack.
+  unsigned call(std::uint32_t target);
+
+  /// RET: pop the branch-return stack. Throws simt::Error on underflow.
+  unsigned ret();
+
+  /// Zero-overhead loop entry. Body spans [pc+1, end_pc). count==0 skips
+  /// the body entirely (a taken branch to end_pc, with flush); otherwise the
+  /// body will execute `count` times with no loop-back overhead.
+  unsigned loop_begin(std::uint32_t count, std::uint32_t end_pc);
+
+  /// Depth of the active loop nest.
+  unsigned loop_depth() const { return static_cast<unsigned>(loops_.size()); }
+  unsigned call_depth() const { return static_cast<unsigned>(stack_.size()); }
+
+  /// The short fetch-address history (most recent last).
+  const std::vector<std::uint32_t>& history() const { return history_; }
+
+ private:
+  void record(std::uint32_t pc);
+
+  struct LoopEntry {
+    std::uint32_t start_pc;
+    std::uint32_t end_pc;
+    std::uint32_t remaining;
+  };
+
+  // By value: FetchDecode (and the Gpgpu owning it) stays safely movable.
+  CoreConfig cfg_;
+  std::uint32_t pc_ = 0;
+  std::vector<std::uint32_t> stack_;   ///< branch-return stack
+  std::vector<LoopEntry> loops_;       ///< zero-overhead loop stack
+  std::vector<std::uint32_t> history_; ///< short address history (ring)
+  static constexpr std::size_t kHistoryDepth = 16;
+};
+
+}  // namespace simt::core

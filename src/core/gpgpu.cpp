@@ -1,0 +1,567 @@
+#include "core/gpgpu.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace simt::core {
+
+using isa::Format;
+using isa::Guard;
+using isa::Instr;
+using isa::Opcode;
+using isa::TimingClass;
+
+Gpgpu::Gpgpu(CoreConfig cfg)
+    : cfg_(std::move(cfg)),
+      imem_(cfg_.imem_depth),
+      shared_(cfg_.shared_mem_words, cfg_.shared_read_ports,
+              cfg_.shared_write_ports),
+      fetch_(cfg_),
+      launch_threads_(cfg_.max_threads),
+      active_threads_(cfg_.max_threads) {
+  cfg_.validate();
+  const unsigned rows = cfg_.max_threads / cfg_.num_sps;
+  rf_.reserve(cfg_.num_sps);
+  alus_.reserve(cfg_.num_sps);
+  for (unsigned sp = 0; sp < cfg_.num_sps; ++sp) {
+    rf_.emplace_back(rows, cfg_.regs_per_thread);
+    alus_.emplace_back(cfg_.shifter);
+  }
+  preds_.assign(cfg_.max_threads, 0);
+  reg_producer_.assign(cfg_.regs_per_thread, ProducerRecord{});
+}
+
+void Gpgpu::load_program(const Program& program) {
+  const auto n = static_cast<std::uint32_t>(program.size());
+  for (std::uint32_t pc = 0; pc < n; ++pc) {
+    const Instr& in = program.at(pc);
+    const auto& info = isa::op_info(in.op);
+    auto fail = [&](const std::string& why) {
+      throw Error("program validation failed at pc " + std::to_string(pc) +
+                  " (" + isa::disassemble(in) + "): " + why);
+    };
+    auto check_reg = [&](std::uint8_t r, const char* name) {
+      if (r >= cfg_.regs_per_thread) {
+        fail(std::string(name) + " register out of range (" +
+             std::to_string(r) + " >= " +
+             std::to_string(cfg_.regs_per_thread) + ")");
+      }
+    };
+    if (!cfg_.predicates_enabled) {
+      const bool pred_use =
+          in.guard != Guard::None || info.writes_pd ||
+          info.format == Format::SELP || in.op == Opcode::BRP ||
+          in.op == Opcode::BRN;
+      if (pred_use) {
+        fail("predicates are disabled in this configuration");
+      }
+    }
+    switch (info.format) {
+      case Format::RRR:
+        check_reg(in.rd, "rd");
+        check_reg(in.ra, "ra");
+        check_reg(in.rb, "rb");
+        break;
+      case Format::RRI:
+        check_reg(in.rd, "rd");
+        check_reg(in.ra, "ra");
+        break;
+      case Format::RR:
+        check_reg(in.rd, "rd");
+        check_reg(in.ra, "ra");
+        break;
+      case Format::RI:
+      case Format::RS:
+        check_reg(in.rd, "rd");
+        break;
+      case Format::PRR:
+        check_reg(in.ra, "ra");
+        check_reg(in.rb, "rb");
+        break;
+      case Format::PPP:
+      case Format::PP:
+        break;
+      case Format::SELP:
+        check_reg(in.rd, "rd");
+        check_reg(in.ra, "ra");
+        check_reg(in.rb, "rb");
+        break;
+      case Format::MEM:
+        check_reg(in.rd, "rd");
+        check_reg(in.ra, "ra");
+        break;
+      case Format::B:
+      case Format::PB:
+        if (in.imm < 0 || static_cast<std::uint32_t>(in.imm) >= n) {
+          fail("branch target out of range");
+        }
+        break;
+      case Format::LOOPR:
+        check_reg(in.ra, "ra");
+        [[fallthrough]];
+      case Format::LOOPI: {
+        const std::uint32_t end =
+            in.op == Opcode::LOOPI
+                ? static_cast<std::uint32_t>(in.imm & 0xffff)
+                : static_cast<std::uint32_t>(in.imm);
+        if (end <= pc + 1 || end > n) {
+          fail("loop end must lie after the loop instruction");
+        }
+        break;
+      }
+      case Format::TR:
+        check_reg(in.ra, "ra");
+        break;
+      case Format::TI:
+        if (in.imm < 1 || static_cast<unsigned>(in.imm) > cfg_.max_threads) {
+          fail("setti thread count out of range");
+        }
+        break;
+      case Format::NONE:
+        break;
+    }
+  }
+  imem_.load(program);
+}
+
+void Gpgpu::set_thread_count(unsigned threads) {
+  if (threads == 0 || threads > cfg_.max_threads) {
+    throw Error("thread count must be in [1, max_threads]");
+  }
+  launch_threads_ = threads;
+}
+
+std::uint32_t Gpgpu::rf_read(unsigned thread, unsigned reg) const {
+  return rf_[thread % cfg_.num_sps].read(thread / cfg_.num_sps, reg);
+}
+
+void Gpgpu::rf_write(unsigned thread, unsigned reg, std::uint32_t value) {
+  rf_[thread % cfg_.num_sps].write(thread / cfg_.num_sps, reg, value);
+}
+
+std::uint32_t Gpgpu::read_shared(std::uint32_t addr) const {
+  return shared_.peek(addr);
+}
+
+void Gpgpu::write_shared(std::uint32_t addr, std::uint32_t value) {
+  shared_.poke(addr, value);
+}
+
+std::uint32_t Gpgpu::read_reg(unsigned thread, unsigned reg) const {
+  SIMT_CHECK(thread < cfg_.max_threads && reg < cfg_.regs_per_thread);
+  return rf_read(thread, reg);
+}
+
+void Gpgpu::write_reg(unsigned thread, unsigned reg, std::uint32_t value) {
+  SIMT_CHECK(thread < cfg_.max_threads && reg < cfg_.regs_per_thread);
+  rf_write(thread, reg, value);
+}
+
+bool Gpgpu::read_pred(unsigned thread, unsigned pred) const {
+  SIMT_CHECK(thread < cfg_.max_threads &&
+             pred < static_cast<unsigned>(isa::kNumPredRegs));
+  return (preds_[thread] >> pred) & 1u;
+}
+
+void Gpgpu::write_pred(unsigned thread, unsigned pred, bool value) {
+  SIMT_CHECK(thread < cfg_.max_threads &&
+             pred < static_cast<unsigned>(isa::kNumPredRegs));
+  if (value) {
+    preds_[thread] |= static_cast<std::uint8_t>(1u << pred);
+  } else {
+    preds_[thread] &= static_cast<std::uint8_t>(~(1u << pred));
+  }
+}
+
+void Gpgpu::reset_state() {
+  for (auto& rf : rf_) {
+    for (unsigned row = 0; row < rf.rows(); ++row) {
+      for (unsigned r = 0; r < rf.regs_per_thread(); ++r) {
+        rf.write(row, r, 0);
+      }
+    }
+  }
+  std::fill(preds_.begin(), preds_.end(), 0);
+  for (unsigned a = 0; a < shared_.words(); ++a) {
+    shared_.poke(a, 0);
+  }
+}
+
+bool Gpgpu::guard_passes(const Instr& instr, unsigned thread) const {
+  switch (instr.guard) {
+    case Guard::None:
+      return true;
+    case Guard::IfTrue:
+      return (preds_[thread] >> instr.gpred) & 1u;
+    case Guard::IfFalse:
+      return !((preds_[thread] >> instr.gpred) & 1u);
+  }
+  return true;
+}
+
+std::uint32_t Gpgpu::special_value(isa::SpecialReg sr, unsigned thread,
+                                   unsigned active) const {
+  switch (sr) {
+    case isa::SpecialReg::Tid:
+      return thread;
+    case isa::SpecialReg::Ntid:
+      return active;
+    case isa::SpecialReg::Nsp:
+      return cfg_.num_sps;
+    case isa::SpecialReg::Lane:
+      return thread % cfg_.num_sps;
+    case isa::SpecialReg::Row:
+      return thread / cfg_.num_sps;
+    case isa::SpecialReg::Smid:
+      return 0;
+  }
+  return 0;
+}
+
+void Gpgpu::exec_operation(const Instr& instr, unsigned active) {
+  const auto& info = isa::op_info(instr.op);
+  for (unsigned t = 0; t < active; ++t) {
+    if (!guard_passes(instr, t)) {
+      continue;
+    }
+    const hw::Alu& alu = alus_[t % cfg_.num_sps];
+    switch (info.format) {
+      case Format::RRR:
+        rf_write(t, instr.rd,
+                 alu.execute(instr.op, rf_read(t, instr.ra),
+                             rf_read(t, instr.rb)));
+        break;
+      case Format::RRI:
+        rf_write(t, instr.rd,
+                 alu.execute(instr.op, rf_read(t, instr.ra),
+                             static_cast<std::uint32_t>(instr.imm)));
+        break;
+      case Format::RR:
+        rf_write(t, instr.rd, alu.execute(instr.op, rf_read(t, instr.ra), 0));
+        break;
+      case Format::RI:
+        rf_write(t, instr.rd,
+                 alu.execute(instr.op, 0,
+                             static_cast<std::uint32_t>(instr.imm)));
+        break;
+      case Format::RS:
+        rf_write(t, instr.rd,
+                 special_value(static_cast<isa::SpecialReg>(instr.imm), t,
+                               active));
+        break;
+      case Format::PRR: {
+        const bool bit = alu.compare(instr.op, rf_read(t, instr.ra),
+                                     rf_read(t, instr.rb));
+        write_pred(t, instr.pd, bit);
+        break;
+      }
+      case Format::PPP: {
+        const bool a = (preds_[t] >> instr.pa) & 1u;
+        const bool b = (preds_[t] >> instr.pb) & 1u;
+        bool r = false;
+        if (instr.op == Opcode::PAND) {
+          r = a && b;
+        } else if (instr.op == Opcode::POR) {
+          r = a || b;
+        } else {
+          r = a != b;  // PXOR
+        }
+        write_pred(t, instr.pd, r);
+        break;
+      }
+      case Format::PP:
+        write_pred(t, instr.pd, !((preds_[t] >> instr.pa) & 1u));
+        break;
+      case Format::SELP: {
+        const bool sel = (preds_[t] >> instr.pa) & 1u;
+        rf_write(t, instr.rd,
+                 sel ? rf_read(t, instr.ra) : rf_read(t, instr.rb));
+        break;
+      }
+      default:
+        SIMT_CHECK(false && "unexpected format in operation class");
+    }
+  }
+}
+
+unsigned Gpgpu::exec_load(const Instr& instr, unsigned active) {
+  unsigned lanes = 0;
+  for (unsigned t = 0; t < active; ++t) {
+    if (!guard_passes(instr, t)) {
+      continue;
+    }
+    const std::uint32_t addr =
+        rf_read(t, instr.ra) + static_cast<std::uint32_t>(instr.imm);
+    if (addr >= shared_.words()) {
+      throw Error("LDS address out of bounds: thread " + std::to_string(t) +
+                  " addr " + std::to_string(addr));
+    }
+    rf_write(t, instr.rd,
+             shared_.read(t % shared_.read_ports(), addr));
+    ++lanes;
+  }
+  return lanes;
+}
+
+unsigned Gpgpu::exec_store(const Instr& instr, unsigned active) {
+  // The 16:1 write mux serializes the lanes in thread order within each
+  // row, so on an address conflict the highest thread id wins.
+  unsigned lanes = 0;
+  for (unsigned t = 0; t < active; ++t) {
+    if (!guard_passes(instr, t)) {
+      continue;
+    }
+    const std::uint32_t addr =
+        rf_read(t, instr.ra) + static_cast<std::uint32_t>(instr.imm);
+    if (addr >= shared_.words()) {
+      throw Error("STS address out of bounds: thread " + std::to_string(t) +
+                  " addr " + std::to_string(addr));
+    }
+    shared_.write(addr, rf_read(t, instr.rd));
+    ++lanes;
+  }
+  shared_.commit();
+  return lanes;
+}
+
+std::uint64_t Gpgpu::producer_bound(const ProducerRecord& p, unsigned my_width,
+                                    unsigned my_rows) const {
+  if (!p.valid) {
+    return 0;
+  }
+  const unsigned overlap = std::min(p.rows, my_rows);
+  return p.start + min_issue_gap(p.width, my_width, overlap, p.latency);
+}
+
+std::uint64_t Gpgpu::earliest_start(const Instr& instr, unsigned my_width,
+                                    unsigned my_rows,
+                                    std::uint64_t candidate) const {
+  const auto& info = isa::op_info(instr.op);
+  std::uint64_t t = candidate;
+  auto need_reg = [&](std::uint8_t r) {
+    t = std::max(t, producer_bound(reg_producer_[r], my_width, my_rows));
+  };
+  auto need_pred = [&](std::uint8_t p) {
+    t = std::max(t, producer_bound(pred_producer_[p], my_width, my_rows));
+  };
+  if (instr.guard != Guard::None) {
+    need_pred(instr.gpred);
+  }
+  switch (info.format) {
+    case Format::RRR:
+    case Format::PRR:
+      need_reg(instr.ra);
+      need_reg(instr.rb);
+      break;
+    case Format::RRI:
+    case Format::RR:
+      need_reg(instr.ra);
+      break;
+    case Format::SELP:
+      need_reg(instr.ra);
+      need_reg(instr.rb);
+      need_pred(instr.pa);
+      break;
+    case Format::PPP:
+      need_pred(instr.pa);
+      need_pred(instr.pb);
+      break;
+    case Format::PP:
+      need_pred(instr.pa);
+      break;
+    case Format::MEM:
+      need_reg(instr.ra);
+      if (instr.op == Opcode::STS) {
+        need_reg(instr.rd);  // store data
+      }
+      break;
+    case Format::PB:
+      need_pred(instr.pa);
+      break;
+    case Format::LOOPR:
+    case Format::TR:
+      need_reg(instr.ra);
+      break;
+    default:
+      break;
+  }
+  if (instr.op == Opcode::LDS && store_producer_.valid) {
+    // Memory ordering: a load must observe every lane of the previous
+    // store, so it waits for the store's final-row writeback to drain.
+    const auto& s = store_producer_;
+    t = std::max(t, s.start + static_cast<std::uint64_t>(s.rows - 1) * s.width +
+                        s.latency + 1);
+  }
+  return t;
+}
+
+void Gpgpu::note_writes(const Instr& instr, std::uint64_t start,
+                        unsigned width, unsigned rows) {
+  const auto& info = isa::op_info(instr.op);
+  if (info.writes_rd) {
+    const unsigned lat =
+        instr.op == Opcode::LDS ? cfg_.mem_latency : cfg_.alu_latency;
+    reg_producer_[instr.rd] = ProducerRecord{start, width, rows, lat, true};
+  }
+  if (info.writes_pd) {
+    pred_producer_[instr.pd] =
+        ProducerRecord{start, width, rows, cfg_.alu_latency, true};
+  }
+  if (instr.op == Opcode::STS) {
+    store_producer_ =
+        ProducerRecord{start, width, rows, cfg_.mem_latency, true};
+  }
+}
+
+RunResult Gpgpu::run(std::uint32_t entry, std::uint64_t max_instructions) {
+  RunResult res;
+  PerfCounters& perf = res.perf;
+
+  fetch_.reset(entry);
+  active_threads_ = launch_threads_;
+  std::fill(reg_producer_.begin(), reg_producer_.end(), ProducerRecord{});
+  pred_producer_.fill(ProducerRecord{});
+  store_producer_ = ProducerRecord{};
+
+  // Initial pipeline fill: the first instruction travels the decode pipe.
+  std::uint64_t cycle = cfg_.decode_depth;
+  perf.fill_cycles = cfg_.decode_depth;
+
+  for (std::uint64_t executed = 0; executed < max_instructions; ++executed) {
+    const std::uint32_t pc = fetch_.pc();
+    if (pc >= imem_.valid_words()) {
+      throw Error("PC ran past the end of the program: " + std::to_string(pc));
+    }
+    const auto decoded = isa::decode(imem_.fetch(pc));
+    if (!decoded) {
+      throw Error("malformed instruction at pc " + std::to_string(pc));
+    }
+    const Instr& instr = *decoded;
+    const auto& info = isa::op_info(instr.op);
+
+    const unsigned active = active_threads_;
+    const unsigned rows = cfg_.rows_for(active);
+    const unsigned width =
+        width_factor_for(info.timing, cfg_.num_sps, cfg_.shared_read_ports,
+                         cfg_.shared_write_ports);
+    const unsigned duration =
+        clocks_for(info.timing, rows, cfg_.num_sps, cfg_.shared_read_ports,
+                   cfg_.shared_write_ports);
+
+    // Register/memory interlocks (deep pipeline, row-aligned lockstep).
+    const unsigned hazard_rows =
+        info.timing == TimingClass::Single ? 1 : rows;
+    const std::uint64_t start =
+        earliest_start(instr, width, hazard_rows, cycle);
+    perf.stall_cycles += start - cycle;
+    cycle = start;
+
+    // Functional execution of the whole thread block.
+    switch (info.timing) {
+      case TimingClass::Operation:
+        exec_operation(instr, active);
+        perf.operation_instrs++;
+        perf.thread_rows += rows;
+        perf.thread_ops += active;
+        break;
+      case TimingClass::Load:
+        perf.shm_reads += exec_load(instr, active);
+        perf.load_instrs++;
+        perf.thread_rows += rows;
+        perf.thread_ops += active;
+        break;
+      case TimingClass::Store:
+        perf.shm_writes += exec_store(instr, active);
+        perf.store_instrs++;
+        perf.thread_rows += rows;
+        perf.thread_ops += active;
+        break;
+      case TimingClass::Single:
+        perf.single_instrs++;
+        break;
+    }
+    perf.instructions++;
+    perf.per_opcode[static_cast<std::size_t>(instr.op)]++;
+    note_writes(instr, start, width,
+                info.timing == TimingClass::Single ? 1 : rows);
+
+    perf.issue_cycles += duration;
+    cycle += duration;
+
+    // Sequencing / control flow (decisions made in the instruction block).
+    if (instr.op == Opcode::EXIT) {
+      res.exited = true;
+      break;
+    }
+    unsigned flush = 0;
+    switch (instr.op) {
+      case Opcode::BRA:
+        flush = fetch_.branch_to(static_cast<std::uint32_t>(instr.imm));
+        break;
+      case Opcode::BRP:
+      case Opcode::BRN: {
+        // Scalar branch on a thread-wide predicate reduction: BRP is taken
+        // if *any* active thread has the predicate set, BRN if *none* does.
+        bool any = false;
+        for (unsigned t = 0; t < active && !any; ++t) {
+          any = (preds_[t] >> instr.pa) & 1u;
+        }
+        const bool taken = instr.op == Opcode::BRP ? any : !any;
+        flush = taken
+                    ? fetch_.branch_to(static_cast<std::uint32_t>(instr.imm))
+                    : fetch_.advance();
+        break;
+      }
+      case Opcode::CALL:
+        flush = fetch_.call(static_cast<std::uint32_t>(instr.imm));
+        break;
+      case Opcode::RET:
+        flush = fetch_.ret();
+        break;
+      case Opcode::LOOP: {
+        const std::uint32_t count = rf_read(0, instr.ra);
+        flush =
+            fetch_.loop_begin(count, static_cast<std::uint32_t>(instr.imm));
+        break;
+      }
+      case Opcode::LOOPI: {
+        const auto count = static_cast<std::uint32_t>((instr.imm >> 16) &
+                                                      0xffff);
+        const auto end = static_cast<std::uint32_t>(instr.imm & 0xffff);
+        flush = fetch_.loop_begin(count, end);
+        break;
+      }
+      case Opcode::SETT: {
+        if (!cfg_.dynamic_thread_scaling) {
+          throw Error("dynamic thread scaling is disabled");
+        }
+        const std::uint32_t v = rf_read(0, instr.ra);
+        active_threads_ = std::clamp<std::uint32_t>(v, 1, cfg_.max_threads);
+        flush = fetch_.advance();
+        break;
+      }
+      case Opcode::SETTI: {
+        if (!cfg_.dynamic_thread_scaling) {
+          throw Error("dynamic thread scaling is disabled");
+        }
+        active_threads_ =
+            std::clamp<std::uint32_t>(static_cast<std::uint32_t>(instr.imm),
+                                      1, cfg_.max_threads);
+        flush = fetch_.advance();
+        break;
+      }
+      default:
+        flush = fetch_.advance();
+        break;
+    }
+    perf.flush_cycles += flush;
+    cycle += flush;
+  }
+
+  perf.cycles = cycle;
+  return res;
+}
+
+}  // namespace simt::core

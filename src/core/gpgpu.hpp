@@ -1,0 +1,116 @@
+// The SIMT processor: a single SM of 16 SPs with multiport shared memory,
+// lockstep thread sequencing, and the Fig. 2/3 fetch-decode and pipeline
+// control (Section 2: "all threads run in lockstep, i.e. every thread in the
+// current instruction is issued before the next instruction is started").
+//
+// The model is cycle-accurate at the sequencer level: per-instruction clock
+// counts follow the pipeline-control arithmetic of Section 3.1 exactly
+// (operation = block depth, load = 4 clocks x width, store = 16 clocks x
+// width, single-cycle class, branch-taken zeroing bubbles, and the
+// register/memory interlocks implied by the deeply pipelined datapath).
+// Datapaths are the bit-exact structural models from src/hw.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/fetch_decode.hpp"
+#include "core/imem.hpp"
+#include "core/perf.hpp"
+#include "core/pipeline_control.hpp"
+#include "core/program.hpp"
+#include "core/regfile.hpp"
+#include "hw/alu.hpp"
+#include "hw/multiport_mem.hpp"
+
+namespace simt::core {
+
+/// Result of a kernel run.
+struct RunResult {
+  PerfCounters perf;
+  bool exited = false;  ///< reached EXIT (vs. hitting the instruction budget)
+};
+
+class Gpgpu {
+ public:
+  explicit Gpgpu(CoreConfig cfg);
+
+  const CoreConfig& config() const { return cfg_; }
+
+  /// Load a program into the (externally re-loadable) I-MEM. Validates the
+  /// program against the configuration: predicate use requires
+  /// predicates_enabled, register indices must fit, branch targets must be
+  /// in range. Throws simt::Error on violations.
+  void load_program(const Program& program);
+
+  /// Set the launch thread count (the "number of threads" input of Fig. 3;
+  /// programs may rescale it with SETT/SETTI when dynamic scaling is on).
+  void set_thread_count(unsigned threads);
+  unsigned thread_count() const { return launch_threads_; }
+
+  /// Run from `entry` until EXIT or the instruction budget is exhausted.
+  RunResult run(std::uint32_t entry = 0,
+                std::uint64_t max_instructions = 1'000'000'000);
+
+  // ---- host (backdoor) access -------------------------------------------
+  std::uint32_t read_shared(std::uint32_t addr) const;
+  void write_shared(std::uint32_t addr, std::uint32_t value);
+  std::uint32_t read_reg(unsigned thread, unsigned reg) const;
+  void write_reg(unsigned thread, unsigned reg, std::uint32_t value);
+  bool read_pred(unsigned thread, unsigned pred) const;
+  void write_pred(unsigned thread, unsigned pred, bool value);
+
+  /// Zero registers, predicates, and shared memory.
+  void reset_state();
+
+  const hw::MultiPortMemory& shared_memory() const { return shared_; }
+  const InstructionMemory& imem() const { return imem_; }
+
+ private:
+  struct ProducerRecord {
+    std::uint64_t start = 0;   ///< issue-start cycle
+    unsigned width = 1;        ///< clocks per row
+    unsigned rows = 1;
+    unsigned latency = 0;      ///< writeback latency after row issue
+    bool valid = false;
+  };
+
+  // Functional execution helpers (operate on the full active thread block).
+  // Load/store return the number of guard-passing lanes (actual memory
+  // operations; lockstep issue cost is independent of the guard mask).
+  void exec_operation(const isa::Instr& instr, unsigned active);
+  unsigned exec_load(const isa::Instr& instr, unsigned active);
+  unsigned exec_store(const isa::Instr& instr, unsigned active);
+  bool guard_passes(const isa::Instr& instr, unsigned thread) const;
+  std::uint32_t special_value(isa::SpecialReg sr, unsigned thread,
+                              unsigned active) const;
+  std::uint32_t rf_read(unsigned thread, unsigned reg) const;
+  void rf_write(unsigned thread, unsigned reg, std::uint32_t value);
+
+  // Hazard bookkeeping.
+  std::uint64_t earliest_start(const isa::Instr& instr, unsigned my_width,
+                               unsigned my_rows,
+                               std::uint64_t candidate) const;
+  void note_writes(const isa::Instr& instr, std::uint64_t start,
+                   unsigned width, unsigned rows);
+  std::uint64_t producer_bound(const ProducerRecord& p, unsigned my_width,
+                               unsigned my_rows) const;
+
+  CoreConfig cfg_;
+  InstructionMemory imem_;
+  hw::MultiPortMemory shared_;
+  std::vector<RegisterFile> rf_;        ///< one per SP
+  std::vector<hw::Alu> alus_;           ///< one per SP
+  std::vector<std::uint8_t> preds_;     ///< 4-bit mask per thread
+  FetchDecode fetch_;
+  unsigned launch_threads_;
+  unsigned active_threads_;
+
+  std::vector<ProducerRecord> reg_producer_;   ///< per architectural register
+  std::array<ProducerRecord, isa::kNumPredRegs> pred_producer_{};
+  ProducerRecord store_producer_{};            ///< last STS (memory ordering)
+};
+
+}  // namespace simt::core

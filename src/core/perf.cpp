@@ -1,0 +1,21 @@
+#include "core/perf.hpp"
+
+#include <sstream>
+
+namespace simt::core {
+
+std::string PerfCounters::summary() const {
+  std::ostringstream out;
+  out << "cycles=" << cycles << " (issue=" << issue_cycles
+      << " flush=" << flush_cycles << " stall=" << stall_cycles
+      << " fill=" << fill_cycles << ")"
+      << " instrs=" << instructions << " (op=" << operation_instrs
+      << " ld=" << load_instrs << " st=" << store_instrs
+      << " single=" << single_instrs << ")"
+      << " rows=" << thread_rows << " thread_ops=" << thread_ops
+      << " shm_r=" << shm_reads << " shm_w=" << shm_writes
+      << " ops/cyc=" << ops_per_cycle();
+  return out.str();
+}
+
+}  // namespace simt::core

@@ -1,0 +1,51 @@
+// Performance counters collected by the cycle-accurate model. These are the
+// quantities the benchmark harnesses report (cycles, per-class instruction
+// counts, stall/flush breakdowns, shared-memory traffic).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.hpp"
+
+namespace simt::core {
+
+struct PerfCounters {
+  std::uint64_t cycles = 0;            ///< total clocks including fill/stalls
+  std::uint64_t issue_cycles = 0;      ///< clocks spent issuing thread rows
+  std::uint64_t flush_cycles = 0;      ///< branch-taken pipeline zeroing
+  std::uint64_t stall_cycles = 0;      ///< register/memory hazard interlocks
+  std::uint64_t fill_cycles = 0;       ///< initial pipeline fill
+
+  std::uint64_t instructions = 0;
+  std::uint64_t operation_instrs = 0;
+  std::uint64_t load_instrs = 0;
+  std::uint64_t store_instrs = 0;
+  std::uint64_t single_instrs = 0;
+
+  std::uint64_t thread_rows = 0;       ///< issued thread-block rows
+  std::uint64_t thread_ops = 0;        ///< per-thread operations executed
+  std::uint64_t shm_reads = 0;         ///< shared-memory words read
+  std::uint64_t shm_writes = 0;        ///< shared-memory words written
+
+  std::array<std::uint64_t, isa::kOpcodeCount> per_opcode{};
+
+  /// Thread-operations per clock -- the SIMT utilization figure.
+  double ops_per_cycle() const {
+    return cycles ? static_cast<double>(thread_ops) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+
+  /// Cycles-per-instruction at the sequencer level.
+  double cpi() const {
+    return instructions ? static_cast<double>(cycles) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace simt::core

@@ -1,0 +1,99 @@
+#include "core/pipeline_control.hpp"
+
+#include "common/bits.hpp"
+
+namespace simt::core {
+
+unsigned width_factor_for(isa::TimingClass tc, unsigned num_sps,
+                          unsigned read_ports, unsigned write_ports) {
+  switch (tc) {
+    case isa::TimingClass::Operation:
+      return 1;
+    case isa::TimingClass::Load:
+      return ceil_div(num_sps, read_ports);
+    case isa::TimingClass::Store:
+      return ceil_div(num_sps, write_ports);
+    case isa::TimingClass::Single:
+      return 1;
+  }
+  SIMT_CHECK(false);
+}
+
+unsigned clocks_for(isa::TimingClass tc, unsigned rows, unsigned num_sps,
+                    unsigned read_ports, unsigned write_ports) {
+  if (tc == isa::TimingClass::Single) {
+    return 1;
+  }
+  return rows * width_factor_for(tc, num_sps, read_ports, write_ports);
+}
+
+void PipelineControl::start(unsigned rows, unsigned width) {
+  SIMT_CHECK(rows > 0 && width > 0);
+  // A one-clock instruction cannot produce a registered end signal in time;
+  // the decode stage must trap it via start_single_cycle().
+  SIMT_CHECK(rows * width > 1);
+  rows_ = rows;
+  width_ = width;
+  width_count_ = 0;
+  depth_count_ = 0;
+  end_registered_ = false;
+  single_cycle_ = false;
+  busy_ = true;
+}
+
+void PipelineControl::start_single_cycle() {
+  single_cycle_ = true;
+  end_registered_ = false;
+  busy_ = true;
+}
+
+bool PipelineControl::tick() {
+  SIMT_CHECK(busy_);
+  if (single_cycle_) {
+    busy_ = false;
+    single_cycle_ = false;
+    return true;
+  }
+  if (end_registered_) {
+    // This is the final clock: the comparison fired one cycle ago and the
+    // registered signal advances the pipeline now.
+    busy_ = false;
+    end_registered_ = false;
+    return true;
+  }
+
+  // The "minus one" comparisons (Section 3.1). For the operation path the
+  // check is depth == rows-2; for load/store it is
+  // {depth == rows-1, width == width-2} -- "the width and depth combination
+  // one cycle before the end".
+  bool fire = false;
+  if (width_ == 1) {
+    fire = depth_count_ == rows_ - 2;
+  } else {
+    fire = depth_count_ == rows_ - 1 && width_count_ == width_ - 2;
+  }
+  end_registered_ = fire;
+
+  // Advance the counters: width counts modulo `width_`, carrying into depth.
+  if (width_ == 1) {
+    ++depth_count_;
+  } else {
+    ++width_count_;
+    if (width_count_ == width_) {
+      width_count_ = 0;
+      ++depth_count_;
+    }
+  }
+  return false;
+}
+
+unsigned min_issue_gap(unsigned producer_width, unsigned consumer_width,
+                       unsigned overlapping_rows, unsigned latency) {
+  unsigned skew = 0;
+  if (producer_width > consumer_width && overlapping_rows > 0) {
+    skew = (overlapping_rows - 1) * (producer_width - consumer_width);
+  }
+  return skew + latency + 1;
+}
+
+}  // namespace simt::core

@@ -1,0 +1,94 @@
+// Pipeline-advance control (Section 3.1, Fig. 3).
+//
+// "The end of an instruction is defined when the number of clocks that
+// instruction requires has been reached. This signal is now registered to
+// improve performance, so the circuit must check for the number of cycles
+// minus one."
+//
+// Operation instructions are counted by thread-block depth only; load and
+// store instructions by both block width and depth:
+//   * operation: depth clocks (512 threads / 16 SPs -> 32 clocks); the depth
+//     counter compares against depth-2 and the registered end signal lands
+//     on the final clock (the paper's "count 30 cycles (0 to (31-1))").
+//   * load: 4 clocks per block width (16 lanes / 4 read ports), for the full
+//     depth; the width counter counts modulo 4 and the end fires when
+//     {depth == rows-1, width == 2} -- one cycle before the end -- so the
+//     registered signal lands exactly on the last clock.
+//   * store: same structure with width 16 (16 lanes / 1 write port).
+//   * single-cycle instructions cannot use the registered comparison at all;
+//     they are trapped by the *previous* decode stage, which asserts the
+//     single-cycle signal (this also covers zero-overhead loop hardware).
+//
+// With dynamic thread scaling, the width and depth count targets come from
+// the block-size circuit for the instruction's scaled thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "isa/isa.hpp"
+
+namespace simt::core {
+
+/// Width factor (clocks per thread-block row) for a timing class, given the
+/// shared memory port configuration.
+unsigned width_factor_for(isa::TimingClass tc, unsigned num_sps,
+                          unsigned read_ports, unsigned write_ports);
+
+/// Pure clock-count computation: total clocks for an instruction of timing
+/// class `tc` over `rows` thread-block rows.
+unsigned clocks_for(isa::TimingClass tc, unsigned rows, unsigned num_sps,
+                    unsigned read_ports, unsigned write_ports);
+
+/// Cycle-stepped model of the Fig. 3 counter circuit. Tests drive tick() and
+/// verify the counter sequences and the registered end-signal timing against
+/// clocks_for().
+class PipelineControl {
+ public:
+  struct Snapshot {
+    unsigned width_count;
+    unsigned depth_count;
+    bool end_registered;  ///< the registered end-of-instruction signal
+  };
+
+  /// Arm the counters for an instruction: `rows` thread-block rows at
+  /// `width` clocks per row. width==1 selects the operation path (depth
+  /// counter only). rows*width == 1 must instead use the single-cycle trap.
+  void start(unsigned rows, unsigned width);
+
+  /// Mark the next instruction as single-cycle (asserted by the previous
+  /// decode pipeline stage).
+  void start_single_cycle();
+
+  /// Advance one clock; returns true on the instruction's final clock.
+  bool tick();
+
+  bool busy() const { return busy_; }
+  Snapshot snapshot() const {
+    return {width_count_, depth_count_, end_registered_};
+  }
+
+ private:
+  unsigned rows_ = 0;
+  unsigned width_ = 0;
+  unsigned width_count_ = 0;
+  unsigned depth_count_ = 0;
+  bool end_registered_ = false;
+  bool single_cycle_ = false;
+  bool busy_ = false;
+};
+
+/// Register-dependency issue-gap model.
+//
+// Lockstep rows of consecutive instructions are aligned thread-for-thread,
+// so a consumer row r reads its operands `gap + c_j(r)` clocks after the
+// producer issued row r at `c_i(r)` (c(r) = r * width). The producer's
+// writeback lands `latency` clocks after issue. The minimum legal gap
+// between the two instructions' start clocks is therefore
+//   max over overlapping rows of  c_i(r) - c_j(r) + latency + 1
+// which reduces to (rows-1)*(w_i - w_j) when the producer is wider, else 0,
+// plus latency + 1.
+unsigned min_issue_gap(unsigned producer_width, unsigned consumer_width,
+                       unsigned overlapping_rows, unsigned latency);
+
+}  // namespace simt::core

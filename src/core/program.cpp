@@ -1,0 +1,48 @@
+#include "core/program.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace simt::core {
+
+std::vector<std::uint64_t> Program::encode() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(instrs_.size());
+  for (const auto& instr : instrs_) {
+    out.push_back(isa::encode(instr));
+  }
+  return out;
+}
+
+Program Program::decode(const std::vector<std::uint64_t>& words) {
+  std::vector<isa::Instr> instrs;
+  instrs.reserve(words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    auto instr = isa::decode(words[i]);
+    if (!instr) {
+      throw Error("malformed instruction word at pc " + std::to_string(i));
+    }
+    instrs.push_back(*instr);
+  }
+  return Program(std::move(instrs));
+}
+
+std::string Program::listing() const {
+  // Invert the label map for address annotation.
+  std::map<std::uint32_t, std::string> by_pc;
+  for (const auto& [name, pc] : labels_) {
+    by_pc[pc] = name;
+  }
+  std::ostringstream out;
+  for (std::size_t pc = 0; pc < instrs_.size(); ++pc) {
+    const auto it = by_pc.find(static_cast<std::uint32_t>(pc));
+    if (it != by_pc.end()) {
+      out << it->second << ":\n";
+    }
+    out << "  " << pc << ":\t" << isa::disassemble(instrs_[pc]) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace simt::core

@@ -1,0 +1,48 @@
+// A program: the decoded instruction stream plus symbol metadata produced by
+// the assembler. Programs are loaded into the (externally re-loadable) I-MEM.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace simt::core {
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<isa::Instr> instrs)
+      : instrs_(std::move(instrs)) {}
+
+  const std::vector<isa::Instr>& instructions() const { return instrs_; }
+  std::size_t size() const { return instrs_.size(); }
+  bool empty() const { return instrs_.empty(); }
+  const isa::Instr& at(std::size_t pc) const { return instrs_.at(pc); }
+
+  void push_back(const isa::Instr& instr) { instrs_.push_back(instr); }
+
+  /// Label table (name -> pc), kept for disassembly and diagnostics.
+  void set_labels(std::map<std::string, std::uint32_t> labels) {
+    labels_ = std::move(labels);
+  }
+  const std::map<std::string, std::uint32_t>& labels() const { return labels_; }
+
+  /// Encode to the 64-bit I-MEM image.
+  std::vector<std::uint64_t> encode() const;
+
+  /// Decode an I-MEM image back into a program. Throws simt::Error on
+  /// malformed words.
+  static Program decode(const std::vector<std::uint64_t>& words);
+
+  /// Full listing with addresses and labels.
+  std::string listing() const;
+
+ private:
+  std::vector<isa::Instr> instrs_;
+  std::map<std::string, std::uint32_t> labels_;
+};
+
+}  // namespace simt::core

@@ -1,0 +1,73 @@
+// Reference functional interpreter.
+//
+// A deliberately *independent* implementation of the ISA semantics using
+// plain C++ arithmetic (int64 multiplies, native shifts) and no structural
+// datapath models, no cycle accounting, no pipelines. The property tests run
+// every program on both this interpreter and the cycle-accurate Gpgpu and
+// require identical architectural state -- catching bugs in either the
+// structural datapaths (wrong carry composition, shifter masks) or the
+// sequencer (missed writes, guard handling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/program.hpp"
+
+namespace simt::core {
+
+namespace ref {
+/// Golden ALU semantics in plain C++ (shared with the scalar baseline).
+std::uint32_t alu(const isa::Instr& in, std::uint32_t a, std::uint32_t b);
+/// Golden compare semantics for the SETP family.
+bool compare(isa::Opcode op, std::uint32_t a, std::uint32_t b);
+}  // namespace ref
+
+class ReferenceInterpreter {
+ public:
+  explicit ReferenceInterpreter(CoreConfig cfg);
+
+  void load_program(const Program& program) { program_ = program; }
+  void set_thread_count(unsigned threads);
+
+  /// Run to EXIT (or the instruction budget). Returns the number of
+  /// instructions executed. Throws simt::Error on traps, mirroring Gpgpu.
+  std::uint64_t run(std::uint32_t entry = 0,
+                    std::uint64_t max_instructions = 1'000'000'000);
+
+  std::uint32_t read_shared(std::uint32_t addr) const {
+    return shared_.at(addr);
+  }
+  void write_shared(std::uint32_t addr, std::uint32_t value) {
+    shared_.at(addr) = value;
+  }
+  std::uint32_t read_reg(unsigned thread, unsigned reg) const {
+    return regs_.at(static_cast<std::size_t>(thread) * cfg_.regs_per_thread +
+                    reg);
+  }
+  void write_reg(unsigned thread, unsigned reg, std::uint32_t value) {
+    regs_.at(static_cast<std::size_t>(thread) * cfg_.regs_per_thread + reg) =
+        value;
+  }
+  bool read_pred(unsigned thread, unsigned pred) const {
+    return (preds_.at(thread) >> pred) & 1u;
+  }
+
+  const CoreConfig& config() const { return cfg_; }
+
+ private:
+  std::uint32_t alu_ref(const isa::Instr& in, std::uint32_t a,
+                        std::uint32_t b) const;
+  bool cmp_ref(isa::Opcode op, std::uint32_t a, std::uint32_t b) const;
+  bool guard_passes(const isa::Instr& in, unsigned t) const;
+
+  CoreConfig cfg_;
+  Program program_;
+  unsigned threads_;
+  std::vector<std::uint32_t> regs_;
+  std::vector<std::uint8_t> preds_;
+  std::vector<std::uint32_t> shared_;
+};
+
+}  // namespace simt::core

@@ -1,0 +1,59 @@
+// Per-SP register file.
+//
+// The register space (up to 64K registers, Section 2) is striped across the
+// 16 SPs: thread t's registers live in SP (t mod num_sps), at row (t div
+// num_sps). Each SP's file is M20K-backed: depth = rows x regs_per_thread,
+// width 32, with two read ports (operands A and B) built by replication --
+// two copies of a simple-dual-port memory, which is where Table 1's
+// 4 M20K per SP come from (1024 deep x 32 wide = 2 blocks, x2 copies).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "hw/m20k.hpp"
+
+namespace simt::core {
+
+class RegisterFile {
+ public:
+  /// rows: thread rows resident in this SP (max_threads / num_sps).
+  RegisterFile(unsigned rows, unsigned regs_per_thread)
+      : rows_(rows), regs_(regs_per_thread) {
+    SIMT_CHECK(rows_ > 0 && regs_ > 0);
+    data_.assign(static_cast<std::size_t>(rows_) * regs_, 0);
+  }
+
+  std::uint32_t read(unsigned row, unsigned reg) const {
+    return data_[index(row, reg)];
+  }
+
+  void write(unsigned row, unsigned reg, std::uint32_t value) {
+    data_[index(row, reg)] = value;
+  }
+
+  unsigned rows() const { return rows_; }
+  unsigned regs_per_thread() const { return regs_; }
+  unsigned depth() const { return rows_ * regs_; }
+
+  /// Read-port replication copies (operand A and operand B).
+  static constexpr unsigned kReadCopies = 2;
+
+  /// M20K blocks for this SP's file: copies x blocks(depth x 32).
+  unsigned m20k_blocks() const {
+    return kReadCopies * hw::m20k_blocks_for(depth(), 32);
+  }
+
+ private:
+  std::size_t index(unsigned row, unsigned reg) const {
+    SIMT_CHECK(row < rows_ && reg < regs_);
+    return static_cast<std::size_t>(row) * regs_ + reg;
+  }
+
+  unsigned rows_;
+  unsigned regs_;
+  std::vector<std::uint32_t> data_;
+};
+
+}  // namespace simt::core

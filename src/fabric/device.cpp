@@ -1,0 +1,116 @@
+#include "fabric/device.hpp"
+
+#include "common/error.hpp"
+
+namespace simt::fabric {
+
+Device::Device(DeviceConfig cfg) : cfg_(std::move(cfg)) {
+  SIMT_CHECK(cfg_.column_pattern.size() == cfg_.sector_cols);
+  SIMT_CHECK(cfg_.sector_cols > 0 && cfg_.sector_rows > 0);
+  SIMT_CHECK(cfg_.sectors_x > 0 && cfg_.sectors_y > 0);
+}
+
+TileType Device::tile(unsigned x, unsigned y) const {
+  SIMT_CHECK(x < width() && y < height());
+  return cfg_.column_pattern[x % cfg_.sector_cols];
+}
+
+unsigned Device::tile_capacity(unsigned x, unsigned y) const {
+  return tile(x, y) == TileType::Lab ? kAlmsPerLab : 1u;
+}
+
+unsigned Device::sector_of(unsigned x, unsigned y) const {
+  SIMT_CHECK(x < width() && y < height());
+  const unsigned sx = x / cfg_.sector_cols;
+  const unsigned sy = y / cfg_.sector_rows;
+  return sy * cfg_.sectors_x + sx;
+}
+
+unsigned Device::sector_crossings(unsigned x0, unsigned y0, unsigned x1,
+                                  unsigned y1) const {
+  const unsigned cx = x0 / cfg_.sector_cols;
+  const unsigned cx2 = x1 / cfg_.sector_cols;
+  const unsigned cy = y0 / cfg_.sector_rows;
+  const unsigned cy2 = y1 / cfg_.sector_rows;
+  const unsigned dx = cx > cx2 ? cx - cx2 : cx2 - cx;
+  const unsigned dy = cy > cy2 ? cy - cy2 : cy2 - cy;
+  return dx + dy;
+}
+
+SectorResources Device::sector_resources() const {
+  SectorResources r;
+  for (const TileType t : cfg_.column_pattern) {
+    switch (t) {
+      case TileType::Lab:
+        r.alms += kAlmsPerLab * cfg_.sector_rows;
+        break;
+      case TileType::M20k:
+        r.m20ks += cfg_.sector_rows;
+        break;
+      case TileType::Dsp:
+        r.dsps += cfg_.sector_rows;
+        break;
+    }
+  }
+  return r;
+}
+
+SectorResources Device::device_resources() const {
+  SectorResources r = sector_resources();
+  const unsigned n = cfg_.sectors_x * cfg_.sectors_y;
+  r.alms *= n;
+  r.m20ks *= n;
+  r.dsps *= n;
+  return r;
+}
+
+Device Device::agfd019() {
+  DeviceConfig cfg;
+  cfg.name = "AGFD019R24C21V";
+  cfg.sector_cols = 24;
+  cfg.sector_rows = 16;
+  cfg.sectors_x = 4;
+  cfg.sectors_y = 8;
+  // One DSP column per sector (paper Section 5), forming the central spine
+  // the SPs straddle in Fig. 6; four M20K columns distributed between LAB
+  // stretches (Agilex interleaves memory columns every few LAB columns);
+  // the remaining nineteen columns are LABs.
+  cfg.column_pattern.assign(cfg.sector_cols, TileType::Lab);
+  cfg.column_pattern[3] = TileType::M20k;
+  cfg.column_pattern[9] = TileType::M20k;
+  cfg.column_pattern[12] = TileType::Dsp;
+  cfg.column_pattern[15] = TileType::M20k;
+  cfg.column_pattern[21] = TileType::M20k;
+  return Device(std::move(cfg));
+}
+
+Device Device::representative() {
+  DeviceConfig cfg;
+  cfg.name = "representative-sector";
+  // 104 LAB columns (16640 ALMs), 15 M20K columns (240), 10 DSP columns
+  // (160) at 16 rows per sector.
+  cfg.sector_cols = 129;
+  cfg.sector_rows = 16;
+  cfg.sectors_x = 2;
+  cfg.sectors_y = 4;
+  cfg.column_pattern.assign(cfg.sector_cols, TileType::Lab);
+  unsigned placed_m20k = 0;
+  unsigned placed_dsp = 0;
+  for (unsigned c = 4; c < cfg.sector_cols && placed_m20k < 15; c += 8) {
+    cfg.column_pattern[c] = TileType::M20k;
+    ++placed_m20k;
+  }
+  for (unsigned c = 8; c < cfg.sector_cols && placed_dsp < 10; c += 12) {
+    if (cfg.column_pattern[c] == TileType::Lab) {
+      cfg.column_pattern[c] = TileType::Dsp;
+      ++placed_dsp;
+    } else {
+      cfg.column_pattern[c + 1] = TileType::Dsp;
+      ++placed_dsp;
+    }
+  }
+  SIMT_CHECK(placed_dsp == 10 && placed_m20k == 15);
+  return Device(std::move(cfg));
+}
+
+}  // namespace simt::fabric

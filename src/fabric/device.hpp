@@ -1,0 +1,86 @@
+// Agilex-like device model (Section 2.2).
+//
+// "Agilex devices are comprised of sectors, which encompass a single clock
+// region. Components in the sector have a fixed spatial relationship ...
+// one representative sector contains 16640 ALMs, 240 M20K memory blocks,
+// and 160 DSP Blocks."
+//
+// The device is a 2-D grid of tiles arranged in columns by type: LAB columns
+// (10 ALMs per LAB, sharing local routing -- the 20-bit LAB adder lives
+// here), M20K columns, and DSP columns. A sector is a rectangular window of
+// the grid; routes crossing sector boundaries pay a clock-region penalty in
+// the delay model.
+//
+// The evaluated part (AGFD019R24C21V) "contains only one DSP column per
+// sector; as the processor requires two DSP Blocks per SP, placement of the
+// cores is always forced into a 32 row height" -- the catalog entry below
+// reproduces exactly that geometry (16 DSP rows per sector => 32 DSP blocks
+// span two vertically adjacent sectors).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simt::fabric {
+
+enum class TileType : std::uint8_t { Lab, M20k, Dsp };
+
+/// ALMs per LAB (Agilex: a LAB groups 10 ALMs on shared local routing).
+inline constexpr unsigned kAlmsPerLab = 10;
+
+struct DeviceConfig {
+  std::string name;
+  unsigned sector_cols = 24;   ///< tile columns per sector
+  unsigned sector_rows = 16;   ///< tile rows per sector
+  unsigned sectors_x = 4;
+  unsigned sectors_y = 8;
+  /// Column pattern within a sector: type of each of the sector_cols columns.
+  std::vector<TileType> column_pattern;
+
+  unsigned grid_width() const { return sector_cols * sectors_x; }
+  unsigned grid_height() const { return sector_rows * sectors_y; }
+};
+
+struct SectorResources {
+  unsigned alms = 0;
+  unsigned m20ks = 0;
+  unsigned dsps = 0;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceConfig cfg);
+
+  const DeviceConfig& config() const { return cfg_; }
+  unsigned width() const { return cfg_.grid_width(); }
+  unsigned height() const { return cfg_.grid_height(); }
+
+  TileType tile(unsigned x, unsigned y) const;
+
+  /// Capacity of the tile at (x, y): 10 ALM slots for LABs, 1 otherwise.
+  unsigned tile_capacity(unsigned x, unsigned y) const;
+
+  /// Sector index containing (x, y).
+  unsigned sector_of(unsigned x, unsigned y) const;
+
+  /// Number of sector boundaries crossed by a route from a to b
+  /// (Chebyshev-style: horizontal crossings + vertical crossings).
+  unsigned sector_crossings(unsigned x0, unsigned y0, unsigned x1,
+                            unsigned y1) const;
+
+  SectorResources sector_resources() const;
+  SectorResources device_resources() const;
+
+  /// The evaluated device: one DSP column per sector, 16 tile rows.
+  static Device agfd019();
+
+  /// A device whose sector matches the paper's "representative sector"
+  /// (16640 ALMs, 240 M20Ks, 160 DSPs).
+  static Device representative();
+
+ private:
+  DeviceConfig cfg_;
+};
+
+}  // namespace simt::fabric

@@ -1,0 +1,86 @@
+// Placement-level netlist: atoms (ALM / ALM-in-memory-mode / M20K / DSP) and
+// register-to-register timing arcs between them.
+//
+// Because the processor is deeply pipelined ("there is a register available
+// after each logic function", Section 2.2), every timing path is a single
+// reg->reg arc: intrinsic delay (clock-to-out + LUT levels + setup) plus the
+// placement-dependent routing delay. The netlist builder mirrors the module
+// structure of Table 1 so the fitter's results can be attributed per module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace simt::fabric {
+
+enum class AtomKind : std::uint8_t {
+  Alm,     ///< ALM in logic mode
+  AlmMem,  ///< ALM in memory mode (shift-register replacement; 850 MHz cap)
+  M20k,
+  Dsp,
+};
+
+/// Coarse module grouping used for floorplan rendering and attribution.
+enum class ModuleClass : std::uint8_t {
+  SpMulShift,
+  SpLogic,
+  SpOther,
+  SpShifterLogic,  ///< the barrel-shifter ALMs (ablation A2)
+  Inst,
+  Shared,
+  DelayChain,
+};
+
+struct Atom {
+  AtomKind kind;
+  ModuleClass module;
+  std::int16_t sp_index;  ///< owning SP (0..15) or -1 for shared/inst
+  std::int32_t group;     ///< cluster id: atoms of a group want to be close
+};
+
+struct TimingArc {
+  std::int32_t src;          ///< atom id
+  std::int32_t dst;          ///< atom id
+  float intrinsic_ps;        ///< fixed reg->reg portion
+  float min_span_tiles;      ///< unfoldable bus span (barrel-shifter stages)
+  bool retimable;            ///< reset-less: a hyper-register may split route
+};
+
+class Netlist {
+ public:
+  std::int32_t add_atom(AtomKind kind, ModuleClass module, int sp_index,
+                        std::int32_t group);
+  void add_arc(std::int32_t src, std::int32_t dst, float intrinsic_ps,
+               bool retimable = false, float min_span_tiles = 0.0f);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<TimingArc>& arcs() const { return arcs_; }
+
+  unsigned count(AtomKind kind) const;
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<TimingArc> arcs_;
+};
+
+/// Options controlling netlist generation for the ablations.
+struct NetlistOptions {
+  hw::ShifterImpl shifter = hw::ShifterImpl::Integrated;
+  bool predicates = false;
+  /// Quartus "auto shift register replacement": map delay-chain registers
+  /// into ALM memory mode (saves ALMs, caps the clock at 850 MHz).
+  bool auto_shift_register_replacement = false;
+  /// Use reset-less registers so hyper-registers can retime control paths
+  /// (Section 5). Turning this off is ablation fodder.
+  bool hyper_registers = true;
+};
+
+/// Expand a processor configuration into a placeable netlist. Atom counts
+/// follow the analytical resource model (area::ResourceModel), so the
+/// generated netlist is consistent with Table 1.
+Netlist build_netlist(const core::CoreConfig& cfg, const NetlistOptions& opt);
+
+}  // namespace simt::fabric

@@ -1,0 +1,73 @@
+// Routing-delay model.
+//
+// A placed arc's delay is its intrinsic reg->reg portion plus a routing term
+// that grows with Manhattan distance, pays a penalty per sector (clock
+// region) boundary crossed, and respects an unfoldable minimum span for
+// fixed-geometry buses (the 8/16-bit barrel-shifter stages). Retimable arcs
+// -- reset-less registers eligible for Agilex hyper-registers (Section 5) --
+// have part of their routing absorbed by a register in the routing fabric.
+//
+// Congestion: the placement-independent model used during annealing ignores
+// congestion; the final timing analysis applies a density-dependent
+// multiplier to the routing term (dense bounding boxes force detours, which
+// is why the constrained compiles in Section 5 close lower than the
+// unconstrained one despite shorter nominal distances).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "fabric/device.hpp"
+#include "fabric/netlist.hpp"
+
+namespace simt::fit {
+
+struct DelayModel {
+  float base_route_ps = 80.0f;       ///< mux-in/mux-out of the routing fabric
+  float per_tile_ps = 20.5f;         ///< per Manhattan tile
+  float sector_cross_ps = 90.0f;     ///< clock-region boundary crossing
+  float hyper_absorb = 0.45f;        ///< route fraction a hyper-register hides
+  float congestion_knee = 0.50f;     ///< utilization where detours begin
+  float congestion_slope = 1.35f;    ///< route multiplier growth past knee
+  /// Fixed-geometry bus arcs (min_span > 0, i.e. the 8/16-bit shifter
+  /// stages) suffer congestion superlinearly: their horizontal shape cannot
+  /// be folded, so detours compound across the consecutive long stages --
+  /// "two consecutive logic levels with long routing distances can close
+  /// timing ... as part of a smaller circuit, but placement in a larger
+  /// system design context is difficult" (Section 4).
+  float span_congestion_exponent = 3.0f;
+
+  /// Hard block clock caps in MHz (Sections 2.1, 4, 5).
+  float dsp_int_cap_mhz = 958.0f;
+  float dsp_fp_cap_mhz = 771.0f;
+  float m20k_cap_mhz = 1000.0f;
+  float alm_mem_cap_mhz = 850.0f;
+
+  /// Routing congestion multiplier for a region packed at `utilization`.
+  float congestion_multiplier(float utilization) const {
+    const float over = std::max(0.0f, utilization - congestion_knee);
+    return 1.0f + congestion_slope * over * over;
+  }
+
+  /// Arc delay in ps given endpoint coordinates.
+  float arc_delay_ps(const fabric::TimingArc& arc, unsigned x0, unsigned y0,
+                     unsigned x1, unsigned y1, const fabric::Device& dev,
+                     float congestion = 1.0f) const {
+    const float dx = std::abs(static_cast<float>(x0) - static_cast<float>(x1));
+    const float dy = std::abs(static_cast<float>(y0) - static_cast<float>(y1));
+    const float dist = std::max(dx + dy, arc.min_span_tiles);
+    float route = base_route_ps + per_tile_ps * dist +
+                  sector_cross_ps *
+                      static_cast<float>(dev.sector_crossings(x0, y0, x1, y1));
+    const float cong = arc.min_span_tiles > 0.0f
+                           ? std::pow(congestion, span_congestion_exponent)
+                           : congestion;
+    route *= cong;
+    if (arc.retimable) {
+      route *= (1.0f - hyper_absorb);
+    }
+    return arc.intrinsic_ps + route;
+  }
+};
+
+}  // namespace simt::fit

@@ -1,0 +1,254 @@
+#include "fit/fitter.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace simt::fit {
+
+Fitter::Fitter(const fabric::Device& device, DelayModel model)
+    : dev_(device), model_(model) {}
+
+Region Fitter::box_for(const fabric::Netlist& nl, double utilization,
+                       unsigned x0, unsigned y0) const {
+  unsigned alms = 0, m20ks = 0, dsps = 0;
+  for (const auto& a : nl.atoms()) {
+    switch (a.kind) {
+      case fabric::AtomKind::Alm:
+      case fabric::AtomKind::AlmMem:
+        ++alms;
+        break;
+      case fabric::AtomKind::M20k:
+        ++m20ks;
+        break;
+      case fabric::AtomKind::Dsp:
+        ++dsps;
+        break;
+    }
+  }
+  // Height: the evaluated device has one DSP column per sector (16 rows of
+  // DSP blocks), and the core needs 2 DSP Blocks per SP, so the box must
+  // span enough rows of a single DSP column -- 32 rows for the 16-SP core
+  // ("placement of the cores is always forced into a 32 row height").
+  const unsigned sector_rows = dev_.config().sector_rows;
+  unsigned rows = sector_rows;
+  while (rows < dev_.height() - y0 && rows < dsps) {
+    rows += sector_rows;
+  }
+
+  // Grow the width until ALM capacity reaches alms/utilization and the
+  // M20K/DSP column counts suffice.
+  const auto needed_alms =
+      static_cast<unsigned>(static_cast<double>(alms) / utilization);
+  unsigned width = 1;
+  for (; x0 + width <= dev_.width(); ++width) {
+    unsigned cap_alm = 0, cap_m20k = 0, cap_dsp = 0;
+    for (unsigned x = x0; x < x0 + width; ++x) {
+      switch (dev_.tile(x, y0)) {
+        case fabric::TileType::Lab:
+          cap_alm += fabric::kAlmsPerLab * rows;
+          break;
+        case fabric::TileType::M20k:
+          cap_m20k += rows;
+          break;
+        case fabric::TileType::Dsp:
+          cap_dsp += rows;
+          break;
+      }
+    }
+    if (cap_alm >= needed_alms && cap_m20k >= m20ks && cap_dsp >= dsps) {
+      break;
+    }
+  }
+  if (x0 + width > dev_.width() || y0 + rows > dev_.height()) {
+    throw Error("bounding box does not fit the device");
+  }
+  return Region{x0, y0, x0 + width - 1, y0 + rows - 1};
+}
+
+CompileResult Fitter::compile(const core::CoreConfig& cfg,
+                              const CompileOptions& opt) const {
+  CompileResult res;
+  res.seed = opt.seed;
+  res.netlist = fabric::build_netlist(cfg, opt.netlist);
+
+  PlaceOptions popt;
+  popt.seed = opt.seed;
+  popt.moves_per_atom = opt.moves_per_atom;
+  if (opt.box_utilization) {
+    const Region box = box_for(res.netlist, *opt.box_utilization, 0, 0);
+    res.region = box;
+    popt.regions = {box};
+    popt.atom_region.assign(res.netlist.atoms().size(), 0);
+  }
+
+  const Placer placer(dev_, res.netlist, model_);
+  res.placement = placer.place(popt);
+  res.timing = analyze(dev_, res.netlist, res.placement, model_,
+                       opt.fp_datapath);
+  return res;
+}
+
+SweepResult Fitter::sweep(const core::CoreConfig& cfg,
+                          const CompileOptions& opt,
+                          unsigned num_seeds) const {
+  SweepResult sweep;
+  sweep.compiles.resize(num_seeds);
+  // Seed sweeps are embarrassingly parallel: one compile per thread.
+  std::vector<std::thread> workers;
+  workers.reserve(num_seeds);
+  for (unsigned i = 0; i < num_seeds; ++i) {
+    workers.emplace_back([&, i] {
+      CompileOptions o = opt;
+      o.seed = opt.seed + i;
+      sweep.compiles[i] = compile(cfg, o);
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  for (std::size_t i = 0; i < sweep.compiles.size(); ++i) {
+    if (sweep.compiles[i].timing.fmax_restricted_mhz >
+        sweep.compiles[sweep.best_index].timing.fmax_restricted_mhz) {
+      sweep.best_index = i;
+    }
+  }
+  return sweep;
+}
+
+StampResult Fitter::compile_stamps(const core::CoreConfig& cfg,
+                                   const CompileOptions& opt,
+                                   unsigned stamps) const {
+  SIMT_CHECK(stamps >= 1);
+  StampResult res;
+  res.seed = opt.seed;
+
+  // Build one netlist per stamp and merge, remembering stamp membership.
+  fabric::Netlist merged;
+  std::vector<std::int16_t> atom_region;
+  std::vector<Region> regions;
+  std::vector<std::pair<std::size_t, std::size_t>> arc_ranges;
+
+  const double box_util = opt.box_utilization.value_or(0.93);
+  const unsigned sector_rows = dev_.config().sector_rows;
+
+  for (unsigned s = 0; s < stamps; ++s) {
+    const fabric::Netlist one = fabric::build_netlist(cfg, opt.netlist);
+    const auto atom_base = static_cast<std::int32_t>(merged.atoms().size());
+    // Stamps are stacked vertically, separated by one full sector
+    // ("3 cores in a group, separated by a sector boundary").
+    const Region box =
+        box_for(one, box_util, 0, s * (2 * sector_rows + sector_rows));
+    regions.push_back(box);
+    for (const auto& a : one.atoms()) {
+      merged.add_atom(a.kind, a.module, a.sp_index, a.group + atom_base);
+      atom_region.push_back(static_cast<std::int16_t>(s));
+    }
+    const std::size_t arc_begin = merged.arcs().size();
+    for (const auto& arc : one.arcs()) {
+      merged.add_arc(arc.src + atom_base, arc.dst + atom_base,
+                     arc.intrinsic_ps, arc.retimable, arc.min_span_tiles);
+    }
+    arc_ranges.emplace_back(arc_begin, merged.arcs().size());
+  }
+
+  PlaceOptions popt;
+  popt.seed = opt.seed;
+  popt.regions = regions;
+  popt.atom_region = atom_region;
+  // Fixed total optimization effort: the place-and-route tool's effort does
+  // not scale with the number of stamps, and worst-case-slack-driven
+  // optimization concentrates on one stamp at a time (Section 5.1 / [21]).
+  popt.moves_per_atom = opt.moves_per_atom * 0.9 / static_cast<double>(stamps);
+
+  const Placer placer(dev_, merged, model_);
+  const Placement pl = placer.place(popt);
+
+  // Per-stamp Fmax: worst arc within each stamp's arc range, clamped by the
+  // hard-block ceilings. Each stamp's congestion comes from its own box
+  // utilization (identical boxes -> identical multiplier). The shared clock
+  // runs at the min over stamps.
+  res.per_stamp_mhz.resize(stamps);
+  const float box_congestion =
+      model_.congestion_multiplier(static_cast<float>(box_util));
+  const float cap_mhz = std::min(
+      opt.fp_datapath ? model_.dsp_fp_cap_mhz : model_.dsp_int_cap_mhz,
+      model_.m20k_cap_mhz);
+  for (unsigned s = 0; s < stamps; ++s) {
+    float worst = 1.0f;
+    for (std::size_t i = arc_ranges[s].first; i < arc_ranges[s].second; ++i) {
+      const auto& arc = merged.arcs()[i];
+      const auto& a = pl.site(arc.src);
+      const auto& b = pl.site(arc.dst);
+      worst = std::max(worst, model_.arc_delay_ps(arc, a.x, a.y, b.x, b.y,
+                                                  dev_, box_congestion));
+    }
+    res.per_stamp_mhz[s] = std::min(1e6f / worst, cap_mhz);
+  }
+  res.fmax_restricted_mhz =
+      *std::min_element(res.per_stamp_mhz.begin(), res.per_stamp_mhz.end());
+  return res;
+}
+
+CompileResult Fitter::compile_sp_aligned(const core::CoreConfig& cfg,
+                                         const CompileOptions& opt) const {
+  CompileResult res;
+  res.seed = opt.seed;
+  res.netlist = fabric::build_netlist(cfg, opt.netlist);
+
+  const double util = opt.box_utilization.value_or(0.93);
+  const Region box = box_for(res.netlist, util, 0, 0);
+  res.region = box;
+
+  // Region 0: the whole box (shared memory, instruction block, chains).
+  // Regions 1..num_sps: a band of rows per SP, sized so each band holds
+  // the SP's two DSP blocks (rows_per_sp rows of the single DSP column).
+  PlaceOptions popt;
+  popt.seed = opt.seed;
+  popt.moves_per_atom = opt.moves_per_atom;
+  popt.regions.push_back(box);
+  const unsigned rows_per_sp = box.height() / cfg.num_sps;
+  SIMT_CHECK(rows_per_sp >= 1);
+  for (unsigned sp = 0; sp < cfg.num_sps; ++sp) {
+    Region band = box;
+    band.y0 = box.y0 + sp * rows_per_sp;
+    band.y1 = sp + 1 == cfg.num_sps ? box.y1 : band.y0 + rows_per_sp - 1;
+    popt.regions.push_back(band);
+  }
+  popt.atom_region.reserve(res.netlist.atoms().size());
+  for (const auto& atom : res.netlist.atoms()) {
+    popt.atom_region.push_back(
+        atom.sp_index < 0 ? std::int16_t{0}
+                          : static_cast<std::int16_t>(1 + atom.sp_index));
+  }
+
+  const Placer placer(dev_, res.netlist, model_);
+  res.placement = placer.place(popt);
+  res.timing = analyze(dev_, res.netlist, res.placement, model_,
+                       opt.fp_datapath);
+  return res;
+}
+
+std::vector<StampResult> Fitter::sweep_stamps(const core::CoreConfig& cfg,
+                                              const CompileOptions& opt,
+                                              unsigned stamps,
+                                              unsigned num_seeds) const {
+  std::vector<StampResult> results(num_seeds);
+  std::vector<std::thread> workers;
+  workers.reserve(num_seeds);
+  for (unsigned i = 0; i < num_seeds; ++i) {
+    workers.emplace_back([&, i] {
+      CompileOptions o = opt;
+      o.seed = opt.seed + i;
+      results[i] = compile_stamps(cfg, o, stamps);
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  return results;
+}
+
+}  // namespace simt::fit

@@ -1,0 +1,100 @@
+// Compile driver: netlist generation + placement + STA, with the paper's
+// experiment modes (Section 5):
+//   * unconstrained compiles (default assignments, auto-SRR off);
+//   * bounding-box constrained compiles at a target logic utilization;
+//   * multi-stamp compiles (N cores in one device, separated by a sector
+//     boundary, one shared clock -- Table 2);
+//   * multi-seed sweeps, run in parallel with std::thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "fabric/device.hpp"
+#include "fabric/netlist.hpp"
+#include "fit/placer.hpp"
+#include "fit/sta.hpp"
+
+namespace simt::fit {
+
+struct CompileResult {
+  std::uint64_t seed = 0;
+  TimingReport timing;
+  Placement placement{0};
+  fabric::Netlist netlist;
+  std::optional<Region> region;  ///< bounding box, when constrained
+};
+
+struct CompileOptions {
+  fabric::NetlistOptions netlist;
+  std::uint64_t seed = 1;
+  /// Target bounding-box logic utilization; nullopt = unconstrained.
+  std::optional<double> box_utilization;
+  double moves_per_atom = 220.0;
+  bool fp_datapath = false;  ///< eGPU fp32 baseline (771 MHz DSP ceiling)
+};
+
+struct SweepResult {
+  std::vector<CompileResult> compiles;  ///< one per seed
+  std::size_t best_index = 0;           ///< highest restricted Fmax
+
+  const CompileResult& best() const { return compiles[best_index]; }
+};
+
+struct StampResult {
+  std::uint64_t seed = 0;
+  float fmax_restricted_mhz = 0.0f;     ///< min over stamps (shared clock)
+  std::vector<float> per_stamp_mhz;
+};
+
+class Fitter {
+ public:
+  explicit Fitter(const fabric::Device& device, DelayModel model = {});
+
+  /// Single compile of one core.
+  CompileResult compile(const core::CoreConfig& cfg,
+                        const CompileOptions& opt) const;
+
+  /// N-seed sweep (seeds seed0..seed0+n-1), parallelized across threads.
+  SweepResult sweep(const core::CoreConfig& cfg, const CompileOptions& opt,
+                    unsigned num_seeds) const;
+
+  /// Multi-stamp compile: `stamps` copies placed in vertically stacked
+  /// bounding boxes separated by a sector boundary, annealed together with
+  /// a *fixed* total optimization effort (tool effort does not scale with
+  /// design copies, which is the Table 2 mechanism).
+  StampResult compile_stamps(const core::CoreConfig& cfg,
+                             const CompileOptions& opt,
+                             unsigned stamps) const;
+
+  /// N-seed stamp sweep; returns the per-seed results.
+  std::vector<StampResult> sweep_stamps(const core::CoreConfig& cfg,
+                                        const CompileOptions& opt,
+                                        unsigned stamps,
+                                        unsigned num_seeds) const;
+
+  /// Component-level constrained compile (the paper's first future-work
+  /// item, Section 6): each SP is bound to its own two-row band along the
+  /// DSP column -- exactly the rows holding its two DSP blocks -- while the
+  /// shared memory, instruction block, and delay chains keep the whole box.
+  /// "Packing at the SP level will allow a sector to be filled completely."
+  CompileResult compile_sp_aligned(const core::CoreConfig& cfg,
+                                   const CompileOptions& opt) const;
+
+  /// Compute the bounding box that holds the netlist at the requested
+  /// logic utilization, anchored at (x0, y0). Height is pinned to 32 rows
+  /// by the one-DSP-column-per-sector geometry (Section 5).
+  Region box_for(const fabric::Netlist& nl, double utilization, unsigned x0,
+                 unsigned y0) const;
+
+  const fabric::Device& device() const { return dev_; }
+  const DelayModel& model() const { return model_; }
+
+ private:
+  const fabric::Device& dev_;
+  DelayModel model_;
+};
+
+}  // namespace simt::fit

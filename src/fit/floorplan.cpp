@@ -1,0 +1,91 @@
+#include "fit/floorplan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace simt::fit {
+namespace {
+
+using fabric::Atom;
+using fabric::AtomKind;
+using fabric::ModuleClass;
+using fabric::TileType;
+
+char sp_char(int sp) {
+  return sp < 10 ? static_cast<char>('0' + sp)
+                 : static_cast<char>('A' + (sp - 10));
+}
+
+char atom_char(const Atom& a) {
+  switch (a.module) {
+    case ModuleClass::Shared:
+      return a.kind == AtomKind::M20k ? 'S' : 's';
+    case ModuleClass::Inst:
+      return a.kind == AtomKind::M20k ? 'i' : 'I';
+    case ModuleClass::DelayChain:
+      return 'c';
+    case ModuleClass::SpMulShift:
+    case ModuleClass::SpLogic:
+    case ModuleClass::SpOther:
+    case ModuleClass::SpShifterLogic:
+      return a.kind == AtomKind::Dsp ? 'D' : sp_char(a.sp_index);
+  }
+  return '?';
+}
+
+char empty_char(TileType t) {
+  switch (t) {
+    case TileType::Lab:
+      return '.';
+    case TileType::M20k:
+      return 'm';
+    case TileType::Dsp:
+      return '|';
+  }
+  return ' ';
+}
+
+}  // namespace
+
+std::string render_floorplan(const fabric::Device& dev,
+                             const fabric::Netlist& nl, const Placement& pl,
+                             unsigned margin) {
+  const auto b = pl.bounds(dev, nl);
+  const unsigned x0 = b.x0 > margin ? b.x0 - margin : 0;
+  const unsigned y0 = b.y0 > margin ? b.y0 - margin : 0;
+  const unsigned x1 = std::min(dev.width() - 1, b.x1 + margin);
+  const unsigned y1 = std::min(dev.height() - 1, b.y1 + margin);
+
+  // Dominant occupant per tile (a LAB can host atoms of several modules).
+  std::map<std::pair<unsigned, unsigned>, std::map<char, unsigned>> tally;
+  for (std::size_t i = 0; i < nl.atoms().size(); ++i) {
+    const auto& site = pl.site(static_cast<std::int32_t>(i));
+    tally[{site.x, site.y}][atom_char(nl.atoms()[i])]++;
+  }
+
+  std::ostringstream out;
+  for (unsigned y = y0; y <= y1; ++y) {
+    for (unsigned x = x0; x <= x1; ++x) {
+      const auto it = tally.find({x, y});
+      if (it == tally.end()) {
+        out << empty_char(dev.tile(x, y));
+        continue;
+      }
+      char best = '?';
+      unsigned best_n = 0;
+      for (const auto& [ch, n] : it->second) {
+        if (n > best_n) {
+          best = ch;
+          best_n = n;
+        }
+      }
+      out << best;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace simt::fit

@@ -1,0 +1,26 @@
+// ASCII floorplan rendering of a placement -- the reproduction of the
+// paper's Fig. 6 (unconstrained) and Fig. 7 (tightly constrained) placement
+// plots. One character per tile:
+//
+//   0-9,A-F  ALMs of SP 0..15 (dominant occupant of the LAB)
+//   S        shared-memory M20K block        s  shared-memory mux logic
+//   I        instruction block logic         i  I-MEM / stack M20K
+//   c        control delay chain
+//   D        DSP block in use                |  empty DSP column site
+//   m        empty M20K site                 .  empty LAB
+#pragma once
+
+#include <string>
+
+#include "fabric/device.hpp"
+#include "fabric/netlist.hpp"
+#include "fit/placer.hpp"
+
+namespace simt::fit {
+
+/// Render the used bounding box (plus a margin) of a placement.
+std::string render_floorplan(const fabric::Device& dev,
+                             const fabric::Netlist& nl, const Placement& pl,
+                             unsigned margin = 1);
+
+}  // namespace simt::fit

@@ -1,0 +1,317 @@
+#include "fit/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace simt::fit {
+namespace {
+
+using fabric::AtomKind;
+using fabric::TileType;
+
+TileType tile_for(AtomKind kind) {
+  switch (kind) {
+    case AtomKind::Alm:
+    case AtomKind::AlmMem:
+      return TileType::Lab;
+    case AtomKind::M20k:
+      return TileType::M20k;
+    case AtomKind::Dsp:
+      return TileType::Dsp;
+  }
+  SIMT_CHECK(false);
+}
+
+/// Dense slot indexing: every tile owns kAlmsPerLab slots (only LAB tiles
+/// use more than slot 0, but a uniform stride keeps the math branch-free).
+struct SlotIndex {
+  explicit SlotIndex(const fabric::Device& dev)
+      : width(dev.width()), stride(fabric::kAlmsPerLab) {}
+  std::size_t operator()(unsigned x, unsigned y, unsigned slot) const {
+    return (static_cast<std::size_t>(y) * width + x) * stride + slot;
+  }
+  unsigned width;
+  unsigned stride;
+};
+
+float arc_cost(float delay_ps) {
+  // High-power delay emphasis: near-critical arcs dominate, mimicking
+  // worst-slack-driven optimization [21].
+  const float d = delay_ps * 1e-3f;  // ns, keeps the cubes in float range
+  return d * d * d;
+}
+
+}  // namespace
+
+Placement::Bounds Placement::bounds(const fabric::Device& dev,
+                                    const fabric::Netlist& nl) const {
+  Bounds b{dev.width(), dev.height(), 0, 0, 0.0f};
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const Site& s = sites_[i];
+    b.x0 = std::min(b.x0, s.x);
+    b.y0 = std::min(b.y0, s.y);
+    b.x1 = std::max(b.x1, s.x);
+    b.y1 = std::max(b.y1, s.y);
+  }
+  // ALM-based logic utilization inside the box (the paper's metric).
+  unsigned lab_capacity = 0;
+  for (unsigned y = b.y0; y <= b.y1; ++y) {
+    for (unsigned x = b.x0; x <= b.x1; ++x) {
+      if (dev.tile(x, y) == TileType::Lab) {
+        lab_capacity += fabric::kAlmsPerLab;
+      }
+    }
+  }
+  unsigned alms = 0;
+  for (const auto& atom : nl.atoms()) {
+    if (atom.kind == AtomKind::Alm || atom.kind == AtomKind::AlmMem) {
+      ++alms;
+    }
+  }
+  b.utilization =
+      lab_capacity ? static_cast<float>(alms) / static_cast<float>(lab_capacity)
+                   : 1.0f;
+  return b;
+}
+
+Placer::Placer(const fabric::Device& device, const fabric::Netlist& netlist,
+               DelayModel model)
+    : dev_(device), nl_(netlist), model_(model) {}
+
+Placement Placer::place(const PlaceOptions& opt) const {
+  const auto& atoms = nl_.atoms();
+  const auto& arcs = nl_.arcs();
+  SIMT_CHECK(opt.atom_region.empty() || opt.atom_region.size() == atoms.size());
+
+  Xoshiro256 rng(opt.seed);
+  const SlotIndex slot_of(dev_);
+  std::vector<std::int32_t> occupant(
+      static_cast<std::size_t>(dev_.width()) * dev_.height() *
+          fabric::kAlmsPerLab,
+      -1);
+  Placement pl(atoms.size());
+
+  auto region_of = [&](std::int32_t atom) -> const Region* {
+    if (opt.atom_region.empty()) {
+      return nullptr;
+    }
+    const auto idx = opt.atom_region[static_cast<std::size_t>(atom)];
+    return idx < 0 ? nullptr : &opt.regions[static_cast<std::size_t>(idx)];
+  };
+  auto in_region = [&](std::int32_t atom, unsigned x, unsigned y) {
+    const Region* r = region_of(atom);
+    return r == nullptr || r->contains(x, y);
+  };
+
+  // ---- constructive initial placement ------------------------------------
+  // Modules are placed in netlist order (shared memory first, then the
+  // instruction block, delay chain, and the SPs), scanning columns left to
+  // right so related clusters land adjacently -- the same macro shape the
+  // unconstrained Quartus compile discovers (Fig. 6).
+  {
+    // Per tile-type site cursors; sites sorted column-major.
+    struct Cursor {
+      std::vector<std::pair<unsigned, unsigned>> tiles;  // (x, y)
+      std::size_t next_tile = 0;
+      unsigned next_slot = 0;
+    };
+    auto make_cursor = [&](TileType t, const Region* r) {
+      Cursor c;
+      const unsigned y_base = r ? r->y0 : 0;
+      for (unsigned x = 0; x < dev_.width(); ++x) {
+        for (unsigned y = 0; y < dev_.height(); ++y) {
+          if (dev_.tile(x, y) == t && (r == nullptr || r->contains(x, y))) {
+            c.tiles.emplace_back(x, y);
+          }
+        }
+      }
+      // Scan columns within horizontal bands two sectors tall (the 32-row
+      // shape the DSP geometry forces, Section 5) so the constructive
+      // placement is compact instead of one full-height strip.
+      const unsigned band = 2 * dev_.config().sector_rows;
+      std::sort(c.tiles.begin(), c.tiles.end(),
+                [&](const auto& a, const auto& b) {
+                  const unsigned ba = (a.second - y_base) / band;
+                  const unsigned bb = (b.second - y_base) / band;
+                  return std::tie(ba, a.first, a.second) <
+                         std::tie(bb, b.first, b.second);
+                });
+      return c;
+    };
+    // Cursors keyed by (region pointer, tile type). Few regions in practice.
+    std::vector<std::tuple<const Region*, TileType, Cursor>> cursors;
+    auto cursor_for = [&](const Region* r, TileType t) -> Cursor& {
+      for (auto& [cr, ct, c] : cursors) {
+        if (cr == r && ct == t) {
+          return c;
+        }
+      }
+      cursors.emplace_back(r, t, make_cursor(t, r));
+      return std::get<2>(cursors.back());
+    };
+
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      const auto a = static_cast<std::int32_t>(i);
+      const TileType t = tile_for(atoms[i].kind);
+      Cursor& c = cursor_for(region_of(a), t);
+      const unsigned cap = t == TileType::Lab ? fabric::kAlmsPerLab : 1u;
+      while (true) {
+        if (c.next_tile >= c.tiles.size()) {
+          throw Error("netlist does not fit the device/region (ran out of " +
+                      std::string(t == TileType::Lab
+                                      ? "LAB"
+                                      : t == TileType::M20k ? "M20K" : "DSP") +
+                      " sites)");
+        }
+        const auto [x, y] = c.tiles[c.next_tile];
+        if (c.next_slot >= cap) {
+          c.next_tile++;
+          c.next_slot = 0;
+          continue;
+        }
+        const std::size_t si = slot_of(x, y, c.next_slot);
+        if (occupant[si] != -1) {
+          // Overlapping region constraints (e.g. SP bands inside the full
+          // box) share sites; scan past slots another cursor already used.
+          c.next_slot++;
+          continue;
+        }
+        occupant[si] = a;
+        pl.site_mut(a) = Placement::Site{x, y,
+                                         static_cast<std::uint8_t>(c.next_slot)};
+        c.next_slot++;
+        break;
+      }
+    }
+  }
+
+  // ---- simulated annealing ------------------------------------------------
+  std::vector<std::vector<std::int32_t>> incident(atoms.size());
+  for (std::size_t ai = 0; ai < arcs.size(); ++ai) {
+    incident[static_cast<std::size_t>(arcs[ai].src)].push_back(
+        static_cast<std::int32_t>(ai));
+    if (arcs[ai].dst != arcs[ai].src) {
+      incident[static_cast<std::size_t>(arcs[ai].dst)].push_back(
+          static_cast<std::int32_t>(ai));
+    }
+  }
+  auto arc_delay = [&](const fabric::TimingArc& arc) {
+    const auto& s = pl.site(arc.src);
+    const auto& d = pl.site(arc.dst);
+    return model_.arc_delay_ps(arc, s.x, s.y, d.x, d.y, dev_);
+  };
+  auto atom_cost = [&](std::int32_t a) {
+    float c = 0.0f;
+    for (const std::int32_t ai : incident[static_cast<std::size_t>(a)]) {
+      c += arc_cost(arc_delay(arcs[static_cast<std::size_t>(ai)]));
+    }
+    return c;
+  };
+
+  // Site pools by tile type for move proposals.
+  std::vector<std::pair<unsigned, unsigned>> pool[3];
+  for (unsigned x = 0; x < dev_.width(); ++x) {
+    for (unsigned y = 0; y < dev_.height(); ++y) {
+      pool[static_cast<int>(dev_.tile(x, y))].emplace_back(x, y);
+    }
+  }
+
+  const auto total_moves = static_cast<std::uint64_t>(
+      opt.moves_per_atom * static_cast<double>(atoms.size()));
+  // Start warm, not hot: the constructive placement already has the right
+  // macro shape (like an analytic placer's seed), so the anneal should
+  // perturb and refine rather than randomize. The temperature is a small
+  // fraction of the average incident cost.
+  float t_hot = 0.0f;
+  for (int i = 0; i < 64; ++i) {
+    const auto a = static_cast<std::int32_t>(rng.next_below(atoms.size()));
+    t_hot += atom_cost(a);
+  }
+  t_hot = std::max(t_hot / 64.0f * 0.05f, 1e-4f);
+  const float t_cold = t_hot * 1e-3f;
+  const double alpha =
+      total_moves ? std::pow(static_cast<double>(t_cold) / t_hot,
+                             1.0 / static_cast<double>(total_moves))
+                  : 1.0;
+
+  double temp = t_hot;
+  unsigned range = std::max(dev_.width(), dev_.height());
+  for (std::uint64_t mv = 0; mv < total_moves; ++mv) {
+    temp *= alpha;
+    // Shrink the proposal window as the anneal cools.
+    if ((mv & 0xfff) == 0) {
+      const double progress =
+          static_cast<double>(mv) / std::max<std::uint64_t>(total_moves, 1);
+      range = std::max<unsigned>(
+          4, static_cast<unsigned>((1.0 - progress) *
+                                   std::max(dev_.width(), dev_.height())));
+    }
+
+    const auto a = static_cast<std::int32_t>(rng.next_below(atoms.size()));
+    const TileType t = tile_for(atoms[static_cast<std::size_t>(a)].kind);
+    const auto& sa = pl.site(a);
+
+    // Propose a target tile: local window with a uniform fallback.
+    const auto& candidates = pool[static_cast<int>(t)];
+    unsigned tx = 0, ty = 0;
+    bool found = false;
+    for (int attempt = 0; attempt < 8 && !found; ++attempt) {
+      const auto& [cx, cy] =
+          candidates[rng.next_below(candidates.size())];
+      const unsigned ddx = cx > sa.x ? cx - sa.x : sa.x - cx;
+      const unsigned ddy = cy > sa.y ? cy - sa.y : sa.y - cy;
+      if ((attempt == 7 || (ddx + ddy) <= range) && in_region(a, cx, cy)) {
+        tx = cx;
+        ty = cy;
+        found = true;
+      }
+    }
+    if (!found) {
+      continue;
+    }
+    const unsigned cap = t == TileType::Lab ? fabric::kAlmsPerLab : 1u;
+    const auto slot = static_cast<unsigned>(rng.next_below(cap));
+    const std::size_t target_index = slot_of(tx, ty, slot);
+    const std::int32_t b = occupant[target_index];
+    if (b == a) {
+      continue;
+    }
+    if (b >= 0) {
+      // Swap legality: b must be movable to a's site (kind + region).
+      if (tile_for(atoms[static_cast<std::size_t>(b)].kind) != t ||
+          !in_region(b, sa.x, sa.y)) {
+        continue;
+      }
+    }
+
+    const Placement::Site old_a = sa;
+    const Placement::Site new_a{tx, ty, static_cast<std::uint8_t>(slot)};
+    const float before = atom_cost(a) + (b >= 0 ? atom_cost(b) : 0.0f);
+    pl.site_mut(a) = new_a;
+    if (b >= 0) {
+      pl.site_mut(b) = old_a;
+    }
+    const float after = atom_cost(a) + (b >= 0 ? atom_cost(b) : 0.0f);
+    const float delta = after - before;
+    const bool accept =
+        delta <= 0.0f ||
+        rng.next_double() < std::exp(-static_cast<double>(delta) / temp);
+    if (accept) {
+      occupant[slot_of(old_a.x, old_a.y, old_a.slot)] = b;
+      occupant[target_index] = a;
+    } else {
+      pl.site_mut(a) = old_a;
+      if (b >= 0) {
+        pl.site_mut(b) = new_a;
+      }
+    }
+  }
+
+  return pl;
+}
+
+}  // namespace simt::fit

@@ -1,0 +1,91 @@
+// Seeded, timing-driven simulated-annealing placer.
+//
+// Quartus-like flow in miniature: a deterministic constructive initial
+// placement (modules in cluster order, memories and DSPs snapped to their
+// columns) followed by simulated annealing whose cost is a high-power mean
+// of arc delays -- emphasizing near-critical arcs the way worst-slack-driven
+// tools do [21]. The seed perturbs both the initial placement and the move
+// stream; seed sweeps reproduce the compile-to-compile spread of Section 5.
+//
+// Region constraints implement the paper's bounding-box experiments
+// (Fig. 7) and multi-stamp placements (Table 2): each atom may be bound to
+// a region; moves never leave it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "fabric/netlist.hpp"
+#include "fit/delay_model.hpp"
+
+namespace simt::fit {
+
+struct Region {
+  unsigned x0, y0, x1, y1;  ///< inclusive tile bounds
+
+  bool contains(unsigned x, unsigned y) const {
+    return x >= x0 && x <= x1 && y >= y0 && y <= y1;
+  }
+  unsigned width() const { return x1 - x0 + 1; }
+  unsigned height() const { return y1 - y0 + 1; }
+};
+
+struct PlaceOptions {
+  std::uint64_t seed = 1;
+  /// Region per atom (empty = whole device for every atom). Parallel to the
+  /// netlist's atom vector; index into `regions`, or -1 for unconstrained.
+  std::vector<Region> regions;
+  std::vector<std::int16_t> atom_region;
+  /// Annealing effort: moves = moves_per_atom * atom count.
+  double moves_per_atom = 220.0;
+};
+
+/// A placement: tile coordinates (and slot within LAB tiles) per atom.
+class Placement {
+ public:
+  struct Site {
+    unsigned x = 0, y = 0;
+    std::uint8_t slot = 0;
+  };
+
+  explicit Placement(std::size_t atom_count) : sites_(atom_count) {}
+
+  const Site& site(std::int32_t atom) const {
+    return sites_[static_cast<std::size_t>(atom)];
+  }
+  Site& site_mut(std::int32_t atom) {
+    return sites_[static_cast<std::size_t>(atom)];
+  }
+  std::size_t size() const { return sites_.size(); }
+
+  /// Occupied-area bounding box and utilization (for congestion and the
+  /// Fig. 6/7 renderings).
+  struct Bounds {
+    unsigned x0, y0, x1, y1;
+    float utilization;  ///< placed atoms / slot capacity inside the box
+  };
+  Bounds bounds(const fabric::Device& dev,
+                const fabric::Netlist& nl) const;
+
+ private:
+  std::vector<Site> sites_;
+};
+
+class Placer {
+ public:
+  Placer(const fabric::Device& device, const fabric::Netlist& netlist,
+         DelayModel model = {});
+
+  /// Run initial placement + annealing. Throws simt::Error if the netlist
+  /// does not fit the (constrained) device.
+  Placement place(const PlaceOptions& opt) const;
+
+ private:
+  const fabric::Device& dev_;
+  const fabric::Netlist& nl_;
+  DelayModel model_;
+};
+
+}  // namespace simt::fit

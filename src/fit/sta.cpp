@@ -1,0 +1,98 @@
+#include "fit/sta.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace simt::fit {
+
+std::string module_name(fabric::ModuleClass m) {
+  using fabric::ModuleClass;
+  switch (m) {
+    case ModuleClass::SpMulShift:
+      return "sp.mul+sft";
+    case ModuleClass::SpLogic:
+      return "sp.logic";
+    case ModuleClass::SpOther:
+      return "sp.other";
+    case ModuleClass::SpShifterLogic:
+      return "sp.barrel-shifter";
+    case ModuleClass::Inst:
+      return "inst";
+    case ModuleClass::Shared:
+      return "shared";
+    case ModuleClass::DelayChain:
+      return "delay-chain";
+  }
+  return "?";
+}
+
+TimingReport analyze(const fabric::Device& dev, const fabric::Netlist& nl,
+                     const Placement& pl, const DelayModel& model,
+                     bool fp_datapath, unsigned top_n) {
+  TimingReport rep;
+  const auto bounds = pl.bounds(dev, nl);
+  rep.utilization = bounds.utilization;
+  rep.congestion = model.congestion_multiplier(bounds.utilization);
+
+  std::vector<CriticalArc> all;
+  all.reserve(nl.arcs().size());
+  for (std::size_t i = 0; i < nl.arcs().size(); ++i) {
+    const auto& arc = nl.arcs()[i];
+    const auto& s = pl.site(arc.src);
+    const auto& d = pl.site(arc.dst);
+    const float delay = model.arc_delay_ps(arc, s.x, s.y, d.x, d.y, dev,
+                                           rep.congestion);
+    const auto& sa = nl.atoms()[static_cast<std::size_t>(arc.src)];
+    const auto& da = nl.atoms()[static_cast<std::size_t>(arc.dst)];
+    all.push_back(CriticalArc{delay, static_cast<std::int32_t>(i), sa.module,
+                              da.module, sa.sp_index, da.sp_index});
+  }
+  std::partial_sort(all.begin(),
+                    all.begin() + std::min<std::size_t>(top_n, all.size()),
+                    all.end(), [](const CriticalArc& a, const CriticalArc& b) {
+                      return a.delay_ps > b.delay_ps;
+                    });
+  all.resize(std::min<std::size_t>(top_n, all.size()));
+  rep.worst_arcs = std::move(all);
+
+  rep.worst_soft_ps = rep.worst_arcs.empty() ? 1.0f
+                                             : rep.worst_arcs.front().delay_ps;
+  rep.fmax_soft_mhz = 1e6f / rep.worst_soft_ps;
+
+  float restricted = rep.fmax_soft_mhz;
+  if (nl.count(fabric::AtomKind::Dsp) > 0) {
+    restricted = std::min(
+        restricted, fp_datapath ? model.dsp_fp_cap_mhz : model.dsp_int_cap_mhz);
+  }
+  if (nl.count(fabric::AtomKind::M20k) > 0) {
+    restricted = std::min(restricted, model.m20k_cap_mhz);
+  }
+  if (nl.count(fabric::AtomKind::AlmMem) > 0) {
+    restricted = std::min(restricted, model.alm_mem_cap_mhz);
+  }
+  rep.fmax_restricted_mhz = restricted;
+  return rep;
+}
+
+std::string TimingReport::summary() const {
+  std::ostringstream out;
+  out << "fmax_soft=" << static_cast<int>(fmax_soft_mhz + 0.5f)
+      << " MHz, restricted=" << static_cast<int>(fmax_restricted_mhz + 0.5f)
+      << " MHz (worst soft arc " << worst_soft_ps << " ps, util "
+      << static_cast<int>(utilization * 100 + 0.5f) << "%, congestion x"
+      << congestion << ")";
+  if (!worst_arcs.empty()) {
+    const auto& w = worst_arcs.front();
+    out << " critical: " << module_name(w.src_module);
+    if (w.src_sp >= 0) {
+      out << "[sp" << w.src_sp << "]";
+    }
+    out << " -> " << module_name(w.dst_module);
+    if (w.dst_sp >= 0) {
+      out << "[sp" << w.dst_sp << "]";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace simt::fit

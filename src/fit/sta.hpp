@@ -1,0 +1,55 @@
+// Static timing analysis over a placed netlist.
+//
+// Every path in the deeply pipelined design is a single reg->reg arc, so the
+// analysis is a max-reduction over arc delays (with the congestion
+// multiplier from the placement's bounding-box utilization). Two figures are
+// reported, matching Section 5's convention:
+//
+//   * fmax_soft    -- limited by the placed soft-logic arcs only (the
+//                     "unconstrained compile achieved 984 MHz" figure);
+//   * fmax_restricted -- additionally clamped by the hard-block ceilings
+//                     (DSP 958 MHz int / 771 MHz fp, M20K 1 GHz, ALM memory
+//                     mode 850 MHz): the paper's "restricted Fmax of 956
+//                     MHz, which was limited by the DSP Blocks".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "fabric/netlist.hpp"
+#include "fit/delay_model.hpp"
+#include "fit/placer.hpp"
+
+namespace simt::fit {
+
+struct CriticalArc {
+  float delay_ps;
+  std::int32_t arc_index;
+  fabric::ModuleClass src_module;
+  fabric::ModuleClass dst_module;
+  int src_sp;
+  int dst_sp;
+};
+
+struct TimingReport {
+  float worst_soft_ps = 0.0f;
+  float fmax_soft_mhz = 0.0f;
+  float fmax_restricted_mhz = 0.0f;
+  float congestion = 1.0f;
+  float utilization = 0.0f;
+  std::vector<CriticalArc> worst_arcs;  ///< top-N, sorted worst first
+
+  std::string summary() const;
+};
+
+/// Analyze a placement. `fp_datapath` selects the DSP floating-point ceiling
+/// (the eGPU baseline of Section 2.1) instead of the integer one.
+TimingReport analyze(const fabric::Device& dev, const fabric::Netlist& nl,
+                     const Placement& pl, const DelayModel& model,
+                     bool fp_datapath = false, unsigned top_n = 8);
+
+/// Human-readable module name for reports.
+std::string module_name(fabric::ModuleClass m);
+
+}  // namespace simt::fit

@@ -1,0 +1,108 @@
+#include "hw/alu.hpp"
+
+#include "common/error.hpp"
+
+namespace simt::hw {
+
+Alu::Alu(ShifterImpl shifter)
+    : integrated_shifter_(&mul_), shifter_impl_(shifter) {}
+
+std::uint32_t Alu::shift(std::uint32_t value, std::uint32_t amount,
+                         ShiftKind kind) const {
+  if (shifter_impl_ == ShifterImpl::Integrated) {
+    return integrated_shifter_.shift(value, amount, kind);
+  }
+  return LogicBarrelShifter::shift(value, amount, kind);
+}
+
+std::uint32_t Alu::execute(isa::Opcode op, std::uint32_t a,
+                           std::uint32_t b) const {
+  using isa::Opcode;
+  switch (op) {
+    case Opcode::ADD:
+    case Opcode::ADDI:
+      return LogicUnit::add(a, b);
+    case Opcode::SUB:
+    case Opcode::SUBI:
+      return LogicUnit::sub(a, b);
+    case Opcode::MULLO:
+    case Opcode::MULI:
+      return mul_.mul_lo(a, b);
+    case Opcode::MULHI:
+      return mul_.mul_hi_signed(a, b);
+    case Opcode::MULHIU:
+      return mul_.mul_hi_unsigned(a, b);
+    case Opcode::ABS:
+      return LogicUnit::abs(a);
+    case Opcode::NEG:
+      return LogicUnit::neg(a);
+    case Opcode::MIN:
+      return LogicUnit::min_s(a, b);
+    case Opcode::MAX:
+      return LogicUnit::max_s(a, b);
+    case Opcode::MINU:
+      return LogicUnit::min_u(a, b);
+    case Opcode::MAXU:
+      return LogicUnit::max_u(a, b);
+    case Opcode::AND:
+    case Opcode::ANDI:
+      return LogicUnit::op_and(a, b);
+    case Opcode::OR:
+    case Opcode::ORI:
+      return LogicUnit::op_or(a, b);
+    case Opcode::XOR:
+    case Opcode::XORI:
+      return LogicUnit::op_xor(a, b);
+    case Opcode::NOT:
+      return LogicUnit::op_not(a);
+    case Opcode::CNOT:
+      return LogicUnit::op_cnot(a, b);
+    case Opcode::SHL:
+    case Opcode::SHLI:
+      return shift(a, b, ShiftKind::Lsl);
+    case Opcode::SHR:
+    case Opcode::SHRI:
+      return shift(a, b, ShiftKind::Lsr);
+    case Opcode::SAR:
+    case Opcode::SARI:
+      return shift(a, b, ShiftKind::Asr);
+    case Opcode::POPC:
+      return LogicUnit::popc(a);
+    case Opcode::CLZ:
+      return LogicUnit::clz(a);
+    case Opcode::BREV:
+      return LogicUnit::brev(a);
+    case Opcode::MOV:
+      return a;
+    case Opcode::MOVI:
+      return b;
+    default:
+      SIMT_CHECK(false && "not an ALU register op");
+  }
+}
+
+bool Alu::compare(isa::Opcode op, std::uint32_t a, std::uint32_t b) const {
+  using isa::Opcode;
+  switch (op) {
+    case Opcode::SETP_EQ:
+      return LogicUnit::eq(a, b);
+    case Opcode::SETP_NE:
+      return !LogicUnit::eq(a, b);
+    case Opcode::SETP_LT:
+      return LogicUnit::lt_s(a, b);
+    case Opcode::SETP_LE:
+      return !LogicUnit::lt_s(b, a);
+    case Opcode::SETP_GT:
+      return LogicUnit::lt_s(b, a);
+    case Opcode::SETP_GE:
+      return !LogicUnit::lt_s(a, b);
+    case Opcode::SETP_LTU:
+      return LogicUnit::lt_u(a, b);
+    case Opcode::SETP_GEU:
+      return !LogicUnit::lt_u(a, b);
+    default:
+      SIMT_CHECK(false && "not a compare op");
+  }
+}
+
+}  // namespace simt::hw

@@ -1,0 +1,28 @@
+#include "hw/dsp_block.hpp"
+
+#include "common/error.hpp"
+
+namespace simt::hw {
+
+std::int64_t mul18x19(std::int32_t a18, std::int32_t b19) {
+  // Port ranges of the Agilex 18x19 signed multiplier.
+  SIMT_CHECK(a18 >= -(1 << 17) && a18 < (1 << 17));
+  SIMT_CHECK(b19 >= -(1 << 18) && b19 < (1 << 18));
+  return static_cast<std::int64_t>(a18) * static_cast<std::int64_t>(b19);
+}
+
+DspBlock::IndependentResult DspBlock::mul_independent(std::int32_t a0,
+                                                      std::int32_t b0,
+                                                      std::int32_t a1,
+                                                      std::int32_t b1) const {
+  SIMT_CHECK(mode_ == DspMode::TwoIndependent18x19);
+  return {mul18x19(a0, b0), mul18x19(a1, b1)};
+}
+
+std::int64_t DspBlock::mul_sum(std::int32_t a0, std::int32_t b0,
+                               std::int32_t a1, std::int32_t b1) const {
+  SIMT_CHECK(mode_ == DspMode::SumOfTwo18x19);
+  return mul18x19(a0, b0) + mul18x19(a1, b1);
+}
+
+}  // namespace simt::hw

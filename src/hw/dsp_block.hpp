@@ -1,0 +1,67 @@
+// Structural model of the Agilex-7 variable-precision DSP Block as used by
+// the processor (Section 4 / [17]).
+//
+// Each block contains two 18x19 signed multipliers and can be configured as:
+//  * two independent 18x19 multipliers (two 37-bit outputs), or
+//  * the sum of two 18x19 multipliers (one 38-bit output), or
+//  * one fp32 multiply-add (used only by the eGPU floating-point baseline).
+//
+// The block has a three-stage pipeline in this design: "one input and output
+// stage ... and an internal stage" (Section 4). Its maximum clock rate is the
+// hard ceiling of the whole processor: 958 MHz in the integer modes and
+// 771 MHz in floating-point mode (Section 2.1), which is exactly why the
+// paper switches to an integer-only datapath.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+
+namespace simt::hw {
+
+enum class DspMode : std::uint8_t {
+  TwoIndependent18x19,  ///< outputs two independent products
+  SumOfTwo18x19,        ///< outputs product0 + product1
+  Fp32,                 ///< fp32 multiplier (baseline/ablation only)
+};
+
+/// Published block speed limits (paper Sections 2.1 and 4).
+constexpr double dsp_fmax_mhz(DspMode mode) {
+  return mode == DspMode::Fp32 ? 771.0 : 958.0;
+}
+
+/// Pipeline stages through the block in this design (input, internal, output).
+inline constexpr int kDspPipelineStages = 3;
+
+/// One 18x19 signed multiply. Operands are given as sign-magnitude-correct
+/// two's-complement values already fitting the port widths; the model checks
+/// the ranges and reproduces the signed product.
+std::int64_t mul18x19(std::int32_t a18, std::int32_t b19);
+
+/// A DSP Block instance. The functional interface is combinational (the
+/// caller owns pipeline alignment; the SP model advances time in units of
+/// the depth-matched datapath latency).
+class DspBlock {
+ public:
+  explicit DspBlock(DspMode mode) : mode_(mode) {}
+
+  DspMode mode() const { return mode_; }
+
+  struct IndependentResult {
+    std::int64_t p0;  ///< first 18x19 product (fits 37 bits)
+    std::int64_t p1;  ///< second 18x19 product (fits 37 bits)
+  };
+
+  /// TwoIndependent18x19 mode: {a0*b0, a1*b1}.
+  IndependentResult mul_independent(std::int32_t a0, std::int32_t b0,
+                                    std::int32_t a1, std::int32_t b1) const;
+
+  /// SumOfTwo18x19 mode: a0*b0 + a1*b1 (fits 38 bits).
+  std::int64_t mul_sum(std::int32_t a0, std::int32_t b0, std::int32_t a1,
+                       std::int32_t b1) const;
+
+ private:
+  DspMode mode_;
+};
+
+}  // namespace simt::hw

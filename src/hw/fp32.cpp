@@ -1,0 +1,194 @@
+#include "hw/fp32.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace simt::hw {
+namespace {
+
+constexpr std::uint32_t kSignMask = 0x80000000u;
+constexpr std::uint32_t kExpMask = 0x7f800000u;
+constexpr std::uint32_t kFracMask = 0x007fffffu;
+constexpr std::uint32_t kQuietNan = 0x7fc00000u;
+
+struct Unpacked {
+  bool sign;
+  std::int32_t exp;       ///< unbiased exponent
+  std::uint32_t mant;     ///< 24-bit mantissa with hidden one (normals)
+  bool zero;
+};
+
+Unpacked unpack(std::uint32_t v) {
+  Unpacked u;
+  u.sign = (v & kSignMask) != 0;
+  const std::uint32_t e = (v & kExpMask) >> 23;
+  const std::uint32_t f = v & kFracMask;
+  if (e == 0) {
+    // Subnormals flush to zero in the hard-FP block.
+    u.zero = true;
+    u.exp = 0;
+    u.mant = 0;
+  } else {
+    u.zero = false;
+    u.exp = static_cast<std::int32_t>(e) - 127;
+    u.mant = f | 0x00800000u;
+  }
+  return u;
+}
+
+/// Pack a sign/exponent/24-bit mantissa with RNE on the guard bits held in
+/// `mant` scaled by 2^shift_extra (mant has `extra` bits below the ulp).
+std::uint32_t pack_round(bool sign, std::int32_t exp, std::uint64_t mant,
+                         unsigned extra) {
+  if (mant == 0) {
+    return sign ? kSignMask : 0u;
+  }
+  // Normalize so the hidden one sits at bit (23 + extra).
+  while (mant >= (std::uint64_t{1} << (24 + extra))) {
+    mant >>= 1;
+    ++exp;
+  }
+  while (mant < (std::uint64_t{1} << (23 + extra))) {
+    mant <<= 1;
+    --exp;
+  }
+  // Round to nearest even over the low `extra` bits.
+  if (extra > 0) {
+    const std::uint64_t half = std::uint64_t{1} << (extra - 1);
+    const std::uint64_t low = mant & ((std::uint64_t{1} << extra) - 1);
+    mant >>= extra;
+    if (low > half || (low == half && (mant & 1))) {
+      ++mant;
+      if (mant == (std::uint64_t{1} << 24)) {
+        mant >>= 1;
+        ++exp;
+      }
+    }
+  }
+  // Overflow / flush-to-zero underflow.
+  if (exp > 127) {
+    return (sign ? kSignMask : 0u) | kExpMask;  // infinity
+  }
+  if (exp < -126) {
+    return sign ? kSignMask : 0u;  // flush
+  }
+  const auto ebits = static_cast<std::uint32_t>(exp + 127);
+  return (sign ? kSignMask : 0u) | (ebits << 23) |
+         (static_cast<std::uint32_t>(mant) & kFracMask);
+}
+
+}  // namespace
+
+bool fp32_is_nan(std::uint32_t v) {
+  return (v & kExpMask) == kExpMask && (v & kFracMask) != 0;
+}
+
+bool fp32_is_inf(std::uint32_t v) {
+  return (v & kExpMask) == kExpMask && (v & kFracMask) == 0;
+}
+
+std::uint32_t fp32_flush(std::uint32_t v) {
+  if ((v & kExpMask) == 0) {
+    return v & kSignMask;
+  }
+  return v;
+}
+
+std::uint32_t fp32_mul(std::uint32_t a, std::uint32_t b) {
+  a = fp32_flush(a);
+  b = fp32_flush(b);
+  if (fp32_is_nan(a) || fp32_is_nan(b)) {
+    return kQuietNan;
+  }
+  const bool sign = ((a ^ b) & kSignMask) != 0;
+  const bool a_inf = fp32_is_inf(a);
+  const bool b_inf = fp32_is_inf(b);
+  const bool a_zero = (a & ~kSignMask) == 0;
+  const bool b_zero = (b & ~kSignMask) == 0;
+  if (a_inf || b_inf) {
+    if (a_zero || b_zero) {
+      return kQuietNan;  // 0 * inf
+    }
+    return (sign ? kSignMask : 0u) | kExpMask;
+  }
+  if (a_zero || b_zero) {
+    return sign ? kSignMask : 0u;
+  }
+  const Unpacked ua = unpack(a);
+  const Unpacked ub = unpack(b);
+  // 24x24 -> 48-bit product; keep 24 extra bits of precision for rounding.
+  const std::uint64_t prod =
+      static_cast<std::uint64_t>(ua.mant) * ub.mant;  // scale 2^46
+  return pack_round(sign, ua.exp + ub.exp, prod, 23);
+}
+
+std::uint32_t fp32_add(std::uint32_t a, std::uint32_t b) {
+  a = fp32_flush(a);
+  b = fp32_flush(b);
+  if (fp32_is_nan(a) || fp32_is_nan(b)) {
+    return kQuietNan;
+  }
+  if (fp32_is_inf(a) || fp32_is_inf(b)) {
+    if (fp32_is_inf(a) && fp32_is_inf(b) && ((a ^ b) & kSignMask)) {
+      return kQuietNan;  // inf - inf
+    }
+    return fp32_is_inf(a) ? a : b;
+  }
+  const bool a_zero = (a & ~kSignMask) == 0;
+  const bool b_zero = (b & ~kSignMask) == 0;
+  if (a_zero && b_zero) {
+    // +0 + -0 = +0 under RNE.
+    return (a & kSignMask) && (b & kSignMask) ? kSignMask : 0u;
+  }
+  if (a_zero) {
+    return b;
+  }
+  if (b_zero) {
+    return a;
+  }
+
+  Unpacked ua = unpack(a);
+  Unpacked ub = unpack(b);
+  // Align to the larger exponent, with 3 extra bits (guard/round/sticky
+  // folded into a wider working register for simplicity: we use 32 extra
+  // bits, more than enough for exactness up to the sticky OR).
+  if (ua.exp < ub.exp || (ua.exp == ub.exp && ua.mant < ub.mant)) {
+    std::swap(ua, ub);
+  }
+  const unsigned extra = 32;
+  std::uint64_t ma = static_cast<std::uint64_t>(ua.mant) << extra;
+  const std::int32_t shift = ua.exp - ub.exp;
+  std::uint64_t mb;
+  if (shift >= 56) {
+    mb = 1;  // pure sticky
+  } else {
+    mb = static_cast<std::uint64_t>(ub.mant) << extra;
+    const std::uint64_t lost = mb & ((std::uint64_t{1} << shift) - 1u);
+    mb >>= shift;
+    if (lost) {
+      mb |= 1;  // sticky
+    }
+  }
+
+  std::uint64_t mant;
+  bool sign;
+  if (ua.sign == ub.sign) {
+    mant = ma + mb;
+    sign = ua.sign;
+  } else {
+    mant = ma - mb;  // |a| >= |b| by the swap above
+    sign = ua.sign;
+    if (mant == 0) {
+      return 0u;  // exact cancellation -> +0 (RNE)
+    }
+  }
+  return pack_round(sign, ua.exp, mant, extra);
+}
+
+std::uint32_t fp32_mul_add(std::uint32_t a, std::uint32_t b,
+                           std::uint32_t c) {
+  return fp32_add(fp32_mul(a, b), c);
+}
+
+}  // namespace simt::hw

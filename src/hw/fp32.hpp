@@ -1,0 +1,33 @@
+// IEEE-754 binary32 multiply and add, modeled the way the Agilex DSP Block
+// implements its hard floating-point mode -- the datapath of the original
+// eGPU [15] that this paper's integer-only design replaces (Section 2.1:
+// the fp mode caps the clock at 771 MHz; the integer modes reach 958 MHz).
+//
+// Semantics: round-to-nearest-even, with subnormal inputs and outputs
+// flushed to zero (FPGA hard-FP blocks are flush-to-zero), and standard
+// NaN/infinity propagation. The implementation is structural soft-float
+// (exponent alignment, sticky-bit rounding), verified against host IEEE
+// arithmetic in tests/test_fp32.cpp.
+#pragma once
+
+#include <cstdint>
+
+namespace simt::hw {
+
+/// Raw-bits fp32 multiply (RNE, flush-to-zero).
+std::uint32_t fp32_mul(std::uint32_t a, std::uint32_t b);
+
+/// Raw-bits fp32 add (RNE, flush-to-zero).
+std::uint32_t fp32_add(std::uint32_t a, std::uint32_t b);
+
+/// Raw-bits fused a*b+c composition as two rounded steps (the DSP block's
+/// mult-add mode chains the rounded multiplier into the adder).
+std::uint32_t fp32_mul_add(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+
+/// Helpers for tests and the baseline model.
+bool fp32_is_nan(std::uint32_t v);
+bool fp32_is_inf(std::uint32_t v);
+/// Flush a subnormal encoding to a signed zero (identity otherwise).
+std::uint32_t fp32_flush(std::uint32_t v);
+
+}  // namespace simt::hw

@@ -1,0 +1,22 @@
+#include "hw/logic_unit.hpp"
+
+#include "common/bits.hpp"
+
+namespace simt::hw {
+
+std::uint32_t LogicUnit::popc(std::uint32_t a) {
+  // Adder-tree reduction, as a 6-level compressor in the fabric.
+  return popcount32(a);
+}
+
+std::uint32_t LogicUnit::clz(std::uint32_t a) {
+  // Priority encoder; clz(0) = 32 per PTX.
+  return clz32(a);
+}
+
+std::uint32_t LogicUnit::brev(std::uint32_t a) {
+  // Pure routing in hardware (the RVS blocks of Fig. 4).
+  return bit_reverse32(a);
+}
+
+}  // namespace simt::hw

@@ -1,0 +1,83 @@
+// The soft-logic half of the integer ALU (Section 4).
+//
+// The "logic ALU" covers everything that maps to ALMs rather than DSP
+// Blocks: the bitwise functions (AND/OR/XOR achieve 1 GHz in a single logic
+// level; cNOT needs more), the two-stage pipelined adder/subtractor (which
+// also supports absolute value), min/max, and the compare functions feeding
+// the predicate file. The whole unit is depth-matched to the DSP Block
+// datapath so both halves write back in the same pipeline stage.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/segmented_adder.hpp"
+
+namespace simt::hw {
+
+class LogicUnit {
+ public:
+  // -- single-level bitwise functions --------------------------------------
+  static std::uint32_t op_and(std::uint32_t a, std::uint32_t b) { return a & b; }
+  static std::uint32_t op_or(std::uint32_t a, std::uint32_t b) { return a | b; }
+  static std::uint32_t op_xor(std::uint32_t a, std::uint32_t b) { return a ^ b; }
+  static std::uint32_t op_not(std::uint32_t a) { return ~a; }
+
+  /// Conditional NOT: invert A when B's LSB is set. One of the "somewhat
+  /// more complex bitwise functions" that needs a second logic level (the
+  /// control bit fans out across the word).
+  static std::uint32_t op_cnot(std::uint32_t a, std::uint32_t b) {
+    return (b & 1u) ? ~a : a;
+  }
+
+  // -- adder-based functions (two-stage LAB adder) --------------------------
+  static std::uint32_t add(std::uint32_t a, std::uint32_t b) {
+    return TwoStageAdder32::run(a, b, /*sub=*/false).sum;
+  }
+  static std::uint32_t sub(std::uint32_t a, std::uint32_t b) {
+    return TwoStageAdder32::run(a, b, /*sub=*/true).sum;
+  }
+  /// abs(INT32_MIN) wraps to INT32_MIN, the usual two's-complement result.
+  static std::uint32_t abs(std::uint32_t a) {
+    return (a >> 31) ? sub(0, a) : a;
+  }
+  static std::uint32_t neg(std::uint32_t a) { return sub(0, a); }
+
+  // -- comparison-based functions (subtractor + flag decode) ----------------
+  static std::uint32_t min_s(std::uint32_t a, std::uint32_t b) {
+    return lt_s(a, b) ? a : b;
+  }
+  static std::uint32_t max_s(std::uint32_t a, std::uint32_t b) {
+    return lt_s(a, b) ? b : a;
+  }
+  static std::uint32_t min_u(std::uint32_t a, std::uint32_t b) {
+    return lt_u(a, b) ? a : b;
+  }
+  static std::uint32_t max_u(std::uint32_t a, std::uint32_t b) {
+    return lt_u(a, b) ? b : a;
+  }
+
+  /// Signed a < b via the subtractor's sign and overflow flags, exactly the
+  /// flag equation the hardware decodes (N xor V).
+  static bool lt_s(std::uint32_t a, std::uint32_t b) {
+    const auto r = TwoStageAdder32::run(a, b, /*sub=*/true);
+    const bool n = (r.sum >> 31) & 1u;
+    return n != r.overflow;
+  }
+
+  /// Unsigned a < b via the inverted borrow (carry-out clear).
+  static bool lt_u(std::uint32_t a, std::uint32_t b) {
+    return !TwoStageAdder32::run(a, b, /*sub=*/true).carry_out;
+  }
+
+  static bool eq(std::uint32_t a, std::uint32_t b) {
+    // Hardware: XOR then a zero-detect reduction tree.
+    return (a ^ b) == 0;
+  }
+
+  // -- bit-manipulation functions -------------------------------------------
+  static std::uint32_t popc(std::uint32_t a);
+  static std::uint32_t clz(std::uint32_t a);
+  static std::uint32_t brev(std::uint32_t a);
+};
+
+}  // namespace simt::hw

@@ -1,0 +1,56 @@
+#include "hw/m20k.hpp"
+
+#include <limits>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace simt::hw {
+
+M20kMode m20k_best_mode(unsigned depth, unsigned width) {
+  M20kMode best{512, 40};
+  unsigned best_count = std::numeric_limits<unsigned>::max();
+  for (const auto& mode : kM20kModes) {
+    const unsigned count =
+        ceil_div(depth, mode.depth) * ceil_div(width, mode.width);
+    if (count < best_count) {
+      best_count = count;
+      best = mode;
+    }
+  }
+  return best;
+}
+
+unsigned m20k_blocks_for(unsigned depth, unsigned width) {
+  const M20kMode mode = m20k_best_mode(depth, width);
+  return ceil_div(depth, mode.depth) * ceil_div(width, mode.width);
+}
+
+M20kArray::M20kArray(unsigned depth, unsigned width_bits)
+    : depth_(depth), width_(width_bits) {
+  SIMT_CHECK(depth_ > 0);
+  SIMT_CHECK(width_ > 0 && width_ <= 64);
+  blocks_ = m20k_blocks_for(depth_, width_);
+  mask_ = width_ >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << width_) - 1u);
+  data_.assign(depth_, 0);
+}
+
+std::uint64_t M20kArray::read(unsigned addr) const {
+  SIMT_CHECK(addr < depth_);
+  return data_[addr];
+}
+
+void M20kArray::write(unsigned addr, std::uint64_t data) {
+  SIMT_CHECK(addr < depth_);
+  staged_.emplace_back(addr, data & mask_);
+}
+
+void M20kArray::commit() {
+  for (const auto& [addr, value] : staged_) {
+    data_[addr] = value;
+  }
+  staged_.clear();
+}
+
+}  // namespace simt::hw

@@ -1,0 +1,56 @@
+// M20K embedded memory block model (Agilex).
+//
+// Each block stores 20 kilobits, configurable as 512x40, 1024x20 or 2048x10,
+// with one read and one write port (simple dual port) and a registered
+// output. M20Ks are ASIC blocks capable of the full 1 GHz clock network
+// rate, so they never limit the processor's Fmax -- but their count and
+// column placement dominate the floorplan (Figs. 6/7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace simt::hw {
+
+/// Geometry of one M20K configuration mode.
+struct M20kMode {
+  unsigned depth;
+  unsigned width;
+};
+
+inline constexpr M20kMode kM20kModes[] = {{512, 40}, {1024, 20}, {2048, 10}};
+inline constexpr unsigned kM20kBits = 20 * 1024;
+
+/// Number of M20K blocks needed for a `depth` x `width` memory, choosing the
+/// best mode (the mosaic is depth-slices x width-slices of that mode).
+unsigned m20k_blocks_for(unsigned depth, unsigned width);
+
+/// The mode that minimizes block count for a given aspect ratio.
+M20kMode m20k_best_mode(unsigned depth, unsigned width);
+
+/// Behavioral model of a logical memory built from M20Ks: one write port,
+/// one read port, synchronous write with read-old-data semantics within a
+/// cycle. Writes are staged and applied by commit() (end of clock).
+class M20kArray {
+ public:
+  M20kArray(unsigned depth, unsigned width_bits);
+
+  std::uint64_t read(unsigned addr) const;
+  void write(unsigned addr, std::uint64_t data);
+  /// Apply all staged writes (clock edge).
+  void commit();
+
+  unsigned depth() const { return depth_; }
+  unsigned width_bits() const { return width_; }
+  unsigned block_count() const { return blocks_; }
+
+ private:
+  unsigned depth_;
+  unsigned width_;
+  unsigned blocks_;
+  std::uint64_t mask_;
+  std::vector<std::uint64_t> data_;
+  std::vector<std::pair<unsigned, std::uint64_t>> staged_;
+};
+
+}  // namespace simt::hw

@@ -1,0 +1,78 @@
+#include "hw/mul33.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace simt::hw {
+namespace {
+
+constexpr unsigned kHalf = 16;
+
+// Mask a value into an n-bit field represented in a wider signed container.
+std::int32_t low_half(std::uint32_t v) {
+  return static_cast<std::int32_t>(v & 0xffffu);
+}
+
+}  // namespace
+
+Mul33::Mul33()
+    : dsp_independent_(DspMode::TwoIndependent18x19),
+      dsp_sum_(DspMode::SumOfTwo18x19),
+      // 66-bit final add; the 16 LSBs of C bypass the adder entirely.
+      final_adder_(66, 16) {}
+
+Mul33::Trace Mul33::multiply_traced(std::uint32_t a, std::uint32_t b,
+                                    bool is_signed) const {
+  Trace t{};
+  // Operand split. Low halves are always unsigned 16-bit values in the low
+  // port bits. High halves carry the 33-bit extension: zeroed upper bits for
+  // unsigned mode, sign extension for signed mode (a 17-bit signed value).
+  t.al = low_half(a);
+  t.bl = low_half(b);
+  if (is_signed) {
+    t.ah = static_cast<std::int32_t>(sext(a >> kHalf, 16));
+    t.bh = static_cast<std::int32_t>(sext(b >> kHalf, 16));
+  } else {
+    t.ah = static_cast<std::int32_t>(a >> kHalf);
+    t.bh = static_cast<std::int32_t>(b >> kHalf);
+  }
+
+  // DSP Block 0: two independent multipliers -> vectors A and C.
+  const auto ind = dsp_independent_.mul_independent(t.ah, t.bh, t.al, t.bl);
+  t.vec_a = ind.p0;
+  t.vec_c = ind.p1;
+  // DSP Block 1: sum of two multipliers -> vector B.
+  t.vec_b = dsp_sum_.mul_sum(t.ah, t.bl, t.al, t.bh);
+
+  // Recombination (Section 4.1): V1 = {A[33:0], C[31:0]}; V2 = sext(B) << 16.
+  const auto a34 = static_cast<std::uint64_t>(t.vec_a) & ((1ULL << 34) - 1);
+  const auto c32 = static_cast<std::uint64_t>(t.vec_c) & 0xffffffffULL;
+  t.v1 = (static_cast<unsigned __int128>(a34) << 32) | c32;
+  const auto b_sext = static_cast<unsigned __int128>(
+      static_cast<__int128>(t.vec_b));  // sign-extend to 128
+  t.v2 = (b_sext << 16) & ((static_cast<unsigned __int128>(1) << 66) - 1);
+
+  const unsigned __int128 sum = final_adder_.add(t.v1, t.v2);
+  t.product = static_cast<std::uint64_t>(sum);
+  return t;
+}
+
+std::uint64_t Mul33::multiply(std::uint32_t a, std::uint32_t b,
+                              bool is_signed) const {
+  return multiply_traced(a, b, is_signed).product;
+}
+
+std::uint32_t Mul33::mul_lo(std::uint32_t a, std::uint32_t b) const {
+  // The low 32 bits are sign-agnostic.
+  return static_cast<std::uint32_t>(multiply(a, b, /*is_signed=*/false));
+}
+
+std::uint32_t Mul33::mul_hi_signed(std::uint32_t a, std::uint32_t b) const {
+  return static_cast<std::uint32_t>(multiply(a, b, /*is_signed=*/true) >> 32);
+}
+
+std::uint32_t Mul33::mul_hi_unsigned(std::uint32_t a, std::uint32_t b) const {
+  return static_cast<std::uint32_t>(multiply(a, b, /*is_signed=*/false) >> 32);
+}
+
+}  // namespace simt::hw

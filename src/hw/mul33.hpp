@@ -1,0 +1,72 @@
+// The INT32 multiplier of Section 4.1 (Fig. 4).
+//
+// A 32x32 multiply is not directly supported by the Agilex DSP Block, so the
+// paper builds a 33x33 *signed* unit (covering both signed and unsigned
+// 32-bit numerics) from four 18x19 partial products spread over two DSP
+// Blocks:
+//
+//   * DSP Block 0 (two independent multipliers): AH*BH -> vector A,
+//     AL*BL -> vector C.
+//   * DSP Block 1 (sum of two multipliers): AH*BL + AL*BH -> vector B.
+//
+// The operands are split into 16-bit halves routed to the 16 LSBs of each
+// multiplier port. Unsigned mode zeroes the upper port bits; signed mode
+// sign-extends the high halves. The three 37-bit vectors are recombined as
+// two 66-bit vectors,
+//
+//   V1 = { A[33:0], C[31:0] }        (A appended left of C's low 32 bits)
+//   V2 = sign_extend(B) << 16        (16-bit zero appended to the right)
+//
+// whose sum -- computed by the prefix-carry SegmentedAdder, with the 16 LSBs
+// of C passed straight through -- is the 64-bit product. The instruction set
+// writes back either half (high for signal processing, low for address
+// generation).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/dsp_block.hpp"
+#include "hw/segmented_adder.hpp"
+
+namespace simt::hw {
+
+class Mul33 {
+ public:
+  Mul33();
+
+  /// Intermediate values, exposed so tests can verify the decomposition.
+  struct Trace {
+    std::int32_t ah, al, bh, bl;  ///< operand halves as routed to the ports
+    std::int64_t vec_a;           ///< AH*BH   (37-bit vector A)
+    std::int64_t vec_b;           ///< AH*BL + AL*BH (vector B)
+    std::int64_t vec_c;           ///< AL*BL   (vector C)
+    unsigned __int128 v1;         ///< {A[33:0], C[31:0]}
+    unsigned __int128 v2;         ///< sext(B) << 16
+    std::uint64_t product;        ///< low 64 bits of V1 + V2
+  };
+
+  /// Full multiply with internals. `is_signed` selects 33-bit operand
+  /// extension (signed) vs zero extension (unsigned).
+  Trace multiply_traced(std::uint32_t a, std::uint32_t b,
+                        bool is_signed) const;
+
+  /// 64-bit product (bit-identical for signed/unsigned in the low half).
+  std::uint64_t multiply(std::uint32_t a, std::uint32_t b,
+                         bool is_signed) const;
+
+  /// The MULLO / MULHI / MULHIU writeback halves.
+  std::uint32_t mul_lo(std::uint32_t a, std::uint32_t b) const;
+  std::uint32_t mul_hi_signed(std::uint32_t a, std::uint32_t b) const;
+  std::uint32_t mul_hi_unsigned(std::uint32_t a, std::uint32_t b) const;
+
+  /// Datapath pipeline depth in clocks: DSP (3 stages) + two adder stages.
+  /// The soft-logic ALU is depth-matched to this figure (Section 4).
+  static constexpr int kPipelineDepth = kDspPipelineStages + 2;
+
+ private:
+  DspBlock dsp_independent_;  ///< vectors A and C
+  DspBlock dsp_sum_;          ///< vector B
+  SegmentedAdder final_adder_;
+};
+
+}  // namespace simt::hw

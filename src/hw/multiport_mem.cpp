@@ -1,0 +1,60 @@
+#include "hw/multiport_mem.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace simt::hw {
+
+MultiPortMemory::MultiPortMemory(unsigned words, unsigned read_ports,
+                                 unsigned write_ports)
+    : words_(words), read_ports_(read_ports), write_ports_(write_ports) {
+  SIMT_CHECK(words_ > 0);
+  SIMT_CHECK(read_ports_ >= 1);
+  SIMT_CHECK(write_ports_ >= 1);
+  copies_.reserve(read_ports_);
+  for (unsigned i = 0; i < read_ports_; ++i) {
+    copies_.emplace_back(words_, 32);
+  }
+}
+
+std::uint32_t MultiPortMemory::read(unsigned port, std::uint32_t addr) const {
+  SIMT_CHECK(port < read_ports_);
+  SIMT_CHECK(addr < words_);
+  return static_cast<std::uint32_t>(copies_[port].read(addr));
+}
+
+void MultiPortMemory::write(std::uint32_t addr, std::uint32_t data) {
+  SIMT_CHECK(addr < words_);
+  for (auto& copy : copies_) {
+    copy.write(addr, data);
+  }
+}
+
+void MultiPortMemory::commit() {
+  for (auto& copy : copies_) {
+    copy.commit();
+  }
+}
+
+std::uint32_t MultiPortMemory::peek(std::uint32_t addr) const {
+  return read(0, addr);
+}
+
+void MultiPortMemory::poke(std::uint32_t addr, std::uint32_t data) {
+  write(addr, data);
+  commit();
+}
+
+unsigned MultiPortMemory::m20k_blocks() const {
+  return read_ports_ * m20k_blocks_for(words_, 32);
+}
+
+unsigned MultiPortMemory::read_clocks(unsigned lanes) const {
+  return ceil_div(lanes, read_ports_);
+}
+
+unsigned MultiPortMemory::write_clocks(unsigned lanes) const {
+  return ceil_div(lanes, write_ports_);
+}
+
+}  // namespace simt::hw

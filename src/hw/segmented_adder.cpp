@@ -1,0 +1,105 @@
+#include "hw/segmented_adder.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace simt::hw {
+namespace {
+
+unsigned __int128 mask_bits(unsigned width) {
+  if (width >= 128) {
+    return ~static_cast<unsigned __int128>(0);
+  }
+  return (static_cast<unsigned __int128>(1) << width) - 1;
+}
+
+}  // namespace
+
+SegmentedAdder::SegmentedAdder(unsigned width, unsigned passthrough_bits)
+    : width_(width), passthrough_bits_(passthrough_bits) {
+  SIMT_CHECK(width_ > 0 && width_ <= 128);
+  SIMT_CHECK(passthrough_bits_ % kSegmentBits == 0);
+  SIMT_CHECK(passthrough_bits_ < width_);
+  nseg_ = (width_ + kSegmentBits - 1) / kSegmentBits;
+}
+
+SegmentedAdder::Trace SegmentedAdder::add_traced(unsigned __int128 a,
+                                                 unsigned __int128 b) const {
+  a &= mask_bits(width_);
+  b &= mask_bits(width_);
+  // The passthrough region must see no addend on the B side: the paper routes
+  // vector C's low 16 bits straight to the result.
+  SIMT_CHECK((b & mask_bits(passthrough_bits_)) == 0);
+
+  Trace t;
+  t.partial_sums.resize(nseg_);
+  t.generate.resize(nseg_);
+  t.propagate.resize(nseg_);
+  t.carry_in.resize(nseg_);
+
+  // Stage 1: per-segment partial sums and {g,p} pairs, all independent of any
+  // carry (computable one pipeline level early, as the paper notes for the
+  // third segment's propagate bit).
+  for (unsigned s = 0; s < nseg_; ++s) {
+    const unsigned lo = s * kSegmentBits;
+    const unsigned hi = std::min(width_, lo + kSegmentBits);
+    const unsigned seg_w = hi - lo;
+    const auto seg_mask = static_cast<std::uint32_t>(mask_bits(seg_w));
+    const auto sa = static_cast<std::uint32_t>(a >> lo) & seg_mask;
+    const auto sb = static_cast<std::uint32_t>(b >> lo) & seg_mask;
+    const std::uint32_t raw = sa + sb;
+    t.partial_sums[s] = raw & seg_mask;
+    t.generate[s] = (raw >> seg_w) & 1u;
+    // propagate = AND over the segment of (a_i | b_i).
+    t.propagate[s] = ((sa | sb) & seg_mask) == seg_mask;
+  }
+
+  // Stage 2: resolve segment carries with the prefix relation
+  //   c[s+1] = g[s] | (p[s] & c[s]),
+  // then add each carry into its segment (the single-gate insert).
+  unsigned __int128 sum = 0;
+  bool carry = false;
+  for (unsigned s = 0; s < nseg_; ++s) {
+    const unsigned lo = s * kSegmentBits;
+    const unsigned hi = std::min(width_, lo + kSegmentBits);
+    const unsigned seg_w = hi - lo;
+    const auto seg_mask = static_cast<std::uint32_t>(mask_bits(seg_w));
+    t.carry_in[s] = carry;
+    const std::uint32_t with_carry =
+        (t.partial_sums[s] + (carry ? 1u : 0u)) & seg_mask;
+    sum |= static_cast<unsigned __int128>(with_carry) << lo;
+    // A carry leaves the segment if it was generated internally, or entered
+    // and every position propagates: c[s+1] = g[s] | (p[s] & c[s]).
+    carry = t.generate[s] || (t.propagate[s] && carry);
+  }
+  t.sum = sum & mask_bits(width_);
+  return t;
+}
+
+unsigned __int128 SegmentedAdder::add(unsigned __int128 a,
+                                      unsigned __int128 b) const {
+  return add_traced(a, b).sum;
+}
+
+TwoStageAdder32::Result TwoStageAdder32::run(std::uint32_t a, std::uint32_t b,
+                                             bool sub, bool cin_override,
+                                             bool cin_value) {
+  const std::uint32_t bx = sub ? ~b : b;
+  const bool cin = cin_override ? cin_value : sub;
+  // Stage 1: low half plus registered carry out.
+  const std::uint32_t lo =
+      (a & 0xffffu) + (bx & 0xffffu) + (cin ? 1u : 0u);
+  const bool carry_mid = (lo >> 16) & 1u;
+  // Stage 2: high half consumes the registered carry.
+  const std::uint32_t hi = (a >> 16) + (bx >> 16) + (carry_mid ? 1u : 0u);
+  Result r;
+  r.sum = (hi << 16) | (lo & 0xffffu);
+  r.carry_out = (hi >> 16) & 1u;
+  const bool sa = (a >> 31) & 1u;
+  const bool sb = (bx >> 31) & 1u;
+  const bool sr = (r.sum >> 31) & 1u;
+  r.overflow = (sa == sb) && (sr != sa);
+  return r;
+}
+
+}  // namespace simt::hw

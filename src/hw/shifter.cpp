@@ -1,0 +1,93 @@
+#include "hw/shifter.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace simt::hw {
+
+LogicBarrelShifter::Trace LogicBarrelShifter::shift_traced(std::uint32_t value,
+                                                           std::uint32_t amount,
+                                                           ShiftKind kind) {
+  Trace t{};
+  // Out-of-range behaviour must match the integrated shifter: logical shifts
+  // flush to zero, arithmetic right shifts saturate to the sign.
+  const bool oor = amount >= 32;
+  const std::uint32_t fill =
+      (kind == ShiftKind::Asr && (value >> 31)) ? 0xffffffffu : 0u;
+  if (oor) {
+    for (auto& l : t.level) {
+      l = fill;
+    }
+    t.level[0] = value;
+    return t;
+  }
+  t.level[0] = value;
+  std::uint32_t cur = value;
+  for (int lvl = 0; lvl < kLevels; ++lvl) {
+    const unsigned dist = 1u << lvl;
+    if ((amount >> lvl) & 1u) {
+      switch (kind) {
+        case ShiftKind::Lsl:
+          cur <<= dist;
+          break;
+        case ShiftKind::Lsr:
+          cur >>= dist;
+          break;
+        case ShiftKind::Asr:
+          cur = (cur >> dist) | (fill << (32 - dist));
+          break;
+      }
+    }
+    t.level[lvl + 1] = cur;
+  }
+  return t;
+}
+
+std::uint32_t LogicBarrelShifter::shift(std::uint32_t value,
+                                        std::uint32_t amount, ShiftKind kind) {
+  return shift_traced(value, amount, kind).level[kLevels];
+}
+
+IntegratedShifter::Trace IntegratedShifter::shift_traced(
+    std::uint32_t value, std::uint32_t amount, ShiftKind kind) const {
+  SIMT_CHECK(mul_ != nullptr);
+  Trace t{};
+  // One-hot decode of the shift value (single level of logic). "A value
+  // greater than decimal 31 is converted to a one-hot value of all zeroes."
+  t.onehot = static_cast<std::uint32_t>(onehot(amount, 32));
+
+  // Left shifts multiply AA directly; right shifts bit-reverse AA first.
+  t.mul_input = (kind == ShiftKind::Lsl) ? value : bit_reverse32(value);
+
+  // All shift results come from the lower 32 bits of the multiplier datapath.
+  t.mul_low = static_cast<std::uint32_t>(
+      mul_->multiply(t.mul_input, t.onehot, /*is_signed=*/false));
+
+  switch (kind) {
+    case ShiftKind::Lsl:
+      t.result = t.mul_low;
+      break;
+    case ShiftKind::Lsr:
+      t.result = bit_reverse32(t.mul_low);
+      break;
+    case ShiftKind::Asr: {
+      // The 5-bit shift value is converted to unary at the pipeline location
+      // aligned with the DSP outputs, bit-reversed (free in hardware), and
+      // ORed in when the input sign bit is set.
+      t.unary_mask = bit_reverse32(
+          static_cast<std::uint32_t>(unary_mask(amount, 32)));
+      const std::uint32_t logical = bit_reverse32(t.mul_low);
+      t.result = (value >> 31) ? (logical | t.unary_mask) : logical;
+      break;
+    }
+  }
+  return t;
+}
+
+std::uint32_t IntegratedShifter::shift(std::uint32_t value,
+                                       std::uint32_t amount,
+                                       ShiftKind kind) const {
+  return shift_traced(value, amount, kind).result;
+}
+
+}  // namespace simt::hw

@@ -1,0 +1,304 @@
+#include "isa/isa.hpp"
+
+#include <unordered_map>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace simt::isa {
+namespace {
+
+// Encoding layout (64-bit instruction word; upper half = control, lower half
+// = immediate, mirroring the two-M20K instruction memory):
+//   [63:58] opcode        [57:56] guard        [55:54] guard pred index
+//   [53:52] pd            [51:50] pa           [49:48] pb
+//   [47:40] rd            [39:32] ra
+//   [31:0]  immediate (signed) -- RRR forms carry rb in imm[7:0]
+constexpr unsigned kOpShift = 58;
+constexpr unsigned kGuardShift = 56;
+constexpr unsigned kGpredShift = 54;
+constexpr unsigned kPdShift = 52;
+constexpr unsigned kPaShift = 50;
+constexpr unsigned kPbShift = 48;
+constexpr unsigned kRdShift = 40;
+constexpr unsigned kRaShift = 32;
+
+constexpr std::array<OpInfo, kOpcodeCount> kOpTable = {{
+    // op, mnemonic, format, timing, writes_rd, writes_pd, is_branch
+    {Opcode::ADD, "add", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::SUB, "sub", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::ADDI, "addi", Format::RRI, TimingClass::Operation, true, false, false},
+    {Opcode::SUBI, "subi", Format::RRI, TimingClass::Operation, true, false, false},
+    {Opcode::MULLO, "mul.lo", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::MULHI, "mul.hi", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::MULHIU, "mul.hiu", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::MULI, "muli", Format::RRI, TimingClass::Operation, true, false, false},
+    {Opcode::ABS, "abs", Format::RR, TimingClass::Operation, true, false, false},
+    {Opcode::NEG, "neg", Format::RR, TimingClass::Operation, true, false, false},
+    {Opcode::MIN, "min", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::MAX, "max", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::MINU, "minu", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::MAXU, "maxu", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::AND, "and", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::OR, "or", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::XOR, "xor", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::NOT, "not", Format::RR, TimingClass::Operation, true, false, false},
+    {Opcode::CNOT, "cnot", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::ANDI, "andi", Format::RRI, TimingClass::Operation, true, false, false},
+    {Opcode::ORI, "ori", Format::RRI, TimingClass::Operation, true, false, false},
+    {Opcode::XORI, "xori", Format::RRI, TimingClass::Operation, true, false, false},
+    {Opcode::SHL, "shl", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::SHR, "shr", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::SAR, "sar", Format::RRR, TimingClass::Operation, true, false, false},
+    {Opcode::SHLI, "shli", Format::RRI, TimingClass::Operation, true, false, false},
+    {Opcode::SHRI, "shri", Format::RRI, TimingClass::Operation, true, false, false},
+    {Opcode::SARI, "sari", Format::RRI, TimingClass::Operation, true, false, false},
+    {Opcode::POPC, "popc", Format::RR, TimingClass::Operation, true, false, false},
+    {Opcode::CLZ, "clz", Format::RR, TimingClass::Operation, true, false, false},
+    {Opcode::BREV, "brev", Format::RR, TimingClass::Operation, true, false, false},
+    {Opcode::SETP_EQ, "setp.eq", Format::PRR, TimingClass::Operation, false, true, false},
+    {Opcode::SETP_NE, "setp.ne", Format::PRR, TimingClass::Operation, false, true, false},
+    {Opcode::SETP_LT, "setp.lt", Format::PRR, TimingClass::Operation, false, true, false},
+    {Opcode::SETP_LE, "setp.le", Format::PRR, TimingClass::Operation, false, true, false},
+    {Opcode::SETP_GT, "setp.gt", Format::PRR, TimingClass::Operation, false, true, false},
+    {Opcode::SETP_GE, "setp.ge", Format::PRR, TimingClass::Operation, false, true, false},
+    {Opcode::SETP_LTU, "setp.ltu", Format::PRR, TimingClass::Operation, false, true, false},
+    {Opcode::SETP_GEU, "setp.geu", Format::PRR, TimingClass::Operation, false, true, false},
+    {Opcode::SELP, "selp", Format::SELP, TimingClass::Operation, true, false, false},
+    {Opcode::PAND, "pand", Format::PPP, TimingClass::Operation, false, true, false},
+    {Opcode::POR, "por", Format::PPP, TimingClass::Operation, false, true, false},
+    {Opcode::PXOR, "pxor", Format::PPP, TimingClass::Operation, false, true, false},
+    {Opcode::PNOT, "pnot", Format::PP, TimingClass::Operation, false, true, false},
+    {Opcode::MOV, "mov", Format::RR, TimingClass::Operation, true, false, false},
+    {Opcode::MOVI, "movi", Format::RI, TimingClass::Operation, true, false, false},
+    {Opcode::MOVSR, "movsr", Format::RS, TimingClass::Operation, true, false, false},
+    {Opcode::LDS, "lds", Format::MEM, TimingClass::Load, true, false, false},
+    {Opcode::STS, "sts", Format::MEM, TimingClass::Store, false, false, false},
+    {Opcode::BRA, "bra", Format::B, TimingClass::Single, false, false, true},
+    {Opcode::BRP, "brp", Format::PB, TimingClass::Single, false, false, true},
+    {Opcode::BRN, "brn", Format::PB, TimingClass::Single, false, false, true},
+    {Opcode::CALL, "call", Format::B, TimingClass::Single, false, false, true},
+    {Opcode::RET, "ret", Format::NONE, TimingClass::Single, false, false, true},
+    {Opcode::EXIT, "exit", Format::NONE, TimingClass::Single, false, false, false},
+    {Opcode::NOP, "nop", Format::NONE, TimingClass::Single, false, false, false},
+    {Opcode::BAR, "bar", Format::NONE, TimingClass::Single, false, false, false},
+    {Opcode::LOOP, "loop", Format::LOOPR, TimingClass::Single, false, false, true},
+    {Opcode::LOOPI, "loopi", Format::LOOPI, TimingClass::Single, false, false, true},
+    {Opcode::SETT, "sett", Format::TR, TimingClass::Single, false, false, false},
+    {Opcode::SETTI, "setti", Format::TI, TimingClass::Single, false, false, false},
+}};
+
+constexpr std::array<std::string_view, kSpecialRegCount> kSpecialNames = {
+    "%tid", "%ntid", "%nsp", "%lane", "%row", "%smid"};
+
+const std::unordered_map<std::string_view, Opcode>& mnemonic_map() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string_view, Opcode>();
+    for (const auto& info : kOpTable) {
+      (*m)[info.mnemonic] = info.op;
+    }
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+const OpInfo& op_info(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  SIMT_CHECK(idx < kOpTable.size());
+  SIMT_CHECK(kOpTable[idx].op == op);
+  return kOpTable[idx];
+}
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic) {
+  const auto& map = mnemonic_map();
+  const auto it = map.find(mnemonic);
+  if (it == map.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<SpecialReg> special_from_name(std::string_view name) {
+  for (int i = 0; i < kSpecialRegCount; ++i) {
+    if (kSpecialNames[static_cast<std::size_t>(i)] == name) {
+      return static_cast<SpecialReg>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string_view special_name(SpecialReg s) {
+  return kSpecialNames[static_cast<std::size_t>(s)];
+}
+
+bool uses_immediate(Opcode op) {
+  switch (op_info(op).format) {
+    case Format::RRI:
+    case Format::RI:
+    case Format::MEM:
+    case Format::B:
+    case Format::PB:
+    case Format::LOOPR:
+    case Format::LOOPI:
+    case Format::TI:
+    case Format::RS:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t encode(const Instr& instr) {
+  const auto& info = op_info(instr.op);
+  std::uint64_t w = 0;
+  w |= static_cast<std::uint64_t>(instr.op) << kOpShift;
+  w |= static_cast<std::uint64_t>(instr.guard) << kGuardShift;
+  w |= static_cast<std::uint64_t>(instr.gpred & 3u) << kGpredShift;
+  w |= static_cast<std::uint64_t>(instr.pd & 3u) << kPdShift;
+  w |= static_cast<std::uint64_t>(instr.pa & 3u) << kPaShift;
+  w |= static_cast<std::uint64_t>(instr.pb & 3u) << kPbShift;
+  w |= static_cast<std::uint64_t>(instr.rd) << kRdShift;
+  w |= static_cast<std::uint64_t>(instr.ra) << kRaShift;
+  if (info.format == Format::RRR || info.format == Format::PRR ||
+      info.format == Format::SELP) {
+    w |= static_cast<std::uint32_t>(instr.rb);
+  } else {
+    w |= static_cast<std::uint32_t>(instr.imm);
+  }
+  return w;
+}
+
+std::optional<Instr> decode(std::uint64_t word) {
+  const auto opraw = static_cast<std::uint8_t>(word >> kOpShift);
+  if (opraw >= kOpcodeCount) {
+    return std::nullopt;
+  }
+  const auto guard_raw = static_cast<std::uint8_t>((word >> kGuardShift) & 3u);
+  if (guard_raw > 2) {
+    return std::nullopt;
+  }
+  Instr instr;
+  instr.op = static_cast<Opcode>(opraw);
+  instr.guard = static_cast<Guard>(guard_raw);
+  instr.gpred = static_cast<std::uint8_t>((word >> kGpredShift) & 3u);
+  instr.pd = static_cast<std::uint8_t>((word >> kPdShift) & 3u);
+  instr.pa = static_cast<std::uint8_t>((word >> kPaShift) & 3u);
+  instr.pb = static_cast<std::uint8_t>((word >> kPbShift) & 3u);
+  instr.rd = static_cast<std::uint8_t>((word >> kRdShift) & 0xffu);
+  instr.ra = static_cast<std::uint8_t>((word >> kRaShift) & 0xffu);
+  const auto& info = op_info(instr.op);
+  if (info.format == Format::RRR || info.format == Format::PRR ||
+      info.format == Format::SELP) {
+    instr.rb = static_cast<std::uint8_t>(word & 0xffu);
+    instr.imm = 0;
+  } else {
+    instr.rb = 0;
+    instr.imm = static_cast<std::int32_t>(word & 0xffffffffu);
+  }
+  // MOVSR must name a valid special register.
+  if (instr.op == Opcode::MOVSR &&
+      (instr.imm < 0 || instr.imm >= kSpecialRegCount)) {
+    return std::nullopt;
+  }
+  return instr;
+}
+
+std::string disassemble(const Instr& instr) {
+  const auto& info = op_info(instr.op);
+  std::string out;
+  if (instr.guard == Guard::IfTrue) {
+    out += "@p";
+    out += std::to_string(instr.gpred);
+    out += ' ';
+  } else if (instr.guard == Guard::IfFalse) {
+    out += "@!p";
+    out += std::to_string(instr.gpred);
+    out += ' ';
+  }
+  out += info.mnemonic;
+  auto reg = [&out](std::uint8_t n) {
+    out += "%r";
+    out += std::to_string(n);
+  };
+  auto pred = [&out](std::uint8_t n) {
+    out += "%p";
+    out += std::to_string(n);
+  };
+  auto imm = [&out](std::int64_t v) { out += std::to_string(v); };
+  auto sep = [&out] { out += ", "; };
+  out += ' ';
+  switch (info.format) {
+    case Format::RRR:
+      reg(instr.rd); sep(); reg(instr.ra); sep(); reg(instr.rb);
+      break;
+    case Format::RRI:
+      reg(instr.rd); sep(); reg(instr.ra); sep(); imm(instr.imm);
+      break;
+    case Format::RR:
+      reg(instr.rd); sep(); reg(instr.ra);
+      break;
+    case Format::RI:
+      reg(instr.rd); sep(); imm(instr.imm);
+      break;
+    case Format::RS:
+      reg(instr.rd); sep();
+      out += special_name(static_cast<SpecialReg>(instr.imm));
+      break;
+    case Format::PRR:
+      pred(instr.pd); sep(); reg(instr.ra); sep(); reg(instr.rb);
+      break;
+    case Format::PPP:
+      pred(instr.pd); sep(); pred(instr.pa); sep(); pred(instr.pb);
+      break;
+    case Format::PP:
+      pred(instr.pd); sep(); pred(instr.pa);
+      break;
+    case Format::SELP:
+      reg(instr.rd); sep(); reg(instr.ra); sep(); reg(instr.rb); sep();
+      pred(instr.pa);
+      break;
+    case Format::MEM:
+      if (instr.op == Opcode::LDS) {
+        reg(instr.rd); sep();
+        out += '[';
+        reg(instr.ra);
+        out += " + ";
+        imm(instr.imm);
+        out += ']';
+      } else {
+        out += '[';
+        reg(instr.ra);
+        out += " + ";
+        imm(instr.imm);
+        out += "], ";
+        reg(instr.rd);
+      }
+      break;
+    case Format::B:
+      imm(instr.imm);
+      break;
+    case Format::PB:
+      pred(instr.pa); sep(); imm(instr.imm);
+      break;
+    case Format::LOOPR:
+      reg(instr.ra); sep(); imm(instr.imm);
+      break;
+    case Format::LOOPI:
+      imm((instr.imm >> 16) & 0xffff); sep(); imm(instr.imm & 0xffff);
+      break;
+    case Format::TR:
+      reg(instr.ra);
+      break;
+    case Format::TI:
+      imm(instr.imm);
+      break;
+    case Format::NONE:
+      out.pop_back();  // no operands: drop the trailing space
+      break;
+  }
+  return out;
+}
+
+}  // namespace simt::isa

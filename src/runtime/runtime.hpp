@@ -1,0 +1,79 @@
+// Host runtime: the convenience layer a user of the soft processor would
+// program against. It owns a Gpgpu instance, assembles kernels from source,
+// stages data into the shared memory, launches, and reads results back --
+// the "software acceleration" workflow the paper motivates in Section 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "core/gpgpu.hpp"
+
+namespace simt::runtime {
+
+class EgpuRuntime {
+ public:
+  explicit EgpuRuntime(core::CoreConfig cfg) : gpu_(std::move(cfg)) {}
+
+  /// Assemble and load a kernel (replaces the I-MEM contents).
+  void load_kernel(std::string_view source) {
+    program_ = assembler::assemble(source);
+    gpu_.load_program(program_);
+  }
+
+  /// Copy a host buffer into shared memory at word address `base`.
+  void copy_in(std::uint32_t base, std::span<const std::uint32_t> data) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      gpu_.write_shared(base + static_cast<std::uint32_t>(i), data[i]);
+    }
+  }
+  void copy_in_i32(std::uint32_t base, std::span<const std::int32_t> data) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      gpu_.write_shared(base + static_cast<std::uint32_t>(i),
+                        static_cast<std::uint32_t>(data[i]));
+    }
+  }
+
+  /// Copy shared memory back out.
+  std::vector<std::uint32_t> copy_out(std::uint32_t base, std::size_t count) {
+    std::vector<std::uint32_t> out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = gpu_.read_shared(base + static_cast<std::uint32_t>(i));
+    }
+    return out;
+  }
+  std::vector<std::int32_t> copy_out_i32(std::uint32_t base,
+                                         std::size_t count) {
+    std::vector<std::int32_t> out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = static_cast<std::int32_t>(
+          gpu_.read_shared(base + static_cast<std::uint32_t>(i)));
+    }
+    return out;
+  }
+
+  /// Launch with `threads` threads; returns the run's performance counters.
+  core::RunResult launch(unsigned threads) {
+    gpu_.set_thread_count(threads);
+    return gpu_.run();
+  }
+
+  core::Gpgpu& gpu() { return gpu_; }
+  const core::Gpgpu& gpu() const { return gpu_; }
+  const core::Program& program() const { return program_; }
+
+  /// Wall-clock estimate at a realized clock frequency: the cycle-accurate
+  /// count divided by the fitter's Fmax.
+  static double runtime_us(const core::PerfCounters& perf, double fmax_mhz) {
+    return static_cast<double>(perf.cycles) / fmax_mhz;
+  }
+
+ private:
+  core::Gpgpu gpu_;
+  core::Program program_;
+};
+
+}  // namespace simt::runtime

@@ -1,0 +1,86 @@
+#include "system/multicore.hpp"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace simt::system {
+
+MultiCoreSystem::MultiCoreSystem(SystemConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.num_cores == 0) {
+    throw Error("system needs at least one core");
+  }
+  cfg_.core.validate();
+  cores_.reserve(cfg_.num_cores);
+  for (unsigned i = 0; i < cfg_.num_cores; ++i) {
+    cores_.emplace_back(cfg_.core);
+  }
+}
+
+void MultiCoreSystem::load_kernel_all(std::string_view source) {
+  const auto program = assembler::assemble(source);
+  for (auto& c : cores_) {
+    c.load_program(program);
+  }
+}
+
+void MultiCoreSystem::load_kernel(unsigned core, std::string_view source) {
+  cores_.at(core).load_program(assembler::assemble(source));
+}
+
+SystemRunResult MultiCoreSystem::run(const std::vector<Dispatch>& dispatches) {
+  std::set<unsigned> seen;
+  for (const auto& d : dispatches) {
+    if (d.core >= cores_.size()) {
+      throw Error("dispatch to nonexistent core " + std::to_string(d.core));
+    }
+    if (!seen.insert(d.core).second) {
+      throw Error("core " + std::to_string(d.core) +
+                  " dispatched more than once");
+    }
+  }
+
+  SystemRunResult res;
+  res.per_core.resize(dispatches.size());
+  // The cores are independent hardware; simulate them concurrently.
+  std::vector<std::thread> workers;
+  workers.reserve(dispatches.size());
+  for (std::size_t i = 0; i < dispatches.size(); ++i) {
+    workers.emplace_back([&, i] {
+      auto& gpu = cores_[dispatches[i].core];
+      gpu.set_thread_count(dispatches[i].threads);
+      res.per_core[i] = gpu.run();
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+
+  for (const auto& r : res.per_core) {
+    res.max_cycles = std::max(res.max_cycles, r.perf.cycles);
+  }
+  // Wall clock at the realized frequency of this system size (Table 2).
+  SystemConfig effective = cfg_;
+  effective.num_cores = static_cast<unsigned>(dispatches.size());
+  res.wall_us =
+      static_cast<double>(res.max_cycles) / effective.clock_mhz();
+  return res;
+}
+
+std::vector<std::pair<unsigned, unsigned>> MultiCoreSystem::split_range(
+    unsigned total, unsigned parts) {
+  SIMT_CHECK(parts > 0);
+  std::vector<std::pair<unsigned, unsigned>> out;
+  const unsigned chunk = total / parts;
+  unsigned begin = 0;
+  for (unsigned p = 0; p < parts; ++p) {
+    const unsigned end = p + 1 == parts ? total : begin + chunk;
+    out.emplace_back(begin, end);
+    begin = end;
+  }
+  return out;
+}
+
+}  // namespace simt::system

@@ -1,0 +1,89 @@
+// Tests for the assembled integer ALU: every Operation-class opcode is
+// checked against the independent golden semantics (core::ref), with both
+// shifter implementations.
+#include "hw/alu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/ref_interp.hpp"
+
+namespace simt::hw {
+namespace {
+
+using isa::Opcode;
+
+const Opcode kRegisterOps[] = {
+    Opcode::ADD,   Opcode::SUB,    Opcode::MULLO, Opcode::MULHI,
+    Opcode::MULHIU, Opcode::ABS,   Opcode::NEG,   Opcode::MIN,
+    Opcode::MAX,   Opcode::MINU,   Opcode::MAXU,  Opcode::AND,
+    Opcode::OR,    Opcode::XOR,    Opcode::NOT,   Opcode::CNOT,
+    Opcode::SHL,   Opcode::SHR,    Opcode::SAR,   Opcode::POPC,
+    Opcode::CLZ,   Opcode::BREV,   Opcode::MOV};
+
+const Opcode kCompareOps[] = {
+    Opcode::SETP_EQ, Opcode::SETP_NE, Opcode::SETP_LT, Opcode::SETP_LE,
+    Opcode::SETP_GT, Opcode::SETP_GE, Opcode::SETP_LTU, Opcode::SETP_GEU};
+
+class AluVsGolden : public ::testing::TestWithParam<ShifterImpl> {};
+
+TEST_P(AluVsGolden, AllRegisterOpsMatchReference) {
+  const Alu alu(GetParam());
+  Xoshiro256 rng(2024);
+  for (const Opcode op : kRegisterOps) {
+    isa::Instr in;
+    in.op = op;
+    for (int i = 0; i < 500; ++i) {
+      const auto a = rng.next_u32();
+      // Bias some B operands into shift range so shifts get real coverage.
+      const auto b = (i % 3 == 0) ? static_cast<std::uint32_t>(
+                                        rng.next_below(40))
+                                  : rng.next_u32();
+      EXPECT_EQ(alu.execute(op, a, b), core::ref::alu(in, a, b))
+          << isa::op_info(op).mnemonic << " a=" << std::hex << a
+          << " b=" << b;
+    }
+  }
+}
+
+TEST_P(AluVsGolden, AllComparesMatchReference) {
+  const Alu alu(GetParam());
+  Xoshiro256 rng(2025);
+  for (const Opcode op : kCompareOps) {
+    for (int i = 0; i < 500; ++i) {
+      const auto a = rng.next_u32();
+      const auto b = (i % 4 == 0) ? a : rng.next_u32();  // force equality hits
+      EXPECT_EQ(alu.compare(op, a, b), core::ref::compare(op, a, b))
+          << isa::op_info(op).mnemonic;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifters, AluVsGolden,
+                         ::testing::Values(ShifterImpl::Integrated,
+                                           ShifterImpl::LogicBarrel));
+
+TEST(Alu, ImmediateFormsShareDatapaths) {
+  const Alu alu;
+  // The I-forms route the immediate through operand B of the same unit.
+  EXPECT_EQ(alu.execute(isa::Opcode::ADDI, 40, 2),
+            alu.execute(isa::Opcode::ADD, 40, 2));
+  EXPECT_EQ(alu.execute(isa::Opcode::MULI, 6, 7),
+            alu.execute(isa::Opcode::MULLO, 6, 7));
+  EXPECT_EQ(alu.execute(isa::Opcode::SARI, 0x80000000u, 4),
+            alu.execute(isa::Opcode::SAR, 0x80000000u, 4));
+}
+
+TEST(Alu, MoviIgnoresOperandA) {
+  const Alu alu;
+  EXPECT_EQ(alu.execute(isa::Opcode::MOVI, 0xdeadbeefu, 42), 42u);
+}
+
+TEST(Alu, LatencyIsDepthMatched) {
+  // Soft logic is depth-matched to the DSP datapath (Section 4): a single
+  // uniform writeback latency for the whole ALU.
+  EXPECT_EQ(Alu::kLatency, Mul33::kPipelineDepth);
+}
+
+}  // namespace
+}  // namespace simt::hw

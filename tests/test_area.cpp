@@ -1,0 +1,141 @@
+// Tests for the analytical resource model against Table 1 and the Section 5
+// register census.
+#include "area/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simt::area {
+namespace {
+
+CoreResources flagship(AreaOptions opt = {}) {
+  return estimate(core::CoreConfig::table1_flagship(), opt);
+}
+
+TEST(Area, Table1SpRow) {
+  const auto r = flagship();
+  EXPECT_EQ(r.sp_total.alms, 371u);
+  EXPECT_EQ(r.sp_total.regs_total(), 1337u);
+  EXPECT_EQ(r.sp_total.m20k, 4u);
+  EXPECT_EQ(r.sp_total.dsp, 2u);
+}
+
+TEST(Area, Table1MulShiftRow) {
+  const auto r = flagship();
+  EXPECT_EQ(r.sp_mul_shift.alms, 145u);
+  EXPECT_EQ(r.sp_mul_shift.regs_total(), 424u);
+  EXPECT_EQ(r.sp_mul_shift.m20k, 0u);
+  EXPECT_EQ(r.sp_mul_shift.dsp, 2u);
+}
+
+TEST(Area, Table1LogicRow) {
+  const auto r = flagship();
+  EXPECT_EQ(r.sp_logic.alms, 83u);
+  EXPECT_EQ(r.sp_logic.regs_total(), 424u);
+  EXPECT_EQ(r.sp_logic.m20k, 0u);
+  EXPECT_EQ(r.sp_logic.dsp, 0u);
+}
+
+TEST(Area, Table1InstRow) {
+  const auto r = flagship();
+  EXPECT_EQ(r.inst.alms, 275u);
+  EXPECT_EQ(r.inst.regs_total(), 651u);
+  EXPECT_EQ(r.inst.m20k, 3u);
+  EXPECT_EQ(r.inst.dsp, 0u);
+}
+
+TEST(Area, Table1SharedRow) {
+  const auto r = flagship();
+  EXPECT_EQ(r.shared.alms, 133u);
+  EXPECT_EQ(r.shared.regs_total(), 233u);
+  // Self-consistent M20K accounting: 4 read copies x 8 blocks for 16 KB
+  // (see DESIGN.md on the paper's internal inconsistency here).
+  EXPECT_EQ(r.shared.m20k, 32u);
+}
+
+TEST(Area, Table1GpgpuTotals) {
+  const auto r = flagship();
+  EXPECT_EQ(r.gpgpu.regs_total(), 24534u);
+  EXPECT_EQ(r.gpgpu.m20k, 99u);
+  EXPECT_EQ(r.gpgpu.dsp, 32u);
+  // Placed ALMs plus the unreachable in-box overhead the paper reports.
+  EXPECT_EQ(r.gpgpu.alms, 16u * 371u + 275u + 133u);
+  EXPECT_NEAR(r.in_box_alms, 7038.0, 10.0);
+}
+
+TEST(Area, RegisterStyleCensus) {
+  // Section 5: "the number of primary registers used was 763, the secondary
+  // registers 154 ... and 420 hyper registers" for the SP.
+  const auto r = flagship();
+  EXPECT_EQ(r.sp_total.regs_primary, 763u);
+  EXPECT_EQ(r.sp_total.regs_secondary, 154u);
+  EXPECT_EQ(r.sp_total.regs_hyper, 420u);
+}
+
+TEST(Area, PredicatesCostFiftyPercentMoreLogic) {
+  // Section 2: "they typically increase the logic resources of the
+  // processor by 50%."
+  auto cfg = core::CoreConfig::table1_flagship();
+  cfg.predicates_enabled = true;
+  const auto with = estimate(cfg, {});
+  const auto without = flagship();
+  const double ratio = static_cast<double>(with.sp_total.alms) /
+                       static_cast<double>(without.sp_total.alms);
+  EXPECT_NEAR(ratio, 1.5, 0.02);
+}
+
+TEST(Area, BarrelShifterVariantAddsHundredAlmsPerSp) {
+  // Section 4: "A 32-bit shifter requires approximately 50 ALMs, or 100
+  // ALMs for a left and right shift pair."
+  AreaOptions opt;
+  opt.shifter = hw::ShifterImpl::LogicBarrel;
+  const auto barrel = flagship(opt);
+  EXPECT_EQ(barrel.sp_shifter.alms, 100u);
+  // The integrated variant drops the pair but adds the one-hot/unary logic.
+  const auto integrated = flagship();
+  EXPECT_EQ(integrated.sp_shifter.alms, 0u);
+  EXPECT_GT(barrel.sp_total.alms, integrated.sp_total.alms);
+}
+
+TEST(Area, ShiftersAreAboutAQuarterOfSoftLogicInBarrelVariant) {
+  // "the shift pairs in the 16 SPs make up almost 1/4 the total soft logic
+  // (c. 7000 ALMs) of the processor."
+  AreaOptions opt;
+  opt.shifter = hw::ShifterImpl::LogicBarrel;
+  const auto r = flagship(opt);
+  const double frac =
+      (16.0 * r.sp_shifter.alms) / static_cast<double>(r.in_box_alms);
+  EXPECT_GT(frac, 0.18);
+  EXPECT_LT(frac, 0.28);
+}
+
+TEST(Area, ScalesWithThreadSpace) {
+  // Quadrupling the thread space grows the register files (M20K), not the
+  // datapath logic.
+  auto small = core::CoreConfig::table1_flagship();
+  auto large = small;
+  large.max_threads = 4096;
+  large.regs_per_thread = 16;  // 64K registers -- the maximum configuration
+  const auto rs = estimate(small, {});
+  const auto rl = estimate(large, {});
+  EXPECT_EQ(rs.sp_mul_shift.alms, rl.sp_mul_shift.alms);
+  EXPECT_GT(rl.sp_total.m20k, rs.sp_total.m20k);
+}
+
+TEST(Area, SharedMemoryM20kScalesWithCapacity) {
+  auto cfg = core::CoreConfig::table1_flagship();
+  cfg.shared_mem_words = 8192;  // 32 KB
+  const auto r = estimate(cfg, {});
+  EXPECT_EQ(r.shared.m20k, 64u);
+}
+
+TEST(Area, FormatTable1ContainsPaperLayout) {
+  const auto text = format_table1(flagship());
+  EXPECT_NE(text.find("GPGPU"), std::string::npos);
+  EXPECT_NE(text.find("Mul+Sft"), std::string::npos);
+  EXPECT_NE(text.find("371"), std::string::npos);
+  EXPECT_NE(text.find("24534"), std::string::npos);
+  EXPECT_NE(text.find("hyper=420"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simt::area

@@ -1,0 +1,87 @@
+// Tests for the scalar soft-CPU baseline (Nios-class, Section 1).
+#include "baseline/scalar_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "common/error.hpp"
+
+namespace simt::baseline {
+namespace {
+
+TEST(ScalarCpu, ExecutesScalarKernel) {
+  ScalarSoftCpu cpu;
+  cpu.load_program(assembler::assemble(
+      "movi %r1, 6\n"
+      "movi %r2, 7\n"
+      "mul.lo %r3, %r1, %r2\n"
+      "exit\n"));
+  const auto stats = cpu.run();
+  EXPECT_EQ(cpu.read_reg(3), 42u);
+  EXPECT_EQ(stats.instructions, 4u);
+  // 2 ALU + 1 mul (3 cycles) + exit.
+  EXPECT_EQ(stats.cycles, 1u + 1u + 3u + 1u);
+}
+
+TEST(ScalarCpu, MemoryCpi) {
+  ScalarSoftCpu cpu;
+  cpu.write_mem(10, 99);
+  cpu.load_program(assembler::assemble(
+      "movi %r1, 10\n"
+      "lds %r2, [%r1]\n"
+      "sts [%r1 + 1], %r2\n"
+      "exit\n"));
+  const auto stats = cpu.run();
+  EXPECT_EQ(cpu.read_mem(11), 99u);
+  EXPECT_EQ(stats.cycles, 1u + 2u + 2u + 1u);
+}
+
+TEST(ScalarCpu, BranchCpiTakenVsNotTaken) {
+  ScalarSoftCpu cpu;
+  cpu.load_program(assembler::assemble(
+      "movi %r1, 5\n"
+      "movi %r2, 5\n"
+      "setp.eq %p0, %r1, %r2\n"
+      "brp %p0, skip\n"
+      "movi %r3, 111\n"
+      "skip: exit\n"));
+  const auto stats = cpu.run();
+  EXPECT_EQ(cpu.read_reg(3), 0u);  // skipped
+  // 2 movi + setp (1) + taken branch (3) + exit (1).
+  EXPECT_EQ(stats.cycles, 1u + 1u + 1u + 3u + 1u);
+}
+
+TEST(ScalarCpu, LoopsCostBackEdgeBranches) {
+  // No zero-overhead loop hardware in a scalar RISC: back edges are taken
+  // branches.
+  ScalarSoftCpu cpu;
+  cpu.load_program(assembler::assemble(
+      "movi %r1, 0\n"
+      "loopi 4, end\n"
+      "addi %r1, %r1, 1\n"
+      "end: exit\n"));
+  const auto stats = cpu.run();
+  EXPECT_EQ(cpu.read_reg(1), 4u);
+  // movi 1 + loopi 1 + 4 x addi (1) + 3 back edges (3 each) + exit 1.
+  EXPECT_EQ(stats.cycles, 1u + 1u + 4u + 9u + 1u);
+}
+
+TEST(ScalarCpu, SimtOnlyInstructionsTrap) {
+  ScalarSoftCpu cpu;
+  cpu.load_program(assembler::assemble("setti 32\nexit\n"));
+  EXPECT_THROW(cpu.run(), Error);
+}
+
+TEST(ScalarCpu, DefaultClockMatchesSurveyedSoftCores) {
+  // "typically around 300 MHz" [2][3][4].
+  EXPECT_DOUBLE_EQ(ScalarSoftCpu().config().fmax_mhz, 300.0);
+}
+
+TEST(ScalarCpu, RuntimeScaling) {
+  ScalarRunStats stats;
+  stats.cycles = 300;
+  EXPECT_DOUBLE_EQ(stats.runtime_us(300.0), 1.0);
+}
+
+}  // namespace
+}  // namespace simt::baseline

@@ -1,0 +1,144 @@
+// Unit tests for the bit-manipulation primitives every datapath model
+// depends on.
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simt {
+namespace {
+
+TEST(Bits, BitReverseKnownValues) {
+  EXPECT_EQ(bit_reverse32(0x00000001u), 0x80000000u);
+  EXPECT_EQ(bit_reverse32(0x80000000u), 0x00000001u);
+  EXPECT_EQ(bit_reverse32(0xFFFFFFFFu), 0xFFFFFFFFu);
+  EXPECT_EQ(bit_reverse32(0x00000000u), 0x00000000u);
+  EXPECT_EQ(bit_reverse32(0x0000FFFFu), 0xFFFF0000u);
+  EXPECT_EQ(bit_reverse32(0x12345678u), 0x1E6A2C48u);
+}
+
+TEST(Bits, BitReverseIsInvolution) {
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_u32();
+    EXPECT_EQ(bit_reverse32(bit_reverse32(v)), v);
+  }
+}
+
+TEST(Bits, BitReversePartialWidth) {
+  // 12-bit reversal from the Fig. 5 worked example: 110001101111 ->
+  // 111101100011.
+  EXPECT_EQ(bit_reverse(0b110001101111u, 12), 0b111101100011u);
+}
+
+TEST(Bits, OnehotInRange) {
+  for (unsigned s = 0; s < 32; ++s) {
+    EXPECT_EQ(onehot(s, 32), std::uint64_t{1} << s) << "shift " << s;
+  }
+}
+
+TEST(Bits, OnehotOutOfRangeIsZero) {
+  // "A value greater than decimal 31 is converted to a one-hot value of all
+  // zeroes" (Section 4.2).
+  EXPECT_EQ(onehot(32, 32), 0u);
+  EXPECT_EQ(onehot(33, 32), 0u);
+  EXPECT_EQ(onehot(0xffffffffu, 32), 0u);
+}
+
+TEST(Bits, UnaryMaskThermometer) {
+  EXPECT_EQ(unary_mask(0, 32), 0u);
+  EXPECT_EQ(unary_mask(1, 32), 0b1u);
+  EXPECT_EQ(unary_mask(5, 32), 0b11111u);
+  EXPECT_EQ(unary_mask(31, 32), 0x7fffffffu);
+}
+
+TEST(Bits, UnaryMaskSaturatesOutOfRange) {
+  // A fully shifted-out negative number must become -1: all ones.
+  EXPECT_EQ(unary_mask(32, 32), 0xffffffffu);
+  EXPECT_EQ(unary_mask(1000, 32), 0xffffffffu);
+}
+
+TEST(Bits, SextBasics) {
+  EXPECT_EQ(sext(0x80, 8), -128);
+  EXPECT_EQ(sext(0x7f, 8), 127);
+  EXPECT_EQ(sext(0xffff, 16), -1);
+  EXPECT_EQ(sext(0x8000, 16), -32768);
+  EXPECT_EQ(sext(0x0000, 16), 0);
+  EXPECT_EQ(sext(0xffffffffu, 32), -1);
+}
+
+TEST(Bits, ZextMasks) {
+  EXPECT_EQ(zext(0xdeadbeefcafe, 16), 0xcafeu);
+  EXPECT_EQ(zext(0xff, 4), 0xfu);
+  EXPECT_EQ(zext(0x1234, 64), 0x1234u);
+}
+
+TEST(Bits, BitsFieldExtract) {
+  EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+  EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+  EXPECT_EQ(bits(0xdeadbeef, 7, 4), 0xeu);
+  EXPECT_EQ(bits(0x1, 0, 0), 0x1u);
+}
+
+TEST(Bits, Popcount) {
+  EXPECT_EQ(popcount32(0), 0u);
+  EXPECT_EQ(popcount32(0xffffffffu), 32u);
+  EXPECT_EQ(popcount32(0x80000001u), 2u);
+}
+
+TEST(Bits, ClzPtxSemantics) {
+  EXPECT_EQ(clz32(0), 32u);  // PTX: clz(0) == 32
+  EXPECT_EQ(clz32(1), 31u);
+  EXPECT_EQ(clz32(0x80000000u), 0u);
+  EXPECT_EQ(clz32(0x00010000u), 15u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(512u, 16u), 32u);  // the paper's 512-thread example
+  EXPECT_EQ(ceil_div(1u, 16u), 1u);
+  EXPECT_EQ(ceil_div(16u, 16u), 1u);
+  EXPECT_EQ(ceil_div(17u, 16u), 2u);
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fits_signed(32767, 16));
+  EXPECT_FALSE(fits_signed(32768, 16));
+  EXPECT_TRUE(fits_signed(-32768, 16));
+  EXPECT_FALSE(fits_signed(-32769, 16));
+}
+
+TEST(Bits, FitsUnsigned) {
+  EXPECT_TRUE(fits_unsigned(65535, 16));
+  EXPECT_FALSE(fits_unsigned(65536, 16));
+  EXPECT_TRUE(fits_unsigned(0xffffffffu, 32));
+}
+
+// Property sweep: reversal distributes over unary/onehot consistently.
+class BitsWidthSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitsWidthSweep, OnehotMatchesShiftSemantics) {
+  const unsigned width = GetParam();
+  for (unsigned s = 0; s < width; ++s) {
+    const std::uint64_t oh = onehot(s, width);
+    EXPECT_EQ(oh, std::uint64_t{1} << s);
+    // Multiplying by the one-hot value is a left shift (Section 4.2).
+    const std::uint64_t v = 0x9e3779b97f4a7c15ULL & ((1ULL << width) - 1);
+    EXPECT_EQ(zext(v * oh, width), zext(v << s, width));
+  }
+  EXPECT_EQ(onehot(width, width), 0u);
+}
+
+TEST_P(BitsWidthSweep, UnaryMaskHasAmountOnes) {
+  const unsigned width = GetParam();
+  for (unsigned s = 0; s <= width; ++s) {
+    const auto mask = unary_mask(s, width);
+    EXPECT_EQ(std::popcount(mask), static_cast<int>(std::min(s, width)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitsWidthSweep,
+                         ::testing::Values(8u, 12u, 16u, 24u, 32u, 48u));
+
+}  // namespace
+}  // namespace simt

@@ -1,0 +1,250 @@
+// Cycle-accuracy tests: exact clock counts for known kernels, pinned to the
+// Section 3.1 arithmetic (operation = depth, load = 4 x depth, store = 16 x
+// depth, single-cycle class, branch zeroing, pipeline interlocks).
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "core/gpgpu.hpp"
+
+namespace simt::core {
+namespace {
+
+CoreConfig cfg512() {
+  CoreConfig cfg;
+  cfg.num_sps = 16;
+  cfg.max_threads = 512;
+  cfg.regs_per_thread = 16;
+  cfg.shared_mem_words = 4096;
+  cfg.predicates_enabled = true;
+  // Pin the pipeline geometry these tests encode.
+  cfg.decode_depth = 6;
+  cfg.alu_latency = 8;
+  cfg.mem_latency = 6;
+  return cfg;
+}
+
+PerfCounters run_counters(const std::string& src, unsigned threads) {
+  Gpgpu gpu(cfg512());
+  gpu.load_program(assembler::assemble(src));
+  gpu.set_thread_count(threads);
+  const auto res = gpu.run();
+  EXPECT_TRUE(res.exited);
+  return res.perf;
+}
+
+TEST(CycleModel, OperationCostIsThreadBlockDepth) {
+  // "512 threads would require 32 clocks (512/16) per operation".
+  for (const unsigned threads : {16u, 64u, 256u, 512u}) {
+    const auto perf = run_counters("movsr %r1, %tid\nexit\n", threads);
+    const unsigned rows = (threads + 15) / 16;
+    // fill (6) + op (rows) + exit (1).
+    EXPECT_EQ(perf.cycles, 6u + rows + 1u) << threads;
+  }
+}
+
+TEST(CycleModel, VecAdd512Exact) {
+  const std::string src =
+      "movsr %r0, %tid\n"
+      "lds %r1, [%r0 + 0]\n"
+      "lds %r2, [%r0 + 512]\n"
+      "add %r3, %r1, %r2\n"
+      "sts [%r0 + 1024], %r3\n"
+      "exit\n";
+  const auto perf = run_counters(src, 512);
+  // fill 6 + movsr 32 + lds 128 + lds 128 + add 32 + sts 512 + exit 1.
+  EXPECT_EQ(perf.cycles, 6u + 32u + 128u + 128u + 32u + 512u + 1u);
+  EXPECT_EQ(perf.stall_cycles, 0u);  // 32-row blocks hide all latencies
+  EXPECT_EQ(perf.fill_cycles, 6u);
+  EXPECT_EQ(perf.issue_cycles, 32u + 128u + 128u + 32u + 512u + 1u);
+}
+
+TEST(CycleModel, LoadCostIsFourClocksPerRow) {
+  const auto perf = run_counters(
+      "movsr %r0, %tid\nlds %r1, [%r0]\nexit\n", 512);
+  EXPECT_EQ(perf.cycles, 6u + 32u + 128u + 1u);
+}
+
+TEST(CycleModel, StoreCostIsSixteenClocksPerRow) {
+  const auto perf = run_counters(
+      "movsr %r0, %tid\nsts [%r0], %r0\nexit\n", 512);
+  EXPECT_EQ(perf.cycles, 6u + 32u + 512u + 1u);
+}
+
+TEST(CycleModel, DynamicScalingCutsStoreCost) {
+  // "writing back only a subset of the threads ... can significantly reduce
+  // the number of clocks required for the STO instruction."
+  const std::string src =
+      "movsr %r0, %tid\n"
+      "setti 16\n"
+      "sts [%r0], %r0\n"
+      "exit\n";
+  const auto perf = run_counters(src, 512);
+  // fill 6 + movsr 32 + setti 1 + sts (1 row x 16) + exit 1.
+  EXPECT_EQ(perf.cycles, 6u + 32u + 1u + 16u + 1u);
+}
+
+TEST(CycleModel, SmallBlockExposesAluLatency) {
+  // A 1-row dependent chain cannot hide the 8-clock ALU latency: the
+  // consumer stalls until the producer's writeback (latency + 1 spacing).
+  const std::string src =
+      "movi %r1, 5\n"
+      "addi %r2, %r1, 1\n"
+      "exit\n";
+  const auto perf = run_counters(src, 16);
+  // fill 6; movi at 6 (1 clk); addi must start at 6+8+1=15; exit at 16.
+  EXPECT_EQ(perf.cycles, 17u);
+  EXPECT_EQ(perf.stall_cycles, 8u);
+}
+
+TEST(CycleModel, IndependentOpsDoNotStall) {
+  const std::string src =
+      "movi %r1, 5\n"
+      "movi %r2, 6\n"
+      "movi %r3, 7\n"
+      "exit\n";
+  const auto perf = run_counters(src, 16);
+  EXPECT_EQ(perf.cycles, 6u + 3u + 1u);
+  EXPECT_EQ(perf.stall_cycles, 0u);
+}
+
+TEST(CycleModel, LargeBlocksHideAluLatency) {
+  // With 512 threads the 32-clock row sweep exceeds latency+1: no stall.
+  const std::string src =
+      "movsr %r1, %tid\n"
+      "addi %r2, %r1, 1\n"
+      "exit\n";
+  const auto perf = run_counters(src, 512);
+  EXPECT_EQ(perf.stall_cycles, 0u);
+  EXPECT_EQ(perf.cycles, 6u + 32u + 32u + 1u);
+}
+
+TEST(CycleModel, LoadToUseSkewForWideProducer) {
+  // load (width 4) feeding an op: consumer rows sweep at width 1 while the
+  // producer swept at width 4, so row alignment forces a gap of
+  // 3*(rows-1) + mem_latency + 1 from the load's start.
+  const std::string src =
+      "movsr %r0, %tid\n"
+      "lds %r1, [%r0]\n"
+      "addi %r2, %r1, 1\n"
+      "exit\n";
+  // 4 rows (64 threads): movsr->lds RAW needs a 9-clock gap but movsr only
+  // covers 4 (5 stalls); the load's 16-clock sweep then exactly covers the
+  // 3*(rows-1) + mem_latency + 1 = 16-clock load-to-use gap (0 stalls).
+  const auto perf64 = run_counters(src, 64);
+  EXPECT_EQ(perf64.stall_cycles, 5u);
+  // 1 row (16 threads): movsr->lds stalls 8; the 4-clock load then covers
+  // only 4 of the 7-clock load-to-use gap (3 more stalls).
+  const auto perf16 = run_counters(src, 16);
+  EXPECT_EQ(perf16.stall_cycles, 11u);
+}
+
+TEST(CycleModel, StoreToLoadDrains) {
+  // A load after a store waits for the store's last-row writeback.
+  const std::string src =
+      "movsr %r0, %tid\n"
+      "sts [%r0], %r0\n"
+      "lds %r1, [%r0]\n"
+      "exit\n";
+  const auto perf = run_counters(src, 16);
+  // fill 6 + movsr 1 (ends at 7); sts starts at 7+8+1=16 (RAW on r0)
+  // for 16 clocks (ends 32); lds must start at 16 + 0*16 + 6 + 1 = 23 --
+  // already past -- so no extra stall beyond the sts RAW one.
+  EXPECT_EQ(perf.stall_cycles, 8u);
+  EXPECT_EQ(perf.cycles, 6u + 1u + 8u + 16u + 4u + 1u);
+}
+
+TEST(CycleModel, TakenBranchPaysDecodeDepth) {
+  const std::string src =
+      "bra skip\n"
+      "movi %r1, 1\n"
+      "skip: exit\n";
+  const auto perf = run_counters(src, 16);
+  // fill 6 + bra 1 + flush 6 + exit 1.
+  EXPECT_EQ(perf.cycles, 14u);
+  EXPECT_EQ(perf.flush_cycles, 6u);
+}
+
+TEST(CycleModel, NotTakenBranchIsFree) {
+  const std::string src =
+      "movsr %r0, %tid\n"
+      "movi %r1, 1000\n"
+      "setp.gt %p0, %r0, %r1\n"
+      "brp %p0, nowhere\n"
+      "nowhere: exit\n";
+  const auto perf = run_counters(src, 16);
+  EXPECT_EQ(perf.flush_cycles, 0u);
+}
+
+TEST(CycleModel, ZeroOverheadLoopHasNoBackEdgeCost) {
+  // Body of one independent op, 8 iterations: the loop-back costs nothing.
+  const std::string src =
+      "loopi 8, end\n"
+      "addi %r2, %r0, 1\n"
+      "end: exit\n";
+  const auto perf = run_counters(src, 16);
+  // fill 6 + loopi 1 + 8 iterations x 1 + exit 1.
+  EXPECT_EQ(perf.cycles, 6u + 1u + 8u + 1u);
+  EXPECT_EQ(perf.flush_cycles, 0u);
+  EXPECT_EQ(perf.instructions, 10u);
+}
+
+TEST(CycleModel, EquivalentBranchLoopPaysFlushes) {
+  // The same 8-iteration loop via counter + brp: every back edge flushes.
+  const std::string src =
+      "movi %r1, 8\n"
+      "movi %r3, 0\n"
+      "again:\n"
+      "addi %r2, %r0, 1\n"
+      "subi %r1, %r1, 1\n"
+      "setp.ne %p0, %r1, %r3\n"
+      "brp %p0, again\n"
+      "exit\n";
+  const auto perf = run_counters(src, 16);
+  EXPECT_EQ(perf.flush_cycles, 7u * 6u);  // 7 taken back edges
+  // The zero-overhead version is dramatically cheaper.
+  const auto zol = run_counters(
+      "loopi 8, end\naddi %r2, %r0, 1\nend: exit\n", 16);
+  EXPECT_LT(zol.cycles, perf.cycles / 4);
+}
+
+TEST(CycleModel, GuardedStoreStillPaysFullWidth) {
+  // Guards mask writes but lockstep issue still sweeps all rows: the STO
+  // cost does not shrink unless the thread count itself is rescaled
+  // (that is exactly why dynamic thread scaling exists, Section 2).
+  const std::string src =
+      "movsr %r0, %tid\n"
+      "movi %r1, 1\n"
+      "setp.lt %p0, %r0, %r1\n"
+      "@p0 sts [%r0], %r0\n"
+      "exit\n";
+  const auto perf = run_counters(src, 512);
+  EXPECT_EQ(perf.shm_writes, 1u);     // only thread 0 wrote
+  EXPECT_EQ(perf.issue_cycles,
+            32u + 32u + 32u + 512u + 1u);  // full-width store sweep
+}
+
+TEST(CycleModel, FillCyclesEqualDecodeDepth) {
+  auto cfg = cfg512();
+  cfg.decode_depth = 9;
+  Gpgpu gpu(cfg);
+  gpu.load_program(assembler::assemble("exit\n"));
+  const auto res = gpu.run();
+  EXPECT_EQ(res.perf.fill_cycles, 9u);
+  EXPECT_EQ(res.perf.cycles, 10u);
+}
+
+TEST(CycleModel, OpsPerCycleApproachesSpWidth) {
+  // Long independent op streams on full blocks: ~16 thread-ops/clock.
+  std::string src;
+  for (int i = 0; i < 50; ++i) {
+    src += "addi %r" + std::to_string(1 + (i % 8)) + ", %r0, " +
+           std::to_string(i) + "\n";
+  }
+  src += "exit\n";
+  const auto perf = run_counters(src, 512);
+  EXPECT_GT(perf.ops_per_cycle(), 15.0);
+  EXPECT_LE(perf.ops_per_cycle(), 16.0);
+}
+
+}  // namespace
+}  // namespace simt::core

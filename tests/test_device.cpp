@@ -1,0 +1,104 @@
+// Tests for the Agilex-like device model (Section 2.2 / Section 5).
+#include "fabric/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simt::fabric {
+namespace {
+
+TEST(Device, RepresentativeSectorMatchesPaper) {
+  // "one representative sector contains 16640 ALMs, 240 M20K memory blocks,
+  // and 160 DSP Blocks."
+  const Device dev = Device::representative();
+  const auto r = dev.sector_resources();
+  EXPECT_EQ(r.alms, 16640u);
+  EXPECT_EQ(r.m20ks, 240u);
+  EXPECT_EQ(r.dsps, 160u);
+}
+
+TEST(Device, Agfd019HasOneDspColumnPerSector) {
+  // "This device contains only one DSP column per sector; as the processor
+  // requires two DSP Blocks per SP, placement of the cores is always forced
+  // into a 32 row height."
+  const Device dev = Device::agfd019();
+  unsigned dsp_cols = 0;
+  for (unsigned c = 0; c < dev.config().sector_cols; ++c) {
+    if (dev.config().column_pattern[c] == TileType::Dsp) {
+      ++dsp_cols;
+    }
+  }
+  EXPECT_EQ(dsp_cols, 1u);
+  // 16 DSP rows per sector -> a 32-DSP core spans 32 rows (two sectors).
+  EXPECT_EQ(dev.sector_resources().dsps, dev.config().sector_rows);
+  EXPECT_GE(2 * dev.sector_resources().dsps, 32u);
+}
+
+TEST(Device, TileLookupFollowsColumnPattern) {
+  const Device dev = Device::agfd019();
+  for (unsigned y = 0; y < dev.height(); y += 17) {
+    for (unsigned x = 0; x < dev.width(); ++x) {
+      EXPECT_EQ(dev.tile(x, y),
+                dev.config().column_pattern[x % dev.config().sector_cols]);
+    }
+  }
+}
+
+TEST(Device, TileCapacity) {
+  const Device dev = Device::agfd019();
+  for (unsigned x = 0; x < dev.config().sector_cols; ++x) {
+    const unsigned cap = dev.tile_capacity(x, 0);
+    if (dev.tile(x, 0) == TileType::Lab) {
+      EXPECT_EQ(cap, kAlmsPerLab);
+    } else {
+      EXPECT_EQ(cap, 1u);
+    }
+  }
+}
+
+TEST(Device, SectorIndexing) {
+  const Device dev = Device::agfd019();
+  EXPECT_EQ(dev.sector_of(0, 0), 0u);
+  EXPECT_EQ(dev.sector_of(dev.config().sector_cols, 0), 1u);
+  EXPECT_EQ(dev.sector_of(0, dev.config().sector_rows),
+            dev.config().sectors_x);
+}
+
+TEST(Device, SectorCrossings) {
+  const Device dev = Device::agfd019();
+  const unsigned sc = dev.config().sector_cols;
+  const unsigned sr = dev.config().sector_rows;
+  // Same sector: no crossing.
+  EXPECT_EQ(dev.sector_crossings(0, 0, sc - 1, sr - 1), 0u);
+  // One horizontal boundary.
+  EXPECT_EQ(dev.sector_crossings(sc - 1, 0, sc, 0), 1u);
+  // One vertical boundary.
+  EXPECT_EQ(dev.sector_crossings(0, sr - 1, 0, sr), 1u);
+  // Diagonal across both.
+  EXPECT_EQ(dev.sector_crossings(sc - 1, sr - 1, sc, sr), 2u);
+  // Two sectors over.
+  EXPECT_EQ(dev.sector_crossings(0, 0, 2 * sc, 0), 2u);
+}
+
+TEST(Device, DeviceResourcesScaleWithSectorCount) {
+  const Device dev = Device::agfd019();
+  const auto per = dev.sector_resources();
+  const auto all = dev.device_resources();
+  const unsigned n = dev.config().sectors_x * dev.config().sectors_y;
+  EXPECT_EQ(all.alms, per.alms * n);
+  EXPECT_EQ(all.m20ks, per.m20ks * n);
+  EXPECT_EQ(all.dsps, per.dsps * n);
+}
+
+TEST(Device, Agfd019FitsTheFlagshipCoreWithMargin) {
+  // The flagship core (7038 in-box ALMs, 99 M20K, 32 DSP) must fit the
+  // device model several times over (the 3-stamp experiment needs 3 copies
+  // plus separation).
+  const Device dev = Device::agfd019();
+  const auto all = dev.device_resources();
+  EXPECT_GE(all.alms, 3u * 7040u);
+  EXPECT_GE(all.m20ks, 3u * 99u);
+  EXPECT_GE(all.dsps, 3u * 32u);
+}
+
+}  // namespace
+}  // namespace simt::fabric

@@ -1,0 +1,178 @@
+// Tests for the Fig. 2 fetch/decode sequencing: branch zeroing bubbles, the
+// branch-return stack, the address history, and the zero-overhead loop
+// hardware.
+#include "core/fetch_decode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace simt::core {
+namespace {
+
+CoreConfig small_cfg() {
+  CoreConfig cfg;
+  cfg.max_threads = 16;
+  cfg.decode_depth = 6;
+  return cfg;
+}
+
+TEST(FetchDecode, AdvanceIsFreeOfBubbles) {
+  const auto cfg = small_cfg();
+  FetchDecode fd(cfg);
+  fd.reset();
+  EXPECT_EQ(fd.pc(), 0u);
+  EXPECT_EQ(fd.advance(), 0u);
+  EXPECT_EQ(fd.pc(), 1u);
+}
+
+TEST(FetchDecode, TakenBranchZeroesDecodeDepth) {
+  // "A branch taken zeroes out the following instructions in the pipeline."
+  const auto cfg = small_cfg();
+  FetchDecode fd(cfg);
+  fd.reset();
+  EXPECT_EQ(fd.branch_to(10), cfg.decode_depth);
+  EXPECT_EQ(fd.pc(), 10u);
+}
+
+TEST(FetchDecode, CallRetUseReturnStack) {
+  const auto cfg = small_cfg();
+  FetchDecode fd(cfg);
+  fd.reset();
+  fd.advance();  // pc = 1
+  EXPECT_EQ(fd.call(20), cfg.decode_depth);
+  EXPECT_EQ(fd.pc(), 20u);
+  EXPECT_EQ(fd.call_depth(), 1u);
+  EXPECT_EQ(fd.ret(), cfg.decode_depth);
+  EXPECT_EQ(fd.pc(), 2u);  // return to call site + 1
+  EXPECT_EQ(fd.call_depth(), 0u);
+}
+
+TEST(FetchDecode, NestedCalls) {
+  const auto cfg = small_cfg();
+  FetchDecode fd(cfg);
+  fd.reset();
+  fd.call(10);
+  fd.call(20);
+  fd.call(30);
+  EXPECT_EQ(fd.call_depth(), 3u);
+  fd.ret();
+  EXPECT_EQ(fd.pc(), 21u);
+  fd.ret();
+  EXPECT_EQ(fd.pc(), 11u);
+  fd.ret();
+  EXPECT_EQ(fd.pc(), 1u);
+}
+
+TEST(FetchDecode, StackOverflowAndUnderflowTrap) {
+  auto cfg = small_cfg();
+  cfg.call_stack_depth = 2;
+  FetchDecode fd(cfg);
+  fd.reset();
+  fd.call(10);
+  fd.call(20);
+  EXPECT_THROW(fd.call(30), Error);
+  fd.ret();
+  fd.ret();
+  EXPECT_THROW(fd.ret(), Error);
+}
+
+TEST(FetchDecode, ZeroOverheadLoopRunsCountTimes) {
+  const auto cfg = small_cfg();
+  FetchDecode fd(cfg);
+  fd.reset();
+  // loop at pc 0, body = pcs 1..2, end_pc = 3, count = 4.
+  EXPECT_EQ(fd.loop_begin(4, 3), 0u);  // entering the body costs nothing
+  std::vector<std::uint32_t> trace;
+  for (int i = 0; i < 8; ++i) {
+    trace.push_back(fd.pc());
+    EXPECT_EQ(fd.advance(), 0u);  // loop-backs are bubble-free
+  }
+  // Body (1,2) four times, then fall through to 3.
+  const std::vector<std::uint32_t> expect = {1, 2, 1, 2, 1, 2, 1, 2};
+  EXPECT_EQ(trace, expect);
+  EXPECT_EQ(fd.pc(), 3u);
+  EXPECT_EQ(fd.loop_depth(), 0u);
+}
+
+TEST(FetchDecode, LoopCountOneRunsOnceWithoutHardware) {
+  const auto cfg = small_cfg();
+  FetchDecode fd(cfg);
+  fd.reset();
+  EXPECT_EQ(fd.loop_begin(1, 3), 0u);
+  EXPECT_EQ(fd.loop_depth(), 0u);  // no loop entry needed
+  fd.advance();
+  fd.advance();
+  EXPECT_EQ(fd.pc(), 3u);
+}
+
+TEST(FetchDecode, LoopCountZeroSkipsBodyLikeATakenBranch) {
+  const auto cfg = small_cfg();
+  FetchDecode fd(cfg);
+  fd.reset();
+  EXPECT_EQ(fd.loop_begin(0, 3), cfg.decode_depth);
+  EXPECT_EQ(fd.pc(), 3u);
+}
+
+TEST(FetchDecode, NestedLoops) {
+  const auto cfg = small_cfg();
+  FetchDecode fd(cfg);
+  fd.reset();
+  // outer: loop at 0, body 1..4 (end 5), 2 iterations
+  // inner: loop at 1, body 2..3 (end 4), 3 iterations
+  fd.loop_begin(2, 5);  // pc -> 1
+  std::vector<std::uint32_t> trace;
+  for (int i = 0; i < 30 && fd.pc() != 5; ++i) {
+    trace.push_back(fd.pc());
+    if (fd.pc() == 1) {
+      fd.loop_begin(3, 4);
+    } else {
+      fd.advance();
+    }
+  }
+  // Outer body: 1, (2,3)x3, 4 -- twice.
+  const std::vector<std::uint32_t> expect = {1, 2, 3, 2, 3, 2, 3, 4,
+                                             1, 2, 3, 2, 3, 2, 3, 4};
+  EXPECT_EQ(trace, expect);
+  EXPECT_EQ(fd.pc(), 5u);
+}
+
+TEST(FetchDecode, LoopStackOverflowTraps) {
+  auto cfg = small_cfg();
+  cfg.loop_stack_depth = 2;
+  FetchDecode fd(cfg);
+  fd.reset();
+  fd.loop_begin(2, 10);
+  fd.loop_begin(2, 10);
+  EXPECT_THROW(fd.loop_begin(2, 10), Error);
+}
+
+TEST(FetchDecode, HistoryRecordsRecentAddresses) {
+  // "a short history of addresses to be kept for determining branch
+  // returns" (Section 3).
+  const auto cfg = small_cfg();
+  FetchDecode fd(cfg);
+  fd.reset();
+  fd.advance();
+  fd.advance();
+  fd.branch_to(9);
+  const auto& h = fd.history();
+  ASSERT_GE(h.size(), 4u);
+  EXPECT_EQ(h[h.size() - 4], 0u);
+  EXPECT_EQ(h[h.size() - 3], 1u);
+  EXPECT_EQ(h[h.size() - 2], 2u);
+  EXPECT_EQ(h[h.size() - 1], 9u);
+}
+
+TEST(FetchDecode, HistoryIsBounded) {
+  const auto cfg = small_cfg();
+  FetchDecode fd(cfg);
+  fd.reset();
+  for (int i = 0; i < 100; ++i) {
+    fd.advance();
+  }
+  EXPECT_LE(fd.history().size(), 16u);
+}
+
+}  // namespace
+}  // namespace simt::core

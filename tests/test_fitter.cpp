@@ -1,0 +1,331 @@
+// Tests for the placer, STA and fitter driver: placement legality, seed
+// determinism, constraint containment, timing caps, and stamping structure.
+// (Calibration of absolute MHz values lives in the benches; these tests pin
+// the mechanisms.)
+#include "fit/fitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "fit/floorplan.hpp"
+
+namespace simt::fit {
+namespace {
+
+core::CoreConfig small_core() {
+  // A 4-SP core keeps the fitter tests fast while exercising every
+  // mechanism; the full flagship runs in the benches.
+  core::CoreConfig cfg;
+  cfg.num_sps = 4;
+  cfg.max_threads = 64;
+  cfg.regs_per_thread = 16;
+  cfg.shared_mem_words = 1024;
+  cfg.predicates_enabled = false;
+  return cfg;
+}
+
+CompileOptions fast_options() {
+  CompileOptions opt;
+  opt.moves_per_atom = 30;  // keep tests quick
+  return opt;
+}
+
+TEST(Placer, PlacementIsLegal) {
+  const auto dev = fabric::Device::agfd019();
+  const auto nl = fabric::build_netlist(small_core(), {});
+  const Placer placer(dev, nl);
+  PlaceOptions popt;
+  popt.moves_per_atom = 30;
+  const Placement pl = placer.place(popt);
+
+  // No two atoms share a slot; every atom sits on a matching tile type.
+  std::set<std::tuple<unsigned, unsigned, unsigned>> used;
+  for (std::size_t i = 0; i < nl.atoms().size(); ++i) {
+    const auto& s = pl.site(static_cast<std::int32_t>(i));
+    ASSERT_TRUE(used.insert({s.x, s.y, s.slot}).second)
+        << "overlap at " << s.x << "," << s.y << " slot " << int{s.slot};
+    const auto tile = dev.tile(s.x, s.y);
+    switch (nl.atoms()[i].kind) {
+      case fabric::AtomKind::Alm:
+      case fabric::AtomKind::AlmMem:
+        EXPECT_EQ(tile, fabric::TileType::Lab);
+        EXPECT_LT(s.slot, fabric::kAlmsPerLab);
+        break;
+      case fabric::AtomKind::M20k:
+        EXPECT_EQ(tile, fabric::TileType::M20k);
+        EXPECT_EQ(s.slot, 0u);
+        break;
+      case fabric::AtomKind::Dsp:
+        EXPECT_EQ(tile, fabric::TileType::Dsp);
+        EXPECT_EQ(s.slot, 0u);
+        break;
+    }
+  }
+}
+
+TEST(Placer, SameSeedSameResult) {
+  const auto dev = fabric::Device::agfd019();
+  const auto nl = fabric::build_netlist(small_core(), {});
+  const Placer placer(dev, nl);
+  PlaceOptions popt;
+  popt.seed = 7;
+  popt.moves_per_atom = 25;
+  const Placement a = placer.place(popt);
+  const Placement b = placer.place(popt);
+  for (std::size_t i = 0; i < nl.atoms().size(); ++i) {
+    const auto& sa = a.site(static_cast<std::int32_t>(i));
+    const auto& sb = b.site(static_cast<std::int32_t>(i));
+    EXPECT_EQ(sa.x, sb.x);
+    EXPECT_EQ(sa.y, sb.y);
+    EXPECT_EQ(sa.slot, sb.slot);
+  }
+}
+
+TEST(Placer, DifferentSeedsDiffer) {
+  const auto dev = fabric::Device::agfd019();
+  const auto nl = fabric::build_netlist(small_core(), {});
+  const Placer placer(dev, nl);
+  PlaceOptions p1, p2;
+  p1.seed = 1;
+  p2.seed = 2;
+  p1.moves_per_atom = p2.moves_per_atom = 25;
+  const Placement a = placer.place(p1);
+  const Placement b = placer.place(p2);
+  unsigned diffs = 0;
+  for (std::size_t i = 0; i < nl.atoms().size(); ++i) {
+    const auto& sa = a.site(static_cast<std::int32_t>(i));
+    const auto& sb = b.site(static_cast<std::int32_t>(i));
+    if (sa.x != sb.x || sa.y != sb.y || sa.slot != sb.slot) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, nl.atoms().size() / 10);
+}
+
+TEST(Placer, RegionConstraintIsRespected) {
+  const auto dev = fabric::Device::agfd019();
+  const auto nl = fabric::build_netlist(small_core(), {});
+  const Placer placer(dev, nl);
+  PlaceOptions popt;
+  popt.moves_per_atom = 25;
+  popt.regions = {Region{0, 0, 35, 15}};
+  popt.atom_region.assign(nl.atoms().size(), 0);
+  const Placement pl = placer.place(popt);
+  for (std::size_t i = 0; i < nl.atoms().size(); ++i) {
+    const auto& s = pl.site(static_cast<std::int32_t>(i));
+    EXPECT_TRUE(popt.regions[0].contains(s.x, s.y))
+        << s.x << "," << s.y;
+  }
+}
+
+TEST(Placer, ThrowsWhenRegionTooSmall) {
+  const auto dev = fabric::Device::agfd019();
+  const auto nl = fabric::build_netlist(small_core(), {});
+  const Placer placer(dev, nl);
+  PlaceOptions popt;
+  popt.regions = {Region{0, 0, 3, 3}};  // hopelessly small
+  popt.atom_region.assign(nl.atoms().size(), 0);
+  EXPECT_THROW(placer.place(popt), Error);
+}
+
+TEST(Sta, RestrictedFmaxIsCappedByDspInteger) {
+  const auto dev = fabric::Device::agfd019();
+  const auto nl = fabric::build_netlist(small_core(), {});
+  const Fitter fitter(dev);
+  const auto res = fitter.compile(small_core(), fast_options());
+  EXPECT_LE(res.timing.fmax_restricted_mhz, 958.0f);
+  EXPECT_GE(res.timing.fmax_soft_mhz, res.timing.fmax_restricted_mhz);
+}
+
+TEST(Sta, FpDatapathCapsAt771) {
+  // The eGPU fp32 baseline (Section 2.1).
+  const auto dev = fabric::Device::agfd019();
+  const Fitter fitter(dev);
+  auto opt = fast_options();
+  opt.fp_datapath = true;
+  const auto res = fitter.compile(small_core(), opt);
+  EXPECT_LE(res.timing.fmax_restricted_mhz, 771.0f);
+}
+
+TEST(Sta, AutoSrrCapsAt850) {
+  const auto dev = fabric::Device::agfd019();
+  const Fitter fitter(dev);
+  auto opt = fast_options();
+  opt.netlist.auto_shift_register_replacement = true;
+  const auto res = fitter.compile(small_core(), opt);
+  EXPECT_LE(res.timing.fmax_restricted_mhz, 850.0f);
+}
+
+TEST(Sta, ReportsCriticalArcAttribution) {
+  const auto dev = fabric::Device::agfd019();
+  const Fitter fitter(dev);
+  const auto res = fitter.compile(small_core(), fast_options());
+  ASSERT_FALSE(res.timing.worst_arcs.empty());
+  EXPECT_GT(res.timing.worst_arcs.front().delay_ps, 0.0f);
+  // worst_arcs is sorted worst-first.
+  for (std::size_t i = 1; i < res.timing.worst_arcs.size(); ++i) {
+    EXPECT_GE(res.timing.worst_arcs[i - 1].delay_ps,
+              res.timing.worst_arcs[i].delay_ps);
+  }
+  EXPECT_FALSE(res.timing.summary().empty());
+}
+
+TEST(Fitter, BoxForSatisfiesCapacitiesAt32Rows) {
+  const auto dev = fabric::Device::agfd019();
+  const auto nl =
+      fabric::build_netlist(core::CoreConfig::table1_flagship(), {});
+  const Fitter fitter(dev);
+  const Region box = fitter.box_for(nl, 0.93, 0, 0);
+  // Forced into a 32-row height by the DSP column (Section 5).
+  EXPECT_EQ(box.height(), 32u);
+  // Capacity check: count resources inside.
+  unsigned alms = 0, m20k = 0, dsp = 0;
+  for (unsigned x = box.x0; x <= box.x1; ++x) {
+    for (unsigned y = box.y0; y <= box.y1; ++y) {
+      switch (dev.tile(x, y)) {
+        case fabric::TileType::Lab:
+          alms += fabric::kAlmsPerLab;
+          break;
+        case fabric::TileType::M20k:
+          ++m20k;
+          break;
+        case fabric::TileType::Dsp:
+          ++dsp;
+          break;
+      }
+    }
+  }
+  EXPECT_GE(alms, nl.count(fabric::AtomKind::Alm));
+  EXPECT_GE(m20k, nl.count(fabric::AtomKind::M20k));
+  EXPECT_GE(dsp, nl.count(fabric::AtomKind::Dsp));
+}
+
+TEST(Fitter, SweepReturnsBestOfSeeds) {
+  const auto dev = fabric::Device::agfd019();
+  const Fitter fitter(dev);
+  const auto sweep = fitter.sweep(small_core(), fast_options(), 3);
+  ASSERT_EQ(sweep.compiles.size(), 3u);
+  for (const auto& c : sweep.compiles) {
+    EXPECT_LE(c.timing.fmax_restricted_mhz,
+              sweep.best().timing.fmax_restricted_mhz + 1e-3f);
+  }
+  // Seeds are distinct.
+  EXPECT_EQ(sweep.compiles[0].seed + 1, sweep.compiles[1].seed);
+}
+
+TEST(Fitter, StampsOccupyDisjointSectorSeparatedBoxes) {
+  const auto dev = fabric::Device::agfd019();
+  const Fitter fitter(dev);
+  auto opt = fast_options();
+  opt.box_utilization = 0.93;
+  const auto res = fitter.compile_stamps(small_core(), opt, 3);
+  ASSERT_EQ(res.per_stamp_mhz.size(), 3u);
+  for (const float mhz : res.per_stamp_mhz) {
+    EXPECT_GT(mhz, 0.0f);
+    EXPECT_GE(mhz, res.fmax_restricted_mhz);
+  }
+}
+
+TEST(Fitter, CompileRecordsRegionWhenConstrained) {
+  const auto dev = fabric::Device::agfd019();
+  const Fitter fitter(dev);
+  auto opt = fast_options();
+  opt.box_utilization = 0.9;
+  const auto res = fitter.compile(small_core(), opt);
+  ASSERT_TRUE(res.region.has_value());
+  // All atoms inside the recorded box.
+  for (std::size_t i = 0; i < res.netlist.atoms().size(); ++i) {
+    const auto& s = res.placement.site(static_cast<std::int32_t>(i));
+    EXPECT_TRUE(res.region->contains(s.x, s.y));
+  }
+}
+
+TEST(Floorplan, RenderShowsModulesAndSpine) {
+  const auto dev = fabric::Device::agfd019();
+  const Fitter fitter(dev);
+  const auto res = fitter.compile(small_core(), fast_options());
+  const std::string plan =
+      render_floorplan(dev, res.netlist, res.placement);
+  EXPECT_FALSE(plan.empty());
+  // Shared memory blocks and at least one SP must be visible.
+  EXPECT_NE(plan.find('S'), std::string::npos);
+  EXPECT_NE(plan.find('0'), std::string::npos);
+  EXPECT_NE(plan.find('D'), std::string::npos);
+}
+
+TEST(DelayModel, MonotonicInDistanceAndCongestion) {
+  const auto dev = fabric::Device::agfd019();
+  DelayModel model;
+  fabric::TimingArc arc{0, 1, 300.0f, 0.0f, false};
+  const float near = model.arc_delay_ps(arc, 0, 0, 1, 0, dev);
+  const float far = model.arc_delay_ps(arc, 0, 0, 30, 0, dev);
+  EXPECT_LT(near, far);
+  const float congested = model.arc_delay_ps(arc, 0, 0, 30, 0, dev, 1.3f);
+  EXPECT_LT(far, congested);
+}
+
+TEST(DelayModel, RetimableArcsAbsorbRouting) {
+  const auto dev = fabric::Device::agfd019();
+  DelayModel model;
+  fabric::TimingArc rigid{0, 1, 300.0f, 0.0f, false};
+  fabric::TimingArc retime{0, 1, 300.0f, 0.0f, true};
+  EXPECT_GT(model.arc_delay_ps(rigid, 0, 0, 30, 0, dev),
+            model.arc_delay_ps(retime, 0, 0, 30, 0, dev));
+}
+
+TEST(DelayModel, MinSpanFloorsShortRoutes) {
+  const auto dev = fabric::Device::agfd019();
+  DelayModel model;
+  fabric::TimingArc spanned{0, 1, 300.0f, 4.0f, false};
+  fabric::TimingArc plain{0, 1, 300.0f, 0.0f, false};
+  // Even when placed adjacently, the spanned arc pays 4 tiles of routing.
+  EXPECT_GT(model.arc_delay_ps(spanned, 0, 0, 0, 0, dev),
+            model.arc_delay_ps(plain, 0, 0, 0, 0, dev));
+  // Beyond the span the two agree.
+  EXPECT_FLOAT_EQ(model.arc_delay_ps(spanned, 0, 0, 10, 0, dev),
+                  model.arc_delay_ps(plain, 0, 0, 10, 0, dev));
+}
+
+TEST(DelayModel, CongestionKneeBehaviour) {
+  DelayModel model;
+  EXPECT_FLOAT_EQ(model.congestion_multiplier(0.3f), 1.0f);
+  EXPECT_FLOAT_EQ(model.congestion_multiplier(0.5f), 1.0f);
+  EXPECT_GT(model.congestion_multiplier(0.86f), 1.0f);
+  EXPECT_GT(model.congestion_multiplier(0.93f),
+            model.congestion_multiplier(0.86f));
+}
+
+TEST(Fitter, SpAlignedBindsEachSpToItsBand) {
+  // Section 6 future work: every SP confined to its own rows of the box.
+  const auto dev = fabric::Device::agfd019();
+  const fit::Fitter fitter(dev);
+  const auto cfg = core::CoreConfig::table1_flagship();
+  auto opt = fast_options();
+  opt.box_utilization = 0.93;
+  const auto res = fitter.compile_sp_aligned(cfg, opt);
+  ASSERT_TRUE(res.region.has_value());
+  const unsigned rows_per_sp = res.region->height() / cfg.num_sps;
+  ASSERT_GE(rows_per_sp, 1u);
+  for (std::size_t i = 0; i < res.netlist.atoms().size(); ++i) {
+    const auto& atom = res.netlist.atoms()[i];
+    const auto& s = res.placement.site(static_cast<std::int32_t>(i));
+    ASSERT_TRUE(res.region->contains(s.x, s.y));
+    if (atom.sp_index >= 0) {
+      const unsigned band0 =
+          res.region->y0 + atom.sp_index * rows_per_sp;
+      const unsigned band1 =
+          atom.sp_index + 1 == static_cast<int>(cfg.num_sps)
+              ? res.region->y1
+              : band0 + rows_per_sp - 1;
+      EXPECT_GE(s.y, band0) << "sp " << atom.sp_index;
+      EXPECT_LE(s.y, band1) << "sp " << atom.sp_index;
+    }
+  }
+  EXPECT_GT(res.timing.fmax_soft_mhz, 0.0f);
+}
+
+}  // namespace
+}  // namespace simt::fit

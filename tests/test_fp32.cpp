@@ -1,0 +1,146 @@
+// Tests for the fp32 soft-float substrate (the eGPU baseline's DSP
+// floating-point mode): exact RNE agreement with host IEEE arithmetic on
+// normal values, flush-to-zero behaviour, and special-value propagation.
+#include "hw/fp32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace simt::hw {
+namespace {
+
+std::uint32_t bits_of(float f) { return std::bit_cast<std::uint32_t>(f); }
+float float_of(std::uint32_t v) { return std::bit_cast<float>(v); }
+
+/// Host reference with the block's flush-to-zero convention.
+std::uint32_t host_mul_ftz(std::uint32_t a, std::uint32_t b) {
+  const float r = float_of(fp32_flush(a)) * float_of(fp32_flush(b));
+  return fp32_flush(bits_of(r));
+}
+
+std::uint32_t host_add_ftz(std::uint32_t a, std::uint32_t b) {
+  const float r = float_of(fp32_flush(a)) + float_of(fp32_flush(b));
+  return fp32_flush(bits_of(r));
+}
+
+/// Random normal float with exponent bounded away from the subnormal and
+/// overflow edges so host and FTZ semantics coincide.
+std::uint32_t random_normal(Xoshiro256& rng, int min_exp = -60,
+                            int max_exp = 60) {
+  const auto frac = static_cast<std::uint32_t>(rng.next_below(1u << 23));
+  const auto exp = static_cast<std::uint32_t>(
+      127 + rng.next_in(min_exp, max_exp));
+  const auto sign = static_cast<std::uint32_t>(rng.next_below(2)) << 31;
+  return sign | (exp << 23) | frac;
+}
+
+TEST(Fp32, MulMatchesHostOnNormals) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = random_normal(rng);
+    const auto b = random_normal(rng);
+    EXPECT_EQ(fp32_mul(a, b), host_mul_ftz(a, b))
+        << std::hexfloat << float_of(a) << " * " << float_of(b);
+  }
+}
+
+TEST(Fp32, AddMatchesHostOnNormals) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = random_normal(rng);
+    const auto b = random_normal(rng);
+    EXPECT_EQ(fp32_add(a, b), host_add_ftz(a, b))
+        << std::hexfloat << float_of(a) << " + " << float_of(b);
+  }
+}
+
+TEST(Fp32, AddNearCancellation) {
+  // Values close in magnitude with opposite signs: the hard path.
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = random_normal(rng, -4, 4);
+    // Perturb a few low mantissa bits and flip the sign.
+    const auto b = (a ^ 0x80000000u) ^
+                   static_cast<std::uint32_t>(rng.next_below(16));
+    const auto got = fp32_add(a, b);
+    const auto want = host_add_ftz(a, b);
+    EXPECT_EQ(got, want) << std::hexfloat << float_of(a) << " + "
+                         << float_of(b);
+  }
+}
+
+TEST(Fp32, KnownValues) {
+  EXPECT_EQ(float_of(fp32_mul(bits_of(2.0f), bits_of(3.0f))), 6.0f);
+  EXPECT_EQ(float_of(fp32_add(bits_of(0.1f), bits_of(0.2f))), 0.1f + 0.2f);
+  EXPECT_EQ(float_of(fp32_mul_add(bits_of(2.0f), bits_of(3.0f),
+                                  bits_of(-5.0f))),
+            1.0f);
+  EXPECT_EQ(float_of(fp32_add(bits_of(1.0f), bits_of(-1.0f))), 0.0f);
+}
+
+TEST(Fp32, SubnormalsFlushToZero) {
+  const std::uint32_t subnormal = 0x00000001u;  // smallest positive denormal
+  EXPECT_EQ(fp32_flush(subnormal), 0u);
+  EXPECT_EQ(fp32_flush(0x80000001u), 0x80000000u);
+  // A product that would be subnormal flushes to (signed) zero.
+  const auto tiny = bits_of(1e-30f);
+  const auto result = fp32_mul(tiny, tiny);  // ~1e-60: below normal range
+  EXPECT_EQ(result & 0x7fffffffu, 0u);
+  // Normal values pass through.
+  EXPECT_EQ(fp32_flush(bits_of(1.5f)), bits_of(1.5f));
+}
+
+TEST(Fp32, SpecialValues) {
+  const auto inf = bits_of(std::numeric_limits<float>::infinity());
+  const auto ninf = inf | 0x80000000u;
+  const auto nan = bits_of(std::numeric_limits<float>::quiet_NaN());
+
+  EXPECT_TRUE(fp32_is_inf(inf));
+  EXPECT_TRUE(fp32_is_nan(nan));
+  EXPECT_FALSE(fp32_is_nan(inf));
+
+  // NaN propagation.
+  EXPECT_TRUE(fp32_is_nan(fp32_mul(nan, bits_of(1.0f))));
+  EXPECT_TRUE(fp32_is_nan(fp32_add(nan, bits_of(1.0f))));
+  // 0 * inf and inf - inf are invalid.
+  EXPECT_TRUE(fp32_is_nan(fp32_mul(bits_of(0.0f), inf)));
+  EXPECT_TRUE(fp32_is_nan(fp32_add(inf, ninf)));
+  // inf arithmetic.
+  EXPECT_EQ(fp32_mul(inf, bits_of(2.0f)), inf);
+  EXPECT_EQ(fp32_mul(inf, bits_of(-2.0f)), ninf);
+  EXPECT_EQ(fp32_add(inf, bits_of(1.0f)), inf);
+}
+
+TEST(Fp32, OverflowToInfinity) {
+  const auto big = bits_of(3e38f);
+  const auto r = fp32_mul(big, bits_of(2.0f));
+  EXPECT_TRUE(fp32_is_inf(r));
+  const auto r2 = fp32_add(big, big);
+  EXPECT_TRUE(fp32_is_inf(r2));
+}
+
+TEST(Fp32, SignedZeroRules) {
+  const auto pz = bits_of(0.0f);
+  const auto nz = bits_of(-0.0f);
+  EXPECT_EQ(fp32_add(pz, nz), pz);       // +0 + -0 = +0 (RNE)
+  EXPECT_EQ(fp32_add(nz, nz), nz);       // -0 + -0 = -0
+  EXPECT_EQ(fp32_mul(nz, bits_of(2.0f)), nz);
+  EXPECT_EQ(fp32_mul(nz, bits_of(-2.0f)), pz);
+}
+
+TEST(Fp32, MulIsCommutative) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = random_normal(rng);
+    const auto b = random_normal(rng);
+    EXPECT_EQ(fp32_mul(a, b), fp32_mul(b, a));
+    EXPECT_EQ(fp32_add(a, b), fp32_add(b, a));
+  }
+}
+
+}  // namespace
+}  // namespace simt::hw

@@ -1,0 +1,192 @@
+// Tests for the instruction set: metadata consistency, the 64-bit encoding
+// round trip over all 61 opcodes, and the disassembler.
+#include "isa/isa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simt::isa {
+namespace {
+
+std::vector<Opcode> all_opcodes() {
+  std::vector<Opcode> ops;
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    ops.push_back(static_cast<Opcode>(i));
+  }
+  return ops;
+}
+
+TEST(Isa, ExactlySixtyOneInstructions) {
+  // Section 2: "a subset of 61 instructions supported".
+  EXPECT_EQ(kOpcodeCount, 61);
+  EXPECT_EQ(static_cast<int>(Opcode::Invalid), 61);
+}
+
+TEST(Isa, MetadataTableIsSelfConsistent) {
+  for (const Opcode op : all_opcodes()) {
+    const OpInfo& info = op_info(op);
+    EXPECT_EQ(info.op, op);
+    EXPECT_FALSE(info.mnemonic.empty());
+    // Mnemonics resolve back to their opcode.
+    const auto back = opcode_from_mnemonic(info.mnemonic);
+    ASSERT_TRUE(back.has_value()) << info.mnemonic;
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(Isa, TimingClassesMatchThePaper) {
+  // Loads/stores are the only width-counted instructions (Fig. 3).
+  EXPECT_EQ(op_info(Opcode::LDS).timing, TimingClass::Load);
+  EXPECT_EQ(op_info(Opcode::STS).timing, TimingClass::Store);
+  // Control flow and sequencer updates are single-cycle.
+  for (const Opcode op : {Opcode::BRA, Opcode::BRP, Opcode::BRN, Opcode::CALL,
+                          Opcode::RET, Opcode::EXIT, Opcode::NOP, Opcode::BAR,
+                          Opcode::LOOP, Opcode::LOOPI, Opcode::SETT,
+                          Opcode::SETTI}) {
+    EXPECT_EQ(op_info(op).timing, TimingClass::Single)
+        << op_info(op).mnemonic;
+  }
+  // Everything else is an operation counted by block depth.
+  EXPECT_EQ(op_info(Opcode::ADD).timing, TimingClass::Operation);
+  EXPECT_EQ(op_info(Opcode::SETP_LT).timing, TimingClass::Operation);
+  EXPECT_EQ(op_info(Opcode::MOVSR).timing, TimingClass::Operation);
+}
+
+TEST(Isa, BranchFlagsMarkRedirectingOps) {
+  for (const Opcode op : {Opcode::BRA, Opcode::BRP, Opcode::BRN, Opcode::CALL,
+                          Opcode::RET, Opcode::LOOP, Opcode::LOOPI}) {
+    EXPECT_TRUE(op_info(op).is_branch) << op_info(op).mnemonic;
+  }
+  EXPECT_FALSE(op_info(Opcode::ADD).is_branch);
+  EXPECT_FALSE(op_info(Opcode::EXIT).is_branch);
+}
+
+TEST(Isa, EncodeDecodeRoundTripAllOpcodes) {
+  Xoshiro256 rng(31337);
+  for (const Opcode op : all_opcodes()) {
+    const auto& info = op_info(op);
+    for (int trial = 0; trial < 64; ++trial) {
+      Instr in;
+      in.op = op;
+      const bool predicable = info.timing == TimingClass::Operation ||
+                              info.timing == TimingClass::Load ||
+                              info.timing == TimingClass::Store;
+      if (predicable && trial % 3 == 1) {
+        in.guard = Guard::IfTrue;
+        in.gpred = static_cast<std::uint8_t>(rng.next_below(4));
+      } else if (predicable && trial % 3 == 2) {
+        in.guard = Guard::IfFalse;
+        in.gpred = static_cast<std::uint8_t>(rng.next_below(4));
+      }
+      in.rd = static_cast<std::uint8_t>(rng.next_below(256));
+      in.ra = static_cast<std::uint8_t>(rng.next_below(256));
+      in.pd = static_cast<std::uint8_t>(rng.next_below(4));
+      in.pa = static_cast<std::uint8_t>(rng.next_below(4));
+      in.pb = static_cast<std::uint8_t>(rng.next_below(4));
+      if (info.format == Format::RRR || info.format == Format::PRR ||
+          info.format == Format::SELP) {
+        in.rb = static_cast<std::uint8_t>(rng.next_below(256));
+      } else if (op == Opcode::MOVSR) {
+        in.imm = static_cast<std::int32_t>(rng.next_below(kSpecialRegCount));
+      } else {
+        in.imm = static_cast<std::int32_t>(rng.next_u32());
+      }
+      const std::uint64_t word = encode(in);
+      const auto out = decode(word);
+      ASSERT_TRUE(out.has_value()) << info.mnemonic;
+      EXPECT_EQ(*out, in) << info.mnemonic;
+    }
+  }
+}
+
+TEST(Isa, DecodeRejectsBadOpcodes) {
+  // Opcode field beyond the table.
+  EXPECT_FALSE(decode(static_cast<std::uint64_t>(61) << 58).has_value());
+  EXPECT_FALSE(decode(static_cast<std::uint64_t>(63) << 58).has_value());
+}
+
+TEST(Isa, DecodeRejectsBadGuard) {
+  Instr in;
+  in.op = Opcode::ADD;
+  std::uint64_t word = encode(in);
+  word |= static_cast<std::uint64_t>(3) << 56;  // guard value 3 is illegal
+  EXPECT_FALSE(decode(word).has_value());
+}
+
+TEST(Isa, DecodeRejectsBadSpecialRegister) {
+  Instr in;
+  in.op = Opcode::MOVSR;
+  in.imm = kSpecialRegCount;  // out of range
+  EXPECT_FALSE(decode(encode(in)).has_value());
+}
+
+TEST(Isa, DisassembleFormats) {
+  Instr add;
+  add.op = Opcode::ADD;
+  add.rd = 3;
+  add.ra = 1;
+  add.rb = 2;
+  EXPECT_EQ(disassemble(add), "add %r3, %r1, %r2");
+
+  add.guard = Guard::IfTrue;
+  add.gpred = 0;
+  EXPECT_EQ(disassemble(add), "@p0 add %r3, %r1, %r2");
+  add.guard = Guard::IfFalse;
+  add.gpred = 2;
+  EXPECT_EQ(disassemble(add), "@!p2 add %r3, %r1, %r2");
+
+  Instr lds;
+  lds.op = Opcode::LDS;
+  lds.rd = 4;
+  lds.ra = 2;
+  lds.imm = 16;
+  EXPECT_EQ(disassemble(lds), "lds %r4, [%r2 + 16]");
+
+  Instr sts;
+  sts.op = Opcode::STS;
+  sts.rd = 4;
+  sts.ra = 2;
+  sts.imm = 0;
+  EXPECT_EQ(disassemble(sts), "sts [%r2 + 0], %r4");
+
+  Instr setp;
+  setp.op = Opcode::SETP_LT;
+  setp.pd = 1;
+  setp.ra = 5;
+  setp.rb = 6;
+  EXPECT_EQ(disassemble(setp), "setp.lt %p1, %r5, %r6");
+
+  Instr movsr;
+  movsr.op = Opcode::MOVSR;
+  movsr.rd = 0;
+  movsr.imm = static_cast<std::int32_t>(SpecialReg::Tid);
+  EXPECT_EQ(disassemble(movsr), "movsr %r0, %tid");
+
+  Instr loopi;
+  loopi.op = Opcode::LOOPI;
+  loopi.imm = (10 << 16) | 42;
+  EXPECT_EQ(disassemble(loopi), "loopi 10, 42");
+
+  Instr ret;
+  ret.op = Opcode::RET;
+  EXPECT_EQ(disassemble(ret), "ret");
+}
+
+TEST(Isa, SpecialRegisterNames) {
+  EXPECT_EQ(special_name(SpecialReg::Tid), "%tid");
+  EXPECT_TRUE(special_from_name("%lane").has_value());
+  EXPECT_EQ(*special_from_name("%ntid"), SpecialReg::Ntid);
+  EXPECT_FALSE(special_from_name("%bogus").has_value());
+}
+
+TEST(Isa, UsesImmediateClassification) {
+  EXPECT_TRUE(uses_immediate(Opcode::ADDI));
+  EXPECT_TRUE(uses_immediate(Opcode::LDS));
+  EXPECT_TRUE(uses_immediate(Opcode::BRA));
+  EXPECT_FALSE(uses_immediate(Opcode::ADD));
+  EXPECT_FALSE(uses_immediate(Opcode::RET));
+}
+
+}  // namespace
+}  // namespace simt::isa

@@ -1,0 +1,200 @@
+// Tests for the kernel library: every generator validated against a golden
+// reference on randomized data, across sizes (parameterized).
+#include "kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "asm/assembler.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/gpgpu.hpp"
+
+namespace simt::kernels {
+namespace {
+
+core::CoreConfig cfg_for(unsigned threads, unsigned shared_words = 4096) {
+  core::CoreConfig cfg;
+  cfg.max_threads = std::max(threads, 16u);
+  cfg.shared_mem_words = shared_words;
+  cfg.predicates_enabled = true;
+  return cfg;
+}
+
+core::Gpgpu run_kernel(const std::string& src, unsigned threads,
+                       const std::vector<std::uint32_t>& init,
+                       core::CoreConfig cfg) {
+  core::Gpgpu gpu(cfg);
+  gpu.load_program(assembler::assemble(src));
+  gpu.set_thread_count(threads);
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    gpu.write_shared(static_cast<std::uint32_t>(i), init[i]);
+  }
+  const auto res = gpu.run();
+  EXPECT_TRUE(res.exited);
+  return gpu;
+}
+
+TEST(Kernels, VecAdd) {
+  Xoshiro256 rng(1);
+  std::vector<std::uint32_t> init(3 * 512);
+  for (unsigned i = 0; i < 512; ++i) {
+    init[i] = rng.next_u32();
+    init[512 + i] = rng.next_u32();
+  }
+  auto gpu = run_kernel(vecadd(0, 512, 1024), 512, init, cfg_for(512));
+  for (unsigned i = 0; i < 512; ++i) {
+    EXPECT_EQ(gpu.read_shared(1024 + i), init[i] + init[512 + i]);
+  }
+}
+
+TEST(Kernels, SaxpyQ16) {
+  Xoshiro256 rng(2);
+  const std::int32_t alpha = 3 << 16 | 0x4000;  // 3.25 in Q16
+  std::vector<std::uint32_t> init(2 * 256);
+  for (unsigned i = 0; i < 256; ++i) {
+    init[i] = static_cast<std::uint32_t>(rng.next_in(-100000, 100000));
+    init[256 + i] = static_cast<std::uint32_t>(rng.next_in(-100000, 100000));
+  }
+  auto gpu = run_kernel(saxpy(alpha, 16, 0, 256, 512), 256, init,
+                        cfg_for(256));
+  for (unsigned i = 0; i < 256; ++i) {
+    const std::int64_t prod = static_cast<std::int64_t>(alpha) *
+                              static_cast<std::int32_t>(init[i]);
+    const auto expect = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(prod >> 16) +
+        static_cast<std::int32_t>(init[256 + i]));
+    EXPECT_EQ(gpu.read_shared(512 + i), expect) << i;
+  }
+}
+
+class KernelFirSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KernelFirSweep, MatchesGolden) {
+  const unsigned taps = GetParam();
+  Xoshiro256 rng(taps);
+  const unsigned n = 128;
+  std::vector<std::uint32_t> init(1024 + taps);
+  for (unsigned i = 0; i < n + taps; ++i) {
+    init[i] = static_cast<std::uint32_t>(rng.next_in(-1000, 1000));
+  }
+  for (unsigned k = 0; k < taps; ++k) {
+    init[512 + k] = static_cast<std::uint32_t>(rng.next_in(-500, 500));
+  }
+  auto gpu = run_kernel(fir(taps, 4, 0, 512, 768), n, init, cfg_for(n));
+  for (unsigned t = 0; t < n; ++t) {
+    std::int64_t acc = 0;
+    for (unsigned k = 0; k < taps; ++k) {
+      acc += static_cast<std::int64_t>(
+                 static_cast<std::int32_t>(init[512 + k])) *
+             static_cast<std::int32_t>(init[t + k]);
+    }
+    EXPECT_EQ(static_cast<std::int32_t>(gpu.read_shared(768 + t)),
+              static_cast<std::int32_t>(acc >> 4))
+        << "taps=" << taps << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taps, KernelFirSweep,
+                         ::testing::Values(1u, 3u, 8u, 16u));
+
+class KernelMatmulSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KernelMatmulSweep, MatchesGolden) {
+  const unsigned dim = GetParam();
+  Xoshiro256 rng(dim * 31);
+  std::vector<std::uint32_t> init(2 * dim * dim);
+  for (auto& v : init) {
+    v = static_cast<std::uint32_t>(rng.next_in(-50, 50));
+  }
+  const unsigned threads = dim * dim;
+  auto gpu = run_kernel(matmul(dim, 0, dim * dim, 2 * dim * dim), threads,
+                        init, cfg_for(threads, 4096));
+  for (unsigned i = 0; i < dim; ++i) {
+    for (unsigned j = 0; j < dim; ++j) {
+      std::int64_t acc = 0;
+      for (unsigned k = 0; k < dim; ++k) {
+        acc += static_cast<std::int64_t>(
+                   static_cast<std::int32_t>(init[i * dim + k])) *
+               static_cast<std::int32_t>(init[dim * dim + k * dim + j]);
+      }
+      EXPECT_EQ(static_cast<std::int32_t>(
+                    gpu.read_shared(2 * dim * dim + i * dim + j)),
+                static_cast<std::int32_t>(acc))
+          << dim << " " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KernelMatmulSweep,
+                         ::testing::Values(4u, 8u, 16u, 32u));
+
+class KernelReduceSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KernelReduceSweep, SumMatches) {
+  const unsigned n = GetParam();
+  Xoshiro256 rng(n);
+  std::vector<std::uint32_t> init(n);
+  std::uint32_t golden = 0;
+  for (auto& v : init) {
+    v = rng.next_u32();
+    golden += v;
+  }
+  auto gpu = run_kernel(tree_reduce_sum(0, n), n, init, cfg_for(n));
+  EXPECT_EQ(gpu.read_shared(0), golden);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelReduceSweep,
+                         ::testing::Values(16u, 64u, 256u, 1024u));
+
+class KernelScanSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KernelScanSweep, InclusivePrefixSum) {
+  const unsigned n = GetParam();
+  Xoshiro256 rng(n * 7);
+  std::vector<std::uint32_t> init(n);
+  for (auto& v : init) {
+    v = static_cast<std::uint32_t>(rng.next_below(1000));
+  }
+  auto gpu = run_kernel(inclusive_scan(0, n), n, init, cfg_for(n));
+  std::uint32_t acc = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    acc += init[i];
+    EXPECT_EQ(gpu.read_shared(i), acc) << "n=" << n << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelScanSweep,
+                         ::testing::Values(16u, 64u, 128u, 512u));
+
+TEST(Kernels, HistogramMatchesGolden) {
+  constexpr unsigned kN = 1024;
+  constexpr unsigned kThreads = 64;
+  constexpr unsigned kBinsLog2 = 4;  // 16 bins
+  Xoshiro256 rng(99);
+  std::vector<std::uint32_t> init(kN);
+  std::vector<std::uint32_t> golden(1u << kBinsLog2, 0);
+  for (auto& v : init) {
+    v = rng.next_u32();
+    golden[v & ((1u << kBinsLog2) - 1)]++;
+  }
+  // Layout: data @0, hist @1600, scratch @2048 (64 threads x 16 bins).
+  auto gpu = run_kernel(
+      histogram(0, 1600, 2048, kBinsLog2, kN, kThreads), kThreads, init,
+      cfg_for(kThreads, 4096));
+  for (unsigned b = 0; b < golden.size(); ++b) {
+    EXPECT_EQ(gpu.read_shared(1600 + b), golden[b]) << "bin " << b;
+  }
+}
+
+TEST(Kernels, HistogramValidatesArguments) {
+  EXPECT_THROW(histogram(0, 0, 0, 4, 100, 64), Error);  // n % threads != 0
+  EXPECT_THROW(histogram(0, 0, 0, 8, 1024, 64), Error); // bins > threads
+  EXPECT_THROW(matmul(12, 0, 0, 0), Error);             // non-power-of-two
+  EXPECT_THROW(inclusive_scan(0, 100), Error);
+  EXPECT_THROW(tree_reduce_sum(0, 48), Error);
+}
+
+}  // namespace
+}  // namespace simt::kernels

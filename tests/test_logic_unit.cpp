@@ -1,0 +1,87 @@
+// Tests for the soft-logic half of the ALU (Section 4).
+#include "hw/logic_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simt::hw {
+namespace {
+
+TEST(LogicUnit, BitwiseSingleLevel) {
+  EXPECT_EQ(LogicUnit::op_and(0xF0F0F0F0u, 0xFF00FF00u), 0xF000F000u);
+  EXPECT_EQ(LogicUnit::op_or(0xF0F0F0F0u, 0x0F0F0F0Fu), 0xFFFFFFFFu);
+  EXPECT_EQ(LogicUnit::op_xor(0xAAAAAAAAu, 0xFFFFFFFFu), 0x55555555u);
+  EXPECT_EQ(LogicUnit::op_not(0x12345678u), 0xEDCBA987u);
+}
+
+TEST(LogicUnit, ConditionalNot) {
+  EXPECT_EQ(LogicUnit::op_cnot(0xFF00FF00u, 0), 0xFF00FF00u);
+  EXPECT_EQ(LogicUnit::op_cnot(0xFF00FF00u, 1), 0x00FF00FFu);
+  EXPECT_EQ(LogicUnit::op_cnot(0xFF00FF00u, 2), 0xFF00FF00u);  // LSB only
+  EXPECT_EQ(LogicUnit::op_cnot(0xFF00FF00u, 3), 0x00FF00FFu);
+}
+
+TEST(LogicUnit, AddSubViaTwoStageAdder) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = rng.next_u32();
+    const auto b = rng.next_u32();
+    EXPECT_EQ(LogicUnit::add(a, b), a + b);
+    EXPECT_EQ(LogicUnit::sub(a, b), a - b);
+  }
+}
+
+TEST(LogicUnit, AbsNeg) {
+  EXPECT_EQ(LogicUnit::abs(static_cast<std::uint32_t>(-5)), 5u);
+  EXPECT_EQ(LogicUnit::abs(5), 5u);
+  EXPECT_EQ(LogicUnit::abs(0), 0u);
+  // abs(INT_MIN) wraps (standard two's-complement behaviour).
+  EXPECT_EQ(LogicUnit::abs(0x80000000u), 0x80000000u);
+  EXPECT_EQ(LogicUnit::neg(1), 0xFFFFFFFFu);
+  EXPECT_EQ(LogicUnit::neg(0), 0u);
+  EXPECT_EQ(LogicUnit::neg(0xFFFFFFFFu), 1u);
+}
+
+TEST(LogicUnit, SignedComparisonFlagEquation) {
+  // lt_s decodes N xor V from the subtractor -- check against native,
+  // especially around overflow (INT_MIN vs positive).
+  Xoshiro256 rng(12);
+  const std::uint32_t corners[] = {0u,          1u,          0x7fffffffu,
+                                   0x80000000u, 0x80000001u, 0xffffffffu};
+  for (const auto a : corners) {
+    for (const auto b : corners) {
+      EXPECT_EQ(LogicUnit::lt_s(a, b), static_cast<std::int32_t>(a) <
+                                           static_cast<std::int32_t>(b))
+          << std::hex << a << " <s " << b;
+    }
+  }
+  for (int i = 0; i < 3000; ++i) {
+    const auto a = rng.next_u32();
+    const auto b = rng.next_u32();
+    EXPECT_EQ(LogicUnit::lt_s(a, b), static_cast<std::int32_t>(a) <
+                                         static_cast<std::int32_t>(b));
+    EXPECT_EQ(LogicUnit::lt_u(a, b), a < b);
+    EXPECT_EQ(LogicUnit::eq(a, b), a == b);
+  }
+}
+
+TEST(LogicUnit, MinMaxSignedUnsigned) {
+  EXPECT_EQ(LogicUnit::min_s(static_cast<std::uint32_t>(-1), 1), 0xFFFFFFFFu);
+  EXPECT_EQ(LogicUnit::max_s(static_cast<std::uint32_t>(-1), 1), 1u);
+  EXPECT_EQ(LogicUnit::min_u(0xFFFFFFFFu, 1), 1u);
+  EXPECT_EQ(LogicUnit::max_u(0xFFFFFFFFu, 1), 0xFFFFFFFFu);
+  EXPECT_EQ(LogicUnit::min_s(0x80000000u, 0x7fffffffu), 0x80000000u);
+  EXPECT_EQ(LogicUnit::max_s(0x80000000u, 0x7fffffffu), 0x7fffffffu);
+}
+
+TEST(LogicUnit, BitOps) {
+  EXPECT_EQ(LogicUnit::popc(0xFFFFFFFFu), 32u);
+  EXPECT_EQ(LogicUnit::popc(0), 0u);
+  EXPECT_EQ(LogicUnit::clz(0), 32u);
+  EXPECT_EQ(LogicUnit::clz(0x00800000u), 8u);
+  EXPECT_EQ(LogicUnit::brev(0x00000001u), 0x80000000u);
+}
+
+}  // namespace
+}  // namespace simt::hw

@@ -1,0 +1,162 @@
+// Tests for the DSP-composed 33x33 multiplier (Section 4.1, Fig. 4).
+#include "hw/mul33.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace simt::hw {
+namespace {
+
+TEST(Mul33, OperandSplitRoutesSixteenBitHalves) {
+  Mul33 mul;
+  const auto t = mul.multiply_traced(0xABCD1234u, 0x5678EF01u,
+                                     /*is_signed=*/false);
+  EXPECT_EQ(t.al, 0x1234);
+  EXPECT_EQ(t.bl, 0xEF01);
+  // Unsigned mode zeroes the upper port bits: high halves are plain.
+  EXPECT_EQ(t.ah, 0xABCD);
+  EXPECT_EQ(t.bh, 0x5678);
+}
+
+TEST(Mul33, SignedModeSignExtendsHighHalves) {
+  Mul33 mul;
+  const auto t = mul.multiply_traced(0xFFFF0000u, 0x80000000u,
+                                     /*is_signed=*/true);
+  EXPECT_EQ(t.ah, -1);       // 0xFFFF sign-extended
+  EXPECT_EQ(t.bh, -32768);   // 0x8000 sign-extended
+  EXPECT_EQ(t.al, 0);
+  EXPECT_EQ(t.bl, 0);
+}
+
+TEST(Mul33, VectorDecomposition) {
+  // Verify the A/B/C vector structure against the partial products.
+  Mul33 mul;
+  const std::uint32_t a = 0x00030002u;  // ah=3, al=2
+  const std::uint32_t b = 0x00050007u;  // bh=5, bl=7
+  const auto t = mul.multiply_traced(a, b, /*is_signed=*/false);
+  EXPECT_EQ(t.vec_a, 3 * 5);           // AH*BH
+  EXPECT_EQ(t.vec_c, 2 * 7);           // AL*BL
+  EXPECT_EQ(t.vec_b, 3 * 7 + 2 * 5);   // AH*BL + AL*BH
+  EXPECT_EQ(t.product,
+            static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b));
+}
+
+TEST(Mul33, RecombinationVectors) {
+  // V1 = {A[33:0], C[31:0]}, V2 = sext(B) << 16 (Section 4.1).
+  Mul33 mul;
+  const auto t = mul.multiply_traced(0xFFFFFFFFu, 0xFFFFFFFFu,
+                                     /*is_signed=*/true);
+  // (-1) * (-1): AH=BH=-1, AL=BL=0xFFFF.
+  EXPECT_EQ(t.vec_a, 1);
+  EXPECT_EQ(t.vec_c, 0xFFFFLL * 0xFFFF);
+  EXPECT_EQ(t.vec_b, -1LL * 0xFFFF * 2);
+  EXPECT_EQ(t.product, 1u);  // (-1)*(-1) = 1
+}
+
+TEST(Mul33, MulLoCorners) {
+  Mul33 mul;
+  EXPECT_EQ(mul.mul_lo(0, 0), 0u);
+  EXPECT_EQ(mul.mul_lo(1, 1), 1u);
+  EXPECT_EQ(mul.mul_lo(0xFFFFFFFFu, 0xFFFFFFFFu), 1u);
+  EXPECT_EQ(mul.mul_lo(0x80000000u, 2), 0u);
+  EXPECT_EQ(mul.mul_lo(0x10000u, 0x10000u), 0u);
+  EXPECT_EQ(mul.mul_lo(0xFFFFu, 0xFFFFu), 0xFFFE0001u);
+}
+
+TEST(Mul33, MulHiSignedCorners) {
+  Mul33 mul;
+  const auto INT_MIN32 = 0x80000000u;
+  // INT_MIN * INT_MIN = 2^62 -> high word 0x40000000.
+  EXPECT_EQ(mul.mul_hi_signed(INT_MIN32, INT_MIN32), 0x40000000u);
+  // -1 * -1 = 1 -> high word 0.
+  EXPECT_EQ(mul.mul_hi_signed(0xFFFFFFFFu, 0xFFFFFFFFu), 0u);
+  // -1 * 1 = -1 -> high word all ones.
+  EXPECT_EQ(mul.mul_hi_signed(0xFFFFFFFFu, 1), 0xFFFFFFFFu);
+  EXPECT_EQ(mul.mul_hi_signed(0x7FFFFFFFu, 0x7FFFFFFFu), 0x3FFFFFFFu);
+}
+
+TEST(Mul33, MulHiUnsignedCorners) {
+  Mul33 mul;
+  EXPECT_EQ(mul.mul_hi_unsigned(0xFFFFFFFFu, 0xFFFFFFFFu), 0xFFFFFFFEu);
+  EXPECT_EQ(mul.mul_hi_unsigned(0x80000000u, 2), 1u);
+  EXPECT_EQ(mul.mul_hi_unsigned(0x10000u, 0x10000u), 1u);
+  EXPECT_EQ(mul.mul_hi_unsigned(1, 1), 0u);
+}
+
+TEST(Mul33, LowHalfIsSignAgnostic) {
+  // The ISA writes back either half; the low 32 bits must not depend on
+  // the signedness mode (address generation uses the low half).
+  Mul33 mul;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = rng.next_u32();
+    const auto b = rng.next_u32();
+    EXPECT_EQ(static_cast<std::uint32_t>(mul.multiply(a, b, true)),
+              static_cast<std::uint32_t>(mul.multiply(a, b, false)));
+  }
+}
+
+class Mul33Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Mul33Property, SignedMatchesInt64) {
+  Mul33 mul;
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 4000; ++i) {
+    const auto a = rng.next_u32();
+    const auto b = rng.next_u32();
+    const std::int64_t golden = static_cast<std::int64_t>(
+                                    static_cast<std::int32_t>(a)) *
+                                static_cast<std::int32_t>(b);
+    EXPECT_EQ(mul.multiply(a, b, /*is_signed=*/true),
+              static_cast<std::uint64_t>(golden))
+        << std::hex << a << " * " << b;
+  }
+}
+
+TEST_P(Mul33Property, UnsignedMatchesUint64) {
+  Mul33 mul;
+  Xoshiro256 rng(GetParam() ^ 0xdeadULL);
+  for (int i = 0; i < 4000; ++i) {
+    const auto a = rng.next_u32();
+    const auto b = rng.next_u32();
+    const std::uint64_t golden =
+        static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b);
+    EXPECT_EQ(mul.multiply(a, b, /*is_signed=*/false), golden)
+        << std::hex << a << " * " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Mul33Property,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+TEST(Mul33, ExhaustiveSmallOperandGrid) {
+  // Exhaustive over a grid of structurally interesting values: near the
+  // half boundaries where the decomposition carries interact.
+  Mul33 mul;
+  const std::uint32_t interesting[] = {
+      0u,          1u,          2u,          0x7fffu,     0x8000u,
+      0x8001u,     0xffffu,     0x10000u,    0x10001u,    0x7fffffffu,
+      0x80000000u, 0x80000001u, 0xfffeffffu, 0xffff0000u, 0xffffffffu};
+  for (const auto a : interesting) {
+    for (const auto b : interesting) {
+      const std::int64_t sg = static_cast<std::int64_t>(
+                                  static_cast<std::int32_t>(a)) *
+                              static_cast<std::int32_t>(b);
+      const std::uint64_t ug =
+          static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b);
+      EXPECT_EQ(mul.multiply(a, b, true), static_cast<std::uint64_t>(sg));
+      EXPECT_EQ(mul.multiply(a, b, false), ug);
+    }
+  }
+}
+
+TEST(Mul33, PipelineDepthIsDspPlusAdder) {
+  // The soft-logic ALU is depth-matched to this figure (Section 4).
+  EXPECT_EQ(Mul33::kPipelineDepth, kDspPipelineStages + 2);
+}
+
+}  // namespace
+}  // namespace simt::hw

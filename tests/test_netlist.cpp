@@ -1,0 +1,145 @@
+// Tests for netlist generation: atom counts must agree with the resource
+// model, arcs must be well-formed, and the ablation options must change the
+// structure the way Sections 4/5 describe.
+#include "fabric/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "area/resource_model.hpp"
+
+namespace simt::fabric {
+namespace {
+
+core::CoreConfig flagship() { return core::CoreConfig::table1_flagship(); }
+
+TEST(Netlist, AtomCountsMatchResourceModel) {
+  const NetlistOptions opt;
+  const Netlist nl = build_netlist(flagship(), opt);
+  area::AreaOptions aopt;
+  const auto res = area::estimate(flagship(), aopt);
+  // Every placed ALM / M20K / DSP in the area model appears as an atom
+  // (plus the delay-chain staging atoms, which carry no ALM cost there).
+  const unsigned chain_atoms = flagship().decode_depth * 8;
+  EXPECT_EQ(nl.count(AtomKind::Alm),
+            res.gpgpu.alms + chain_atoms);
+  EXPECT_EQ(nl.count(AtomKind::M20k), res.gpgpu.m20k);
+  EXPECT_EQ(nl.count(AtomKind::Dsp), res.gpgpu.dsp);
+  EXPECT_EQ(nl.count(AtomKind::AlmMem), 0u);
+}
+
+TEST(Netlist, ArcsAreWellFormed) {
+  const Netlist nl = build_netlist(flagship(), {});
+  ASSERT_FALSE(nl.arcs().empty());
+  for (const auto& arc : nl.arcs()) {
+    ASSERT_GE(arc.src, 0);
+    ASSERT_LT(static_cast<std::size_t>(arc.src), nl.atoms().size());
+    ASSERT_GE(arc.dst, 0);
+    ASSERT_LT(static_cast<std::size_t>(arc.dst), nl.atoms().size());
+    EXPECT_GT(arc.intrinsic_ps, 0.0f);
+    EXPECT_GE(arc.min_span_tiles, 0.0f);
+  }
+}
+
+TEST(Netlist, SixteenSpsWithTwoDspsEach) {
+  const Netlist nl = build_netlist(flagship(), {});
+  unsigned dsp_per_sp[16] = {};
+  for (const auto& a : nl.atoms()) {
+    if (a.kind == AtomKind::Dsp) {
+      ASSERT_GE(a.sp_index, 0);
+      ASSERT_LT(a.sp_index, 16);
+      dsp_per_sp[a.sp_index]++;
+    }
+  }
+  for (unsigned sp = 0; sp < 16; ++sp) {
+    EXPECT_EQ(dsp_per_sp[sp], 2u) << "sp " << sp;
+  }
+}
+
+TEST(Netlist, AutoSrrMapsDelayChainToMemoryMode) {
+  // Section 5: shift-register replacement maps registers into ALM memory
+  // mode (clock-capped at 850 MHz), which is why the paper turns it OFF.
+  NetlistOptions opt;
+  opt.auto_shift_register_replacement = true;
+  const Netlist nl = build_netlist(flagship(), opt);
+  EXPECT_GT(nl.count(AtomKind::AlmMem), 0u);
+}
+
+TEST(Netlist, BarrelShifterAddsSpannedArcs) {
+  NetlistOptions opt;
+  opt.shifter = hw::ShifterImpl::LogicBarrel;
+  const Netlist barrel = build_netlist(flagship(), opt);
+  const Netlist integrated = build_netlist(flagship(), {});
+  // The barrel variant has more ALM atoms (the 100-ALM shift pairs) ...
+  EXPECT_GT(barrel.count(AtomKind::Alm), integrated.count(AtomKind::Alm));
+  // ... and carries unfoldable-span arcs (the 8/16-bit stages).
+  auto spanned = [](const Netlist& nl) {
+    unsigned n = 0;
+    for (const auto& a : nl.arcs()) {
+      if (a.min_span_tiles > 0) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GT(spanned(barrel), 0u);
+  EXPECT_EQ(spanned(integrated), 0u);
+}
+
+TEST(Netlist, HyperRegisterOptionMarksRetimableArcs) {
+  NetlistOptions with;
+  with.hyper_registers = true;
+  NetlistOptions without;
+  without.hyper_registers = false;
+  auto retimable = [](const Netlist& nl) {
+    unsigned n = 0;
+    for (const auto& a : nl.arcs()) {
+      if (a.retimable) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GT(retimable(build_netlist(flagship(), with)), 0u);
+  EXPECT_EQ(retimable(build_netlist(flagship(), without)), 0u);
+}
+
+TEST(Netlist, EnableFanoutReachesEverySp) {
+  // The pipeline-advance enable is the most critical path (Section 3): it
+  // must fan out from the instruction block to all 16 SPs.
+  const Netlist nl = build_netlist(flagship(), {});
+  bool sp_hit[16] = {};
+  for (const auto& arc : nl.arcs()) {
+    const auto& src = nl.atoms()[static_cast<std::size_t>(arc.src)];
+    const auto& dst = nl.atoms()[static_cast<std::size_t>(arc.dst)];
+    if (src.module == ModuleClass::Inst && dst.sp_index >= 0 &&
+        arc.intrinsic_ps > 350.0f) {
+      sp_hit[dst.sp_index] = true;
+    }
+  }
+  for (unsigned sp = 0; sp < 16; ++sp) {
+    EXPECT_TRUE(sp_hit[sp]) << "sp " << sp;
+  }
+}
+
+TEST(Netlist, SharedMemoryConnectsToAllSps) {
+  const Netlist nl = build_netlist(flagship(), {});
+  unsigned to_shared[16] = {};
+  unsigned from_shared[16] = {};
+  for (const auto& arc : nl.arcs()) {
+    const auto& src = nl.atoms()[static_cast<std::size_t>(arc.src)];
+    const auto& dst = nl.atoms()[static_cast<std::size_t>(arc.dst)];
+    if (src.sp_index >= 0 && dst.module == ModuleClass::Shared) {
+      to_shared[src.sp_index]++;
+    }
+    if (src.module == ModuleClass::Shared && dst.sp_index >= 0) {
+      from_shared[dst.sp_index]++;
+    }
+  }
+  for (unsigned sp = 0; sp < 16; ++sp) {
+    EXPECT_GT(to_shared[sp], 0u) << "sp " << sp;
+    EXPECT_GT(from_shared[sp], 0u) << "sp " << sp;
+  }
+}
+
+}  // namespace
+}  // namespace simt::fabric

@@ -1,0 +1,69 @@
+// Tests for the host runtime layer (program load, data staging, launch).
+#include "runtime/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace simt::runtime {
+namespace {
+
+core::CoreConfig cfg() {
+  core::CoreConfig c;
+  c.max_threads = 256;
+  c.shared_mem_words = 4096;
+  c.predicates_enabled = true;
+  return c;
+}
+
+TEST(Runtime, CopyInLaunchCopyOut) {
+  EgpuRuntime rt(cfg());
+  rt.load_kernel(
+      "movsr %r0, %tid\n"
+      "lds %r1, [%r0]\n"
+      "muli %r1, %r1, 2\n"
+      "sts [%r0 + 256], %r1\n"
+      "exit\n");
+  std::vector<std::uint32_t> input(256);
+  std::iota(input.begin(), input.end(), 0u);
+  rt.copy_in(0, input);
+  const auto res = rt.launch(256);
+  EXPECT_TRUE(res.exited);
+  const auto out = rt.copy_out(256, 256);
+  for (unsigned i = 0; i < 256; ++i) {
+    EXPECT_EQ(out[i], 2 * i);
+  }
+}
+
+TEST(Runtime, SignedHelpers) {
+  EgpuRuntime rt(cfg());
+  rt.load_kernel("movsr %r0, %tid\nlds %r1, [%r0]\nneg %r1, %r1\n"
+                 "sts [%r0 + 16], %r1\nexit\n");
+  const std::vector<std::int32_t> input = {-5, 0, 7, -100};
+  rt.copy_in_i32(0, input);
+  rt.launch(4);
+  const auto out = rt.copy_out_i32(16, 4);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{5, 0, -7, 100}));
+}
+
+TEST(Runtime, ReloadKernelReplacesImem) {
+  EgpuRuntime rt(cfg());
+  rt.load_kernel("movi %r1, 1\nexit\n");
+  rt.launch(16);
+  EXPECT_EQ(rt.gpu().read_reg(0, 1), 1u);
+  // The I-MEM is externally re-loadable (Section 3).
+  rt.load_kernel("movi %r1, 2\nexit\n");
+  rt.launch(16);
+  EXPECT_EQ(rt.gpu().read_reg(0, 1), 2u);
+}
+
+TEST(Runtime, RuntimeUsScalesWithFmax) {
+  core::PerfCounters perf;
+  perf.cycles = 95000;
+  // 95k cycles at 950 MHz = 100 us; at 475 MHz = 200 us.
+  EXPECT_DOUBLE_EQ(EgpuRuntime::runtime_us(perf, 950.0), 100.0);
+  EXPECT_DOUBLE_EQ(EgpuRuntime::runtime_us(perf, 475.0), 200.0);
+}
+
+}  // namespace
+}  // namespace simt::runtime

@@ -1,0 +1,145 @@
+// Tests for the prefix carry-lookahead segmented adders (Section 4.1).
+#include "hw/segmented_adder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simt::hw {
+namespace {
+
+unsigned __int128 mask_w(unsigned w) {
+  return w >= 128 ? ~static_cast<unsigned __int128>(0)
+                  : (static_cast<unsigned __int128>(1) << w) - 1;
+}
+
+TEST(SegmentedAdder, SmallKnownSums) {
+  SegmentedAdder add32(32);
+  EXPECT_EQ(static_cast<std::uint64_t>(add32.add(1, 2)), 3u);
+  EXPECT_EQ(static_cast<std::uint64_t>(add32.add(0xffffffffu, 1)), 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(add32.add(0xffff, 1)), 0x10000u);
+}
+
+TEST(SegmentedAdder, CarryRipplesAcrossAllSegments) {
+  SegmentedAdder add64(64);
+  // 0xffff_ffff_ffff_ffff + 1 wraps to zero through four segment carries.
+  const auto t = add64.add_traced(~std::uint64_t{0}, 1);
+  EXPECT_EQ(static_cast<std::uint64_t>(t.sum), 0u);
+  // Every segment above the first must have received a carry.
+  for (unsigned s = 1; s < add64.segment_count(); ++s) {
+    EXPECT_TRUE(t.carry_in[s]) << "segment " << s;
+  }
+}
+
+TEST(SegmentedAdder, GeneratePropagateDecomposition) {
+  SegmentedAdder add64(64);
+  // Segment 0 generates (0xffff + 1); segment 1 propagates (0xffff + 0);
+  // segment 2 neither (0 + 0).
+  const std::uint64_t a = 0x0000'ffff'ffffULL;
+  const std::uint64_t b = 0x0000'0000'0001ULL;
+  const auto t = add64.add_traced(a, b);
+  EXPECT_TRUE(t.generate[0]);
+  EXPECT_FALSE(t.generate[1]);
+  EXPECT_TRUE(t.propagate[1]);  // a|b == 0xffff in segment 1
+  EXPECT_FALSE(t.generate[2]);
+  EXPECT_FALSE(t.propagate[2]);
+  EXPECT_TRUE(t.carry_in[1]);
+  EXPECT_TRUE(t.carry_in[2]);  // propagated through segment 1
+  EXPECT_FALSE(t.carry_in[3]);
+  EXPECT_EQ(static_cast<std::uint64_t>(t.sum), a + b);
+}
+
+TEST(SegmentedAdder, PropagateIsAndOfOrPairs) {
+  SegmentedAdder add32(32);
+  // a|b covers the whole segment but the sum does not generate: propagate
+  // must be set (the paper's definition: AND of the OR of every bit pair).
+  const auto t = add32.add_traced(0xaaaa, 0x5555);
+  EXPECT_TRUE(t.propagate[0]);
+  EXPECT_FALSE(t.generate[0]);
+  // With a hole at bit 3, propagate must clear.
+  const auto t2 = add32.add_traced(0xaaa2, 0x5555);
+  EXPECT_FALSE(t2.propagate[0]);
+}
+
+TEST(SegmentedAdder, PassthroughRegionForwardsOperandA) {
+  // The multiplier's final add passes C's low 16 bits straight through
+  // (they "do not require any processing").
+  SegmentedAdder add66(66, 16);
+  const unsigned __int128 a = (static_cast<unsigned __int128>(0x1234) << 16) |
+                              0xbeef;
+  const unsigned __int128 b = static_cast<unsigned __int128>(0xffff) << 16;
+  const auto t = add66.add_traced(a, b);
+  EXPECT_EQ(static_cast<std::uint64_t>(t.sum) & 0xffffu, 0xbeefu);
+  EXPECT_EQ(t.sum & mask_w(66), (a + b) & mask_w(66));
+}
+
+TEST(SegmentedAdder, WidthValidation) {
+  EXPECT_EQ(SegmentedAdder(66).segment_count(), 5u);
+  EXPECT_EQ(SegmentedAdder(64).segment_count(), 4u);
+  EXPECT_EQ(SegmentedAdder(32).segment_count(), 2u);
+  EXPECT_EQ(SegmentedAdder(16).segment_count(), 1u);
+}
+
+class SegmentedAdderWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SegmentedAdderWidths, MatchesWideAdditionRandomly) {
+  const unsigned width = GetParam();
+  SegmentedAdder adder(width);
+  Xoshiro256 rng(width * 1000003u);
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned __int128 a =
+        (static_cast<unsigned __int128>(rng.next()) << 64 | rng.next()) &
+        mask_w(width);
+    const unsigned __int128 b =
+        (static_cast<unsigned __int128>(rng.next()) << 64 | rng.next()) &
+        mask_w(width);
+    EXPECT_EQ(adder.add(a, b), (a + b) & mask_w(width));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SegmentedAdderWidths,
+                         ::testing::Values(16u, 32u, 48u, 64u, 66u, 80u,
+                                           128u));
+
+TEST(TwoStageAdder32, AddMatchesNative) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = rng.next_u32();
+    const auto b = rng.next_u32();
+    const auto r = TwoStageAdder32::run(a, b, /*sub=*/false);
+    EXPECT_EQ(r.sum, a + b);
+    EXPECT_EQ(r.carry_out,
+              (static_cast<std::uint64_t>(a) + b) >> 32 & 1u);
+  }
+}
+
+TEST(TwoStageAdder32, SubMatchesNative) {
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = rng.next_u32();
+    const auto b = rng.next_u32();
+    const auto r = TwoStageAdder32::run(a, b, /*sub=*/true);
+    EXPECT_EQ(r.sum, a - b);
+    // Borrow clear (carry set) iff a >= b, the unsigned compare decode.
+    EXPECT_EQ(r.carry_out, a >= b);
+  }
+}
+
+TEST(TwoStageAdder32, SignedOverflowFlag) {
+  // INT_MAX + 1 overflows; INT_MIN - 1 overflows.
+  EXPECT_TRUE(TwoStageAdder32::run(0x7fffffffu, 1, false).overflow);
+  EXPECT_TRUE(TwoStageAdder32::run(0x80000000u, 1, true).overflow);
+  EXPECT_FALSE(TwoStageAdder32::run(5, 3, true).overflow);
+  EXPECT_FALSE(TwoStageAdder32::run(5, 3, false).overflow);
+}
+
+TEST(TwoStageAdder32, RegisteredMidCarryCases) {
+  // Exercise the carry hand-off between the two 16-bit halves.
+  const auto r1 = TwoStageAdder32::run(0x0000ffffu, 0x00000001u, false);
+  EXPECT_EQ(r1.sum, 0x00010000u);
+  const auto r2 = TwoStageAdder32::run(0x00010000u, 0x00000001u, true);
+  EXPECT_EQ(r2.sum, 0x0000ffffu);
+}
+
+}  // namespace
+}  // namespace simt::hw

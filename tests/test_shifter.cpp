@@ -1,0 +1,150 @@
+// Tests for both shifter implementations (Sections 4 and 4.2), including
+// the paper's Fig. 5 worked example and the equivalence property between
+// the logic barrel shifter and the multiplier-integrated shifter.
+#include "hw/shifter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simt::hw {
+namespace {
+
+std::uint32_t golden_shift(std::uint32_t v, std::uint32_t amount,
+                           ShiftKind kind) {
+  switch (kind) {
+    case ShiftKind::Lsl:
+      return amount >= 32 ? 0u : v << amount;
+    case ShiftKind::Lsr:
+      return amount >= 32 ? 0u : v >> amount;
+    case ShiftKind::Asr: {
+      const auto s = static_cast<std::int32_t>(v);
+      return static_cast<std::uint32_t>(s >> std::min(amount, 31u));
+    }
+  }
+  return 0;
+}
+
+TEST(IntegratedShifter, PaperFig5Example) {
+  // -913 >> 5 (arithmetic) ~= -29. The paper walks this in 12 bits; the
+  // 32-bit datapath gives the same arithmetic result.
+  Mul33 mul;
+  IntegratedShifter sft(&mul);
+  const auto t = sft.shift_traced(static_cast<std::uint32_t>(-913), 5,
+                                  ShiftKind::Asr);
+  EXPECT_EQ(static_cast<std::int32_t>(t.result), -29);
+  // The one-hot shift value: decimal 5 -> bit 5 set.
+  EXPECT_EQ(t.onehot, 1u << 5);
+  // The unary mask contributes exactly 5 leading ones.
+  EXPECT_EQ(std::popcount(t.unary_mask), 5);
+  EXPECT_EQ(t.unary_mask, 0xF8000000u);
+}
+
+TEST(IntegratedShifter, ShiftByZeroIsIdentity) {
+  Mul33 mul;
+  IntegratedShifter sft(&mul);
+  for (const std::uint32_t v : {0u, 1u, 0xdeadbeefu, 0x80000000u,
+                                0xffffffffu}) {
+    EXPECT_EQ(sft.shift(v, 0, ShiftKind::Lsl), v);
+    EXPECT_EQ(sft.shift(v, 0, ShiftKind::Lsr), v);
+    EXPECT_EQ(sft.shift(v, 0, ShiftKind::Asr), v);
+  }
+}
+
+TEST(IntegratedShifter, OutOfRangeFlushes) {
+  Mul33 mul;
+  IntegratedShifter sft(&mul);
+  // Logical shifts by >= 32 produce zero ("shifted out of range").
+  EXPECT_EQ(sft.shift(0xdeadbeefu, 32, ShiftKind::Lsl), 0u);
+  EXPECT_EQ(sft.shift(0xdeadbeefu, 99, ShiftKind::Lsr), 0u);
+  // Arithmetic right shift out of range: sign fill (-1 for negatives).
+  EXPECT_EQ(sft.shift(0x80000000u, 32, ShiftKind::Asr), 0xffffffffu);
+  EXPECT_EQ(sft.shift(0x80000000u, 1000, ShiftKind::Asr), 0xffffffffu);
+  EXPECT_EQ(sft.shift(0x7fffffffu, 32, ShiftKind::Asr), 0u);
+}
+
+TEST(IntegratedShifter, LeftShiftUsesLowMultiplierHalf) {
+  Mul33 mul;
+  IntegratedShifter sft(&mul);
+  const auto t = sft.shift_traced(0x40000001u, 4, ShiftKind::Lsl);
+  // 0x40000001 * 16 = 0x400000010; the low 32 bits are the shift result.
+  EXPECT_EQ(t.mul_low, 0x00000010u);
+  EXPECT_EQ(t.result, 0x00000010u);
+}
+
+TEST(IntegratedShifter, RightLogicalDoubleReversal) {
+  Mul33 mul;
+  IntegratedShifter sft(&mul);
+  const auto t = sft.shift_traced(0x80000000u, 31, ShiftKind::Lsr);
+  // Input is bit-reversed before the multiply.
+  EXPECT_EQ(t.mul_input, 1u);
+  EXPECT_EQ(t.result, 1u);
+}
+
+class ShiftKindSweep : public ::testing::TestWithParam<ShiftKind> {};
+
+TEST_P(ShiftKindSweep, IntegratedMatchesGoldenAllAmounts) {
+  Mul33 mul;
+  IntegratedShifter sft(&mul);
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  for (int i = 0; i < 300; ++i) {
+    const auto v = rng.next_u32();
+    for (std::uint32_t amount = 0; amount < 40; ++amount) {
+      EXPECT_EQ(sft.shift(v, amount, GetParam()),
+                golden_shift(v, amount, GetParam()))
+          << std::hex << v << " shift " << std::dec << amount;
+    }
+  }
+}
+
+TEST_P(ShiftKindSweep, BarrelMatchesGoldenAllAmounts) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 200);
+  for (int i = 0; i < 300; ++i) {
+    const auto v = rng.next_u32();
+    for (std::uint32_t amount = 0; amount < 40; ++amount) {
+      EXPECT_EQ(LogicBarrelShifter::shift(v, amount, GetParam()),
+                golden_shift(v, amount, GetParam()));
+    }
+  }
+}
+
+TEST_P(ShiftKindSweep, ImplementationsAreEquivalent) {
+  // The ablation swaps shifter implementations; results must be
+  // bit-identical (only fabric timing differs).
+  Mul33 mul;
+  IntegratedShifter integrated(&mul);
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 300);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_u32();
+    const auto amount = static_cast<std::uint32_t>(rng.next_below(64));
+    EXPECT_EQ(integrated.shift(v, amount, GetParam()),
+              LogicBarrelShifter::shift(v, amount, GetParam()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ShiftKindSweep,
+                         ::testing::Values(ShiftKind::Lsl, ShiftKind::Lsr,
+                                           ShiftKind::Asr));
+
+TEST(LogicBarrelShifter, LevelTraceAppliesBinaryStages) {
+  // Shifting by 0b10101 engages levels 0, 2 and 4 (1 + 4 + 16 = 21).
+  const auto t = LogicBarrelShifter::shift_traced(0xffffffffu, 21,
+                                                  ShiftKind::Lsr);
+  EXPECT_EQ(t.level[0], 0xffffffffu);
+  EXPECT_EQ(t.level[1], 0x7fffffffu);  // 1-bit stage taken
+  EXPECT_EQ(t.level[2], 0x7fffffffu);  // 2-bit stage skipped
+  EXPECT_EQ(t.level[3], 0x07ffffffu);  // 4-bit stage taken
+  EXPECT_EQ(t.level[4], 0x07ffffffu);  // 8-bit stage skipped
+  EXPECT_EQ(t.level[5], 0x000007ffu);  // 16-bit stage taken
+}
+
+TEST(LogicBarrelShifter, ArithmeticFillPerLevel) {
+  const auto t = LogicBarrelShifter::shift_traced(0x80000000u, 17,
+                                                  ShiftKind::Asr);
+  // After the 1-bit stage the top bit replicates.
+  EXPECT_EQ(t.level[1], 0xC0000000u);
+  EXPECT_EQ(t.level[5], 0xFFFFC000u);
+}
+
+}  // namespace
+}  // namespace simt::hw

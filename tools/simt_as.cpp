@@ -1,0 +1,65 @@
+// simt-as: assemble a kernel source file into an I-MEM hex image
+// (one 16-digit hex word per line, directly loadable by simt-run).
+//
+// usage: simt-as <input.s> [output.hex]
+//        simt-as -l <input.s>     # print the listing instead
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "asm/assembler.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw simt::Error("cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool listing = false;
+  int arg = 1;
+  if (arg < argc && std::string(argv[arg]) == "-l") {
+    listing = true;
+    ++arg;
+  }
+  if (arg >= argc) {
+    std::fprintf(stderr, "usage: simt-as [-l] <input.s> [output.hex]\n");
+    return 2;
+  }
+  try {
+    const auto program = simt::assembler::assemble(read_file(argv[arg]));
+    if (listing) {
+      std::fputs(program.listing().c_str(), stdout);
+      return 0;
+    }
+    std::ostream* out = &std::cout;
+    std::ofstream file;
+    if (arg + 1 < argc) {
+      file.open(argv[arg + 1]);
+      if (!file) {
+        throw simt::Error(std::string("cannot write ") + argv[arg + 1]);
+      }
+      out = &file;
+    }
+    for (const std::uint64_t word : program.encode()) {
+      char buf[20];
+      std::snprintf(buf, sizeof(buf), "%016llx\n",
+                    static_cast<unsigned long long>(word));
+      *out << buf;
+    }
+    return 0;
+  } catch (const simt::Error& e) {
+    std::fprintf(stderr, "simt-as: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,42 @@
+// simt-dis: disassemble an I-MEM hex image (as produced by simt-as).
+//
+// usage: simt-dis <image.hex>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "common/error.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: simt-dis <image.hex>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "simt-dis: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::vector<std::uint64_t> words;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    words.push_back(std::stoull(line, nullptr, 16));
+  }
+  try {
+    const auto program = simt::core::Program::decode(words);
+    for (std::size_t pc = 0; pc < program.size(); ++pc) {
+      std::printf("%4zu:  %016llx  %s\n", pc,
+                  static_cast<unsigned long long>(words[pc]),
+                  simt::isa::disassemble(program.at(pc)).c_str());
+    }
+    return 0;
+  } catch (const simt::Error& e) {
+    std::fprintf(stderr, "simt-dis: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,86 @@
+// simt-run: run a kernel on the cycle-accurate simulator from the command
+// line, optionally preloading shared memory from a file of decimal words.
+//
+// usage: simt-run <kernel.s> [--threads N] [--mem file.txt]
+//                 [--dump base count]
+//
+// Prints the performance counters and (with --dump) a window of shared
+// memory after the run.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "common/error.hpp"
+#include "core/gpgpu.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: simt-run <kernel.s> [--threads N] [--mem file] "
+                 "[--dump base count]\n");
+    return 2;
+  }
+  unsigned threads = 512;
+  std::string mem_file;
+  unsigned dump_base = 0, dump_count = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--mem") && i + 1 < argc) {
+      mem_file = argv[++i];
+    } else if (!std::strcmp(argv[i], "--dump") && i + 2 < argc) {
+      dump_base = static_cast<unsigned>(std::stoul(argv[++i]));
+      dump_count = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else {
+      std::fprintf(stderr, "simt-run: unknown argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  try {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      throw simt::Error(std::string("cannot open ") + argv[1]);
+    }
+    std::ostringstream src;
+    src << in.rdbuf();
+
+    simt::core::CoreConfig cfg;
+    cfg.max_threads = std::max(16u, threads);
+    cfg.shared_mem_words = 4096;
+    cfg.predicates_enabled = true;
+    simt::core::Gpgpu gpu(cfg);
+    gpu.load_program(simt::assembler::assemble(src.str()));
+    gpu.set_thread_count(threads);
+
+    if (!mem_file.empty()) {
+      std::ifstream mem(mem_file);
+      if (!mem) {
+        throw simt::Error("cannot open " + mem_file);
+      }
+      std::uint32_t addr = 0;
+      long long value;
+      while (mem >> value) {
+        gpu.write_shared(addr++, static_cast<std::uint32_t>(value));
+      }
+    }
+
+    const auto res = gpu.run();
+    std::printf("%s\n", res.perf.summary().c_str());
+    std::printf("exited=%s  (%.3f us at 950 MHz)\n",
+                res.exited ? "yes" : "no",
+                static_cast<double>(res.perf.cycles) / 950.0);
+    for (unsigned i = 0; i < dump_count; ++i) {
+      std::printf("mem[%u] = %u\n", dump_base + i,
+                  gpu.read_shared(dump_base + i));
+    }
+    return 0;
+  } catch (const simt::Error& e) {
+    std::fprintf(stderr, "simt-run: %s\n", e.what());
+    return 1;
+  }
+}
