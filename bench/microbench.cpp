@@ -121,6 +121,40 @@ void BM_SimulatorAluStream(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorAluStream);
 
+/// Host staging: per-word poke (the old copy_in path) vs the bulk span
+/// fast path the runtime Buffer copies use, on a full 4096-word transfer.
+void BM_HostStagingPerWord(benchmark::State& state) {
+  core::CoreConfig cfg;
+  cfg.max_threads = 512;
+  cfg.shared_mem_words = 4096;
+  core::Gpgpu gpu(cfg);
+  std::vector<std::uint32_t> host(4096, 0x5a5a5a5a);
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < 4096; ++i) {
+      gpu.write_shared(i, host[i]);
+    }
+    benchmark::DoNotOptimize(gpu.read_shared(4095));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096 * 4);
+}
+BENCHMARK(BM_HostStagingPerWord);
+
+void BM_HostStagingBulkSpan(benchmark::State& state) {
+  core::CoreConfig cfg;
+  cfg.max_threads = 512;
+  cfg.shared_mem_words = 4096;
+  core::Gpgpu gpu(cfg);
+  std::vector<std::uint32_t> host(4096, 0x5a5a5a5a);
+  for (auto _ : state) {
+    gpu.write_shared_span(0, host);
+    benchmark::DoNotOptimize(gpu.read_shared(4095));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096 * 4);
+}
+BENCHMARK(BM_HostStagingBulkSpan);
+
 void BM_NetlistBuild(benchmark::State& state) {
   const auto cfg = core::CoreConfig::table1_flagship();
   for (auto _ : state) {

@@ -7,22 +7,24 @@
 //   y[t] = (sum_k c[k] * x[t+k]) >> 15
 // using MUL.LO for the Q15 products and the arithmetic right shift the
 // integrated shifter provides for normalization (Section 4.2).
+//
+// Runs on the unified device runtime: buffers come from the device
+// allocator and the kernel is generated against their bases.
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/fixed_point.hpp"
-#include "runtime/runtime.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/device.hpp"
+#include "runtime/stream.hpp"
 
 namespace {
 
-constexpr unsigned kN = 512;        // output samples
+constexpr unsigned kN = 512;  // output samples
 constexpr unsigned kTaps = 16;
-constexpr unsigned kQ = 15;         // Q1.15 coefficients
-constexpr unsigned kXBase = 0;      // input: kN + kTaps samples
-constexpr unsigned kCoefBase = 3000;
-constexpr unsigned kYBase = 2048;
+constexpr unsigned kQ = 15;  // Q1.15 coefficients
 
 }  // namespace
 
@@ -32,14 +34,18 @@ int main() {
   core::CoreConfig cfg;
   cfg.max_threads = kN;
   cfg.shared_mem_words = 4096;
-  runtime::EgpuRuntime rt(cfg);
+  runtime::Device dev(runtime::DeviceDescriptor::simt_core(cfg));
+
+  auto x_buf = dev.alloc<std::int32_t>(kN + kTaps);
+  auto y_buf = dev.alloc<std::int32_t>(kN);
+  auto coef_buf = dev.alloc<std::int32_t>(kTaps);
 
   // Windowed-sinc low-pass coefficients in Q15.
   std::vector<std::int32_t> coef(kTaps);
   double csum = 0;
   for (unsigned k = 0; k < kTaps; ++k) {
-    const double x = static_cast<double>(k) - (kTaps - 1) / 2.0;
-    const double sinc = x == 0 ? 1.0 : std::sin(0.4 * x) / (0.4 * x);
+    const double t = static_cast<double>(k) - (kTaps - 1) / 2.0;
+    const double sinc = t == 0 ? 1.0 : std::sin(0.4 * t) / (0.4 * t);
     const double hamming =
         0.54 - 0.46 * std::cos(2.0 * M_PI * k / (kTaps - 1));
     coef[k] = to_fixed(0.4 / M_PI * sinc * hamming, kQ);
@@ -52,26 +58,29 @@ int main() {
     x[i] = to_fixed(0.4 * std::sin(0.05 * i) + 0.3 * std::sin(1.9 * i), kQ);
   }
 
-  // Kernel: fully unrolled 16-tap MAC per thread.
+  // Kernel: fully unrolled 16-tap MAC per thread, against buffer bases.
   std::string src =
       "movsr %r0, %tid\n"
-      "movi %r5, " + std::to_string(kCoefBase) + "\n"
+      "movi %r5, " + std::to_string(coef_buf.word_base()) + "\n"
       "movi %r6, 0\n";
   for (unsigned k = 0; k < kTaps; ++k) {
-    src += "lds %r2, [%r0 + " + std::to_string(kXBase + k) + "]\n";
+    src += "lds %r2, [%r0 + " + std::to_string(x_buf.word_base() + k) + "]\n";
     src += "lds %r3, [%r5 + " + std::to_string(k) + "]\n";
     src += "mul.lo %r4, %r2, %r3\n";
     src += "add %r6, %r6, %r4\n";
   }
   src += "sari %r6, %r6, " + std::to_string(kQ) + "\n";
-  src += "sts [%r0 + " + std::to_string(kYBase) + "], %r6\n";
+  src += "sts [%r0 + " + std::to_string(y_buf.word_base()) + "], %r6\n";
   src += "exit\n";
-  rt.load_kernel(src);
+  auto& module = dev.load_module(src);
 
-  rt.copy_in_i32(kXBase, x);
-  rt.copy_in_i32(kCoefBase, coef);
-  const auto res = rt.launch(kN);
-  const auto y = rt.copy_out_i32(kYBase, kN);
+  std::vector<std::int32_t> y(kN);
+  auto& stream = dev.stream();
+  stream.copy_in(x_buf, std::span<const std::int32_t>(x));
+  stream.copy_in(coef_buf, std::span<const std::int32_t>(coef));
+  auto event = stream.launch(module.kernel(), kN);
+  stream.copy_out(y_buf, std::span<std::int32_t>(y));
+  stream.synchronize();
 
   // Validate against a double-precision reference.
   double max_err = 0;
@@ -89,11 +98,11 @@ int main() {
                                          from_fixed(golden, kQ)));
   }
 
+  const auto& perf = event.stats().perf;
   std::printf("FIR OK: %u samples, %u taps (Q15), DC gain %.3f\n", kN, kTaps,
               csum);
-  std::printf("cycles: %llu (%.2f us @ 950 MHz)  ops/clk: %.1f\n",
-              static_cast<unsigned long long>(res.perf.cycles),
-              runtime::EgpuRuntime::runtime_us(res.perf, 950.0),
-              res.perf.ops_per_cycle());
+  std::printf("cycles: %llu (%.2f us @ %.0f MHz)  ops/clk: %.1f\n",
+              static_cast<unsigned long long>(perf.cycles), event.wall_us(),
+              dev.fmax_mhz(), perf.ops_per_cycle());
   return 0;
 }

@@ -4,13 +4,16 @@
 //
 // Each thread iterates z <- z^2 + c for one pixel in Q5.26 arithmetic.
 // Escaped threads are masked off with @!p guards; the whole block exits the
-// iteration loop early once *no* thread is still active (brn).
+// iteration loop early once *no* thread is still active (brn). Runs on the
+// unified device runtime.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/fixed_point.hpp"
-#include "runtime/runtime.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/device.hpp"
+#include "runtime/stream.hpp"
 
 namespace {
 
@@ -53,9 +56,12 @@ int main() {
   cfg.regs_per_thread = 16;
   cfg.shared_mem_words = 4096;
   cfg.predicates_enabled = true;  // this workload needs the option
-  runtime::EgpuRuntime rt(cfg);
+  runtime::Device dev(runtime::DeviceDescriptor::simt_core(cfg));
 
-  // Memory map: c_re at 0, c_im at kPixels, iteration counts at 2*kPixels.
+  auto cre_buf = dev.alloc<std::int32_t>(kPixels);
+  auto cim_buf = dev.alloc<std::int32_t>(kPixels);
+  auto iter_buf = dev.alloc<std::uint32_t>(kPixels);
+
   // Registers: r1=zr r2=zi r3=cr r4=ci r5=iters r6..r9 scratch.
   // p0 = "this thread is still iterating".
   // The escape test uses the pure MULHI halves (Q2Q-32 = Q20): they cannot
@@ -67,8 +73,8 @@ int main() {
   const std::string lo_shift = std::to_string(kQ);
   std::string src =
       "movsr %r0, %tid\n"
-      "lds %r3, [%r0]\n"                              // cr
-      "lds %r4, [%r0 + " + std::to_string(kPixels) + "]\n"  // ci
+      "lds %r3, [%r0 + " + std::to_string(cre_buf.word_base()) + "]\n"
+      "lds %r4, [%r0 + " + std::to_string(cim_buf.word_base()) + "]\n"
       "movi %r1, 0\n"                                 // zr
       "movi %r2, 0\n"                                 // zi
       "movi %r5, 0\n"                                 // iteration count
@@ -101,9 +107,9 @@ int main() {
       "sub %r6, %r6, %r7\n"
       "@p0 add %r1, %r6, %r3\n"                       // zr'
       "brp %p0, iterate\n"                            // loop while ANY active
-      "sts [%r0 + " + std::to_string(2 * kPixels) + "], %r5\n"
+      "sts [%r0 + " + std::to_string(iter_buf.word_base()) + "], %r5\n"
       "exit\n";
-  rt.load_kernel(src);
+  auto& module = dev.load_module(src);
 
   // Pixel grid over the classic view window.
   std::vector<std::int32_t> cre(kPixels), cim(kPixels);
@@ -115,11 +121,14 @@ int main() {
           to_fixed(-1.2 + 2.4 * y / (kHeight - 1), kQ);
     }
   }
-  rt.copy_in_i32(0, cre);
-  rt.copy_in_i32(kPixels, cim);
 
-  const auto res = rt.launch(kPixels);
-  const auto iters = rt.copy_out(2 * kPixels, kPixels);
+  std::vector<std::uint32_t> iters(kPixels);
+  auto& stream = dev.stream();
+  stream.copy_in(cre_buf, std::span<const std::int32_t>(cre));
+  stream.copy_in(cim_buf, std::span<const std::int32_t>(cim));
+  auto event = stream.launch(module.kernel(), kPixels);
+  stream.copy_out(iter_buf, std::span<std::uint32_t>(iters));
+  stream.synchronize();
 
   // Each thread's count advances while it is personally bounded and under
   // the iteration cap; the golden model applies the same cap, so the counts
@@ -151,8 +160,9 @@ int main() {
   }
   std::printf(
       "mandelbrot OK: %u pixels, block converged after %u iterations, "
-      "%llu cycles (%.2f us @ 950 MHz)\n",
-      kPixels, max_exec, static_cast<unsigned long long>(res.perf.cycles),
-      runtime::EgpuRuntime::runtime_us(res.perf, 950.0));
+      "%llu cycles (%.2f us @ %.0f MHz)\n",
+      kPixels, max_exec,
+      static_cast<unsigned long long>(event.stats().perf.cycles),
+      event.wall_us(), dev.fmax_mhz());
   return 0;
 }

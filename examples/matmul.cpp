@@ -3,21 +3,22 @@
 // high-half writeback (Section 4: "the high value would typically be used
 // for signal processing").
 //
-// Thread mapping: 1024 threads, thread t computes C[t/32][t%32].
+// Thread mapping: 1024 threads, thread t computes C[t/32][t%32]. Buffers
+// come from the device allocator; the kernel is generated against their
+// bases.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/fixed_point.hpp"
-#include "runtime/runtime.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/device.hpp"
+#include "runtime/stream.hpp"
 
 namespace {
 
 constexpr unsigned kDim = 32;
 constexpr unsigned kQ = 24;  // Q8.24
-constexpr unsigned kABase = 0;
-constexpr unsigned kBBase = 1024;
-constexpr unsigned kCBase = 2048;
 
 }  // namespace
 
@@ -28,7 +29,11 @@ int main() {
   cfg.max_threads = 1024;
   cfg.regs_per_thread = 16;
   cfg.shared_mem_words = 4096;
-  runtime::EgpuRuntime rt(cfg);
+  runtime::Device dev(runtime::DeviceDescriptor::simt_core(cfg));
+
+  auto a_buf = dev.alloc<std::int32_t>(kDim * kDim);
+  auto b_buf = dev.alloc<std::int32_t>(kDim * kDim);
+  auto c_buf = dev.alloc<std::int32_t>(kDim * kDim);
 
   // Kernel. MULHI gives (a*b) >> 32; for Q24 x Q24 -> Q24 we need
   // (a*b) >> 24, i.e. mulhi << 8 | mullo >> 24 -- both halves are written
@@ -42,8 +47,8 @@ int main() {
       "mov   %r5, %r2\n"        // b index = j (+32k)
       "movi  %r6, 0\n"          // acc
       "loopi 32, kend\n"
-      "lds   %r7, [%r4 + " + std::to_string(kABase) + "]\n"
-      "lds   %r8, [%r5 + " + std::to_string(kBBase) + "]\n"
+      "lds   %r7, [%r4 + " + std::to_string(a_buf.word_base()) + "]\n"
+      "lds   %r8, [%r5 + " + std::to_string(b_buf.word_base()) + "]\n"
       "mul.hi %r9, %r7, %r8\n"  // high 32 bits of the 64-bit product
       "shli  %r9, %r9, 8\n"     // align Q48 -> Q24 (upper part)
       "mul.lo %r10, %r7, %r8\n"
@@ -53,9 +58,9 @@ int main() {
       "addi  %r4, %r4, 1\n"
       "addi  %r5, %r5, 32\n"
       "kend:\n"
-      "sts   [%r0 + " + std::to_string(kCBase) + "], %r6\n"
+      "sts   [%r0 + " + std::to_string(c_buf.word_base()) + "], %r6\n"
       "exit\n";
-  rt.load_kernel(src);
+  auto& module = dev.load_module(src);
 
   // Inputs: well-conditioned small fixed-point values.
   std::vector<std::int32_t> a(kDim * kDim), b(kDim * kDim);
@@ -63,11 +68,14 @@ int main() {
     a[i] = to_fixed(0.03 * static_cast<double>((i * 7) % 11) - 0.15, kQ);
     b[i] = to_fixed(0.02 * static_cast<double>((i * 5) % 13) - 0.12, kQ);
   }
-  rt.copy_in_i32(kABase, a);
-  rt.copy_in_i32(kBBase, b);
 
-  const auto res = rt.launch(1024);
-  const auto c = rt.copy_out_i32(kCBase, kDim * kDim);
+  std::vector<std::int32_t> c(kDim * kDim);
+  auto& stream = dev.stream();
+  stream.copy_in(a_buf, std::span<const std::int32_t>(a));
+  stream.copy_in(b_buf, std::span<const std::int32_t>(b));
+  auto event = stream.launch(module.kernel(), kDim * kDim);
+  stream.copy_out(c_buf, std::span<std::int32_t>(c));
+  stream.synchronize();
 
   // Golden reference: the same Q24 arithmetic in int64.
   double max_err = 0;
@@ -98,8 +106,8 @@ int main() {
 
   std::printf("matmul OK: %ux%u Q8.24, max error vs double %.2e\n", kDim,
               kDim, max_err);
-  std::printf("cycles: %llu (%.2f us @ 950 MHz)\n",
-              static_cast<unsigned long long>(res.perf.cycles),
-              runtime::EgpuRuntime::runtime_us(res.perf, 950.0));
+  std::printf("cycles: %llu (%.2f us @ %.0f MHz)\n",
+              static_cast<unsigned long long>(event.stats().perf.cycles),
+              event.wall_us(), dev.fmax_mhz());
   return 0;
 }

@@ -1,66 +1,81 @@
-// Quickstart: assemble a kernel, stage data, launch, and read results back.
+// Quickstart: open a device, allocate buffers, load a module, and run a
+// kernel through the stream -- the unified runtime workflow every backend
+// (single SIMT core, multi-core system, scalar soft CPU) shares.
 //
 // The workflow mirrors how the paper positions the soft GPGPU (Section 1):
 // a software-programmable accelerator inside the FPGA -- write a few lines
 // of PTX-flavoured assembly instead of RTL, and let the 16-SP SIMT core
 // sweep the data.
 //
-// Build & run:  ./quickstart
+// Build & run:  ./example_quickstart
 #include <cstdio>
 #include <numeric>
+#include <string>
 #include <vector>
 
-#include "runtime/runtime.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/device.hpp"
+#include "runtime/stream.hpp"
 
 int main() {
   using namespace simt;
 
-  // 1. Configure the processor: 512 threads, 16 registers per thread,
-  //    16 KB of shared memory -- the Table 1 flagship shape.
+  // 1. Open a device. The descriptor picks the backend and core shape:
+  //    512 threads, 16 registers per thread, 16 KB of shared memory -- the
+  //    Table 1 flagship.
   core::CoreConfig cfg;
   cfg.num_sps = 16;
   cfg.max_threads = 512;
   cfg.regs_per_thread = 16;
   cfg.shared_mem_words = 4096;
+  runtime::Device dev(runtime::DeviceDescriptor::simt_core(cfg));
 
-  runtime::EgpuRuntime rt(cfg);
+  // 2. Allocate device buffers. The allocator hands out word addresses, so
+  //    nothing is hard-coded: the kernel is generated against buffer bases.
+  constexpr unsigned kN = 512;
+  auto a = dev.alloc<std::uint32_t>(kN);
+  auto b = dev.alloc<std::uint32_t>(kN);
+  auto c = dev.alloc<std::uint32_t>(kN);
 
-  // 2. Load a kernel. Every thread adds one element pair:
-  //    c[tid] = a[tid] + b[tid].
-  rt.load_kernel(R"(
-      movsr %r0, %tid          // thread id
-      lds   %r1, [%r0 + 0]     // a[tid]
-      lds   %r2, [%r0 + 1024]  // b[tid]
-      add   %r3, %r1, %r2
-      sts   [%r0 + 2048], %r3  // c[tid]
-      exit
-  )");
+  // 3. Load a module. Every thread adds one element pair:
+  //    c[tid] = a[tid] + b[tid]. Modules are cached by source hash, so
+  //    loading the same source twice assembles once.
+  auto& module = dev.load_module(
+      "movsr %r0, %tid\n"
+      "lds   %r1, [%r0 + " + std::to_string(a.word_base()) + "]\n"
+      "lds   %r2, [%r0 + " + std::to_string(b.word_base()) + "]\n"
+      "add   %r3, %r1, %r2\n"
+      "sts   [%r0 + " + std::to_string(c.word_base()) + "], %r3\n"
+      "exit\n");
 
-  // 3. Stage inputs into the shared memory.
-  std::vector<std::uint32_t> a(512), b(512);
-  std::iota(a.begin(), a.end(), 0u);
-  for (unsigned i = 0; i < 512; ++i) {
-    b[i] = 1000 + i;
+  // 4. Stage inputs, launch all 512 threads (32 lockstep rows over the 16
+  //    SPs), and read back -- all through the in-order stream.
+  std::vector<std::uint32_t> host_a(kN), host_b(kN), host_c(kN);
+  std::iota(host_a.begin(), host_a.end(), 0u);
+  for (unsigned i = 0; i < kN; ++i) {
+    host_b[i] = 1000 + i;
   }
-  rt.copy_in(0, a);
-  rt.copy_in(1024, b);
 
-  // 4. Launch all 512 threads (32 lockstep rows over the 16 SPs).
-  const auto res = rt.launch(512);
+  auto& stream = dev.stream();
+  stream.copy_in(a, std::span<const std::uint32_t>(host_a));
+  stream.copy_in(b, std::span<const std::uint32_t>(host_b));
+  auto event = stream.launch(module.kernel(), kN);
+  stream.copy_out(c, std::span<std::uint32_t>(host_c));
+  stream.synchronize();
 
-  // 5. Read back and check.
-  const auto c = rt.copy_out(2048, 512);
-  for (unsigned i = 0; i < 512; ++i) {
-    if (c[i] != a[i] + b[i]) {
-      std::printf("MISMATCH at %u: %u != %u\n", i, c[i], a[i] + b[i]);
+  // 5. Check.
+  for (unsigned i = 0; i < kN; ++i) {
+    if (host_c[i] != host_a[i] + host_b[i]) {
+      std::printf("MISMATCH at %u: %u != %u\n", i, host_c[i],
+                  host_a[i] + host_b[i]);
       return 1;
     }
   }
 
-  std::puts("vecadd OK: 512 elements");
-  std::printf("performance: %s\n", res.perf.summary().c_str());
-  std::printf(
-      "at the paper's 950 MHz realized clock this kernel takes %.2f us\n",
-      runtime::EgpuRuntime::runtime_us(res.perf, 950.0));
+  std::printf("vecadd OK: %u elements on backend '%s'\n", kN,
+              std::string(dev.backend_name()).c_str());
+  std::printf("performance: %s\n", event.stats().perf.summary().c_str());
+  std::printf("at the %.0f MHz realized clock this kernel takes %.2f us\n",
+              dev.fmax_mhz(), event.wall_us());
   return 0;
 }

@@ -6,12 +6,14 @@
 //
 // Computes the maximum AND the sum of 1024 values in one pass: each halving
 // step rescales the thread space with SETTI, so the expensive stores only
-// sweep the live threads.
+// sweep the live threads. Runs on the unified device runtime.
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "runtime/runtime.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/device.hpp"
+#include "runtime/stream.hpp"
 
 int main() {
   using namespace simt;
@@ -20,23 +22,29 @@ int main() {
   core::CoreConfig cfg;
   cfg.max_threads = kN;
   cfg.shared_mem_words = 4096;
-  runtime::EgpuRuntime rt(cfg);
+  runtime::Device dev(runtime::DeviceDescriptor::simt_core(cfg));
 
-  // sums live at [0, N), maxima at [N, 2N).
+  auto sums = dev.alloc<std::uint32_t>(kN);
+  auto maxima = dev.alloc<std::uint32_t>(kN);
+
   std::string src = "movsr %r0, %tid\n";
+  const auto s = std::to_string(sums.word_base());
+  const auto m = std::to_string(maxima.word_base());
   for (unsigned stride = kN / 2; stride >= 1; stride /= 2) {
     src += "setti " + std::to_string(stride) + "\n";
-    src += "lds %r1, [%r0]\n";
-    src += "lds %r2, [%r0 + " + std::to_string(stride) + "]\n";
+    src += "lds %r1, [%r0 + " + s + "]\n";
+    src += "lds %r2, [%r0 + " + std::to_string(sums.word_base() + stride) +
+           "]\n";
     src += "add %r3, %r1, %r2\n";
-    src += "sts [%r0], %r3\n";
-    src += "lds %r4, [%r0 + " + std::to_string(kN) + "]\n";
-    src += "lds %r5, [%r0 + " + std::to_string(kN + stride) + "]\n";
+    src += "sts [%r0 + " + s + "], %r3\n";
+    src += "lds %r4, [%r0 + " + m + "]\n";
+    src += "lds %r5, [%r0 + " +
+           std::to_string(maxima.word_base() + stride) + "]\n";
     src += "max %r6, %r4, %r5\n";
-    src += "sts [%r0 + " + std::to_string(kN) + "], %r6\n";
+    src += "sts [%r0 + " + m + "], %r6\n";
   }
   src += "exit\n";
-  rt.load_kernel(src);
+  auto& module = dev.load_module(src);
 
   std::vector<std::uint32_t> values(kN);
   std::uint64_t golden_sum = 0;
@@ -48,24 +56,27 @@ int main() {
     golden_sum += static_cast<std::uint32_t>(v);
     golden_max = std::max(golden_max, v);
   }
-  rt.copy_in(0, values);
-  rt.copy_in(kN, values);
 
-  const auto res = rt.launch(kN);
+  auto& stream = dev.stream();
+  stream.copy_in(sums, std::span<const std::uint32_t>(values));
+  stream.copy_in(maxima, std::span<const std::uint32_t>(values));
+  auto event = stream.launch(module.kernel(), kN);
+  stream.synchronize();
 
-  const auto sum = rt.gpu().read_shared(0);
-  const auto mx = static_cast<std::int32_t>(rt.gpu().read_shared(kN));
+  const auto sum = sums.at(0);
+  const auto mx = static_cast<std::int32_t>(maxima.at(0));
   if (sum != static_cast<std::uint32_t>(golden_sum) || mx != golden_max) {
     std::printf("MISMATCH: sum %u vs %u, max %d vs %d\n", sum,
                 static_cast<std::uint32_t>(golden_sum), mx, golden_max);
     return 1;
   }
 
+  const auto& perf = event.stats().perf;
   std::printf("reduction OK: sum=%u max=%d over %u values\n", sum, mx, kN);
-  std::printf("cycles: %llu (%.2f us @ 950 MHz), stores issued: %llu words\n",
-              static_cast<unsigned long long>(res.perf.cycles),
-              runtime::EgpuRuntime::runtime_us(res.perf, 950.0),
-              static_cast<unsigned long long>(res.perf.shm_writes));
+  std::printf("cycles: %llu (%.2f us @ %.0f MHz), stores issued: %llu words\n",
+              static_cast<unsigned long long>(perf.cycles), event.wall_us(),
+              dev.fmax_mhz(),
+              static_cast<unsigned long long>(perf.shm_writes));
   std::puts(
       "every halving step rescales the thread space (SETTI), cutting the\n"
       "16-clock-per-row store sweeps to the live threads only -- see\n"

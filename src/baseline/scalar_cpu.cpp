@@ -41,6 +41,25 @@ std::uint32_t ScalarSoftCpu::read_mem(std::uint32_t addr) const {
 void ScalarSoftCpu::write_mem(std::uint32_t addr, std::uint32_t value) {
   interp_.write_shared(addr, value);
 }
+void ScalarSoftCpu::read_mem_span(std::uint32_t base,
+                                  std::span<std::uint32_t> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = interp_.read_shared(base + static_cast<std::uint32_t>(i));
+  }
+}
+
+void ScalarSoftCpu::write_mem_span(std::uint32_t base,
+                                   std::span<const std::uint32_t> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    interp_.write_shared(base + static_cast<std::uint32_t>(i), data[i]);
+  }
+}
+
+void ScalarSoftCpu::set_thread_context(std::uint32_t tid, std::uint32_t ntid) {
+  tid_ = tid;
+  ntid_ = ntid;
+}
+
 std::uint32_t ScalarSoftCpu::read_reg(unsigned reg) const {
   return interp_.read_reg(0, reg);
 }
@@ -182,16 +201,21 @@ ScalarRunStats ScalarSoftCpu::run(std::uint64_t max_instructions) {
                 0, in.rd,
                 core::ref::alu(in, 0, static_cast<std::uint32_t>(in.imm)));
             break;
-          case Format::RS:
-            // Scalar core: tid=0, ntid=1, nsp=1, lane=0, row=0, smid=0.
-            interp_.write_reg(
-                0, in.rd,
-                static_cast<isa::SpecialReg>(in.imm) == isa::SpecialReg::Ntid ||
-                        static_cast<isa::SpecialReg>(in.imm) ==
-                            isa::SpecialReg::Nsp
-                    ? 1u
-                    : 0u);
+          case Format::RS: {
+            // Scalar core sweeping an emulated SIMT launch: one lane, so
+            // lane=0 and row=tid; nsp=1, smid=0.
+            std::uint32_t value = 0;
+            switch (static_cast<isa::SpecialReg>(in.imm)) {
+              case isa::SpecialReg::Tid: value = tid_; break;
+              case isa::SpecialReg::Ntid: value = ntid_; break;
+              case isa::SpecialReg::Nsp: value = 1; break;
+              case isa::SpecialReg::Lane: value = 0; break;
+              case isa::SpecialReg::Row: value = tid_; break;
+              case isa::SpecialReg::Smid: value = 0; break;
+            }
+            interp_.write_reg(0, in.rd, value);
             break;
+          }
           case Format::PRR:
             preds_[in.pd] = core::ref::compare(in.op, reg(in.ra), reg(in.rb));
             break;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "core/config.hpp"
 #include "core/perf.hpp"
@@ -45,8 +46,16 @@ class ScalarSoftCpu {
 
   std::uint32_t read_mem(std::uint32_t addr) const;
   void write_mem(std::uint32_t addr, std::uint32_t value);
+  void read_mem_span(std::uint32_t base, std::span<std::uint32_t> out) const;
+  void write_mem_span(std::uint32_t base,
+                      std::span<const std::uint32_t> data);
   std::uint32_t read_reg(unsigned reg) const;
   void write_reg(unsigned reg, std::uint32_t value);
+
+  /// SIMT launch emulation: a scalar core sweeps a thread grid as a software
+  /// loop, so the host sets the thread id/count the special registers report
+  /// before each per-thread run (%tid -> tid, %ntid -> ntid).
+  void set_thread_context(std::uint32_t tid, std::uint32_t ntid);
 
   /// Run to EXIT; returns cycle/instruction counts under the CPI model.
   ScalarRunStats run(std::uint64_t max_instructions = 1'000'000'000);
@@ -59,6 +68,8 @@ class ScalarSoftCpu {
   core::ReferenceInterpreter interp_;
   core::Program program_;
   bool preds_[isa::kNumPredRegs] = {};  ///< scalar condition flags
+  std::uint32_t tid_ = 0;               ///< emulated-launch thread id
+  std::uint32_t ntid_ = 1;              ///< emulated-launch thread count
 };
 
 }  // namespace simt::baseline

@@ -149,6 +149,16 @@ void Gpgpu::write_shared(std::uint32_t addr, std::uint32_t value) {
   shared_.poke(addr, value);
 }
 
+void Gpgpu::read_shared_span(std::uint32_t base,
+                             std::span<std::uint32_t> out) const {
+  shared_.peek_span(base, out);
+}
+
+void Gpgpu::write_shared_span(std::uint32_t base,
+                              std::span<const std::uint32_t> data) {
+  shared_.poke_span(base, data);
+}
+
 std::uint32_t Gpgpu::read_reg(unsigned thread, unsigned reg) const {
   SIMT_CHECK(thread < cfg_.max_threads && reg < cfg_.regs_per_thread);
   return rf_read(thread, reg);
@@ -205,9 +215,9 @@ std::uint32_t Gpgpu::special_value(isa::SpecialReg sr, unsigned thread,
                                    unsigned active) const {
   switch (sr) {
     case isa::SpecialReg::Tid:
-      return thread;
+      return thread_base_ + thread;
     case isa::SpecialReg::Ntid:
-      return active;
+      return ntid_override_ ? ntid_override_ : active;
     case isa::SpecialReg::Nsp:
       return cfg_.num_sps;
     case isa::SpecialReg::Lane:
@@ -215,7 +225,7 @@ std::uint32_t Gpgpu::special_value(isa::SpecialReg sr, unsigned thread,
     case isa::SpecialReg::Row:
       return thread / cfg_.num_sps;
     case isa::SpecialReg::Smid:
-      return 0;
+      return smid_;
   }
   return 0;
 }
@@ -539,6 +549,7 @@ RunResult Gpgpu::run(std::uint32_t entry, std::uint64_t max_instructions) {
         }
         const std::uint32_t v = rf_read(0, instr.ra);
         active_threads_ = std::clamp<std::uint32_t>(v, 1, cfg_.max_threads);
+        ntid_override_ = 0;  // %ntid tracks the dynamic count from here on
         flush = fetch_.advance();
         break;
       }
@@ -549,6 +560,7 @@ RunResult Gpgpu::run(std::uint32_t entry, std::uint64_t max_instructions) {
         active_threads_ =
             std::clamp<std::uint32_t>(static_cast<std::uint32_t>(instr.imm),
                                       1, cfg_.max_threads);
+        ntid_override_ = 0;  // %ntid tracks the dynamic count from here on
         flush = fetch_.advance();
         break;
       }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/config.hpp"
@@ -50,6 +51,25 @@ class Gpgpu {
   void set_thread_count(unsigned threads);
   unsigned thread_count() const { return launch_threads_; }
 
+  /// Global-tid offset for sharded grids: %tid reads base + local index, so
+  /// a host runtime can split one logical launch across cores or rounds
+  /// (the CUDA blockIdx analogue for this single-block core).
+  void set_thread_base(std::uint32_t base) { thread_base_ = base; }
+  std::uint32_t thread_base() const { return thread_base_; }
+
+  /// SM index reported by %smid (set per core by the multi-core system).
+  void set_smid(std::uint32_t smid) { smid_ = smid; }
+  std::uint32_t smid() const { return smid_; }
+
+  /// Logical grid size reported by %ntid on sharded launches (0 = none):
+  /// a runtime splitting one grid across rounds or cores sets this so
+  /// kernels read the full grid, not the shard, on every backend. The
+  /// override lasts until the program rescales the thread space with
+  /// SETT/SETTI -- from then on %ntid tracks the dynamic count, which is
+  /// the Section 2 semantics (and such kernels are not shard-safe anyway).
+  void set_ntid_override(std::uint32_t ntid) { ntid_override_ = ntid; }
+  std::uint32_t ntid_override() const { return ntid_override_; }
+
   /// Run from `entry` until EXIT or the instruction budget is exhausted.
   RunResult run(std::uint32_t entry = 0,
                 std::uint64_t max_instructions = 1'000'000'000);
@@ -57,6 +77,10 @@ class Gpgpu {
   // ---- host (backdoor) access -------------------------------------------
   std::uint32_t read_shared(std::uint32_t addr) const;
   void write_shared(std::uint32_t addr, std::uint32_t value);
+  /// Bulk host staging (rides MultiPortMemory's span fast path).
+  void read_shared_span(std::uint32_t base, std::span<std::uint32_t> out) const;
+  void write_shared_span(std::uint32_t base,
+                         std::span<const std::uint32_t> data);
   std::uint32_t read_reg(unsigned thread, unsigned reg) const;
   void write_reg(unsigned thread, unsigned reg, std::uint32_t value);
   bool read_pred(unsigned thread, unsigned pred) const;
@@ -107,6 +131,9 @@ class Gpgpu {
   FetchDecode fetch_;
   unsigned launch_threads_;
   unsigned active_threads_;
+  std::uint32_t thread_base_ = 0;
+  std::uint32_t smid_ = 0;
+  std::uint32_t ntid_override_ = 0;
 
   std::vector<ProducerRecord> reg_producer_;   ///< per architectural register
   std::array<ProducerRecord, isa::kNumPredRegs> pred_producer_{};

@@ -53,4 +53,22 @@ void M20kArray::commit() {
   staged_.clear();
 }
 
+void M20kArray::poke_words32(unsigned addr,
+                             std::span<const std::uint32_t> data) {
+  SIMT_CHECK(width_ == 32);
+  SIMT_CHECK(addr <= depth_ && data.size() <= depth_ - addr);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data_[addr + i] = data[i];
+  }
+}
+
+void M20kArray::peek_words32(unsigned addr,
+                             std::span<std::uint32_t> out) const {
+  SIMT_CHECK(width_ == 32);
+  SIMT_CHECK(addr <= depth_ && out.size() <= depth_ - addr);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(data_[addr + i]);
+  }
+}
+
 }  // namespace simt::hw

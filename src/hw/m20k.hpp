@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace simt::hw {
@@ -39,6 +40,12 @@ class M20kArray {
   void write(unsigned addr, std::uint64_t data);
   /// Apply all staged writes (clock edge).
   void commit();
+
+  /// Host backdoor bulk transfers for a 32-bit-wide array: direct copies
+  /// into/out of the backing store, bypassing the per-word write staging.
+  /// Requires width_bits == 32; bounds-checked as one span.
+  void poke_words32(unsigned addr, std::span<const std::uint32_t> data);
+  void peek_words32(unsigned addr, std::span<std::uint32_t> out) const;
 
   unsigned depth() const { return depth_; }
   unsigned width_bits() const { return width_; }

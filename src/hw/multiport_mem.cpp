@@ -45,6 +45,20 @@ void MultiPortMemory::poke(std::uint32_t addr, std::uint32_t data) {
   commit();
 }
 
+void MultiPortMemory::peek_span(std::uint32_t base,
+                                std::span<std::uint32_t> out) const {
+  SIMT_CHECK(base <= words_ && out.size() <= words_ - base);
+  copies_[0].peek_words32(base, out);
+}
+
+void MultiPortMemory::poke_span(std::uint32_t base,
+                                std::span<const std::uint32_t> data) {
+  SIMT_CHECK(base <= words_ && data.size() <= words_ - base);
+  for (auto& copy : copies_) {
+    copy.poke_words32(base, data);
+  }
+}
+
 unsigned MultiPortMemory::m20k_blocks() const {
   return read_ports_ * m20k_blocks_for(words_, 32);
 }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hw/m20k.hpp"
@@ -41,6 +42,12 @@ class MultiPortMemory {
   /// to stage inputs and collect results).
   std::uint32_t peek(std::uint32_t addr) const;
   void poke(std::uint32_t addr, std::uint32_t data);
+
+  /// Bulk backdoor transfers: one bounds check and direct copies into every
+  /// replicated M20K array, bypassing the per-word write staging. This is
+  /// the host-staging fast path the runtime Buffer copies ride on.
+  void peek_span(std::uint32_t base, std::span<std::uint32_t> out) const;
+  void poke_span(std::uint32_t base, std::span<const std::uint32_t> data);
 
   unsigned words() const { return words_; }
   unsigned read_ports() const { return read_ports_; }

@@ -1,0 +1,97 @@
+// Typed device-buffer handles over the Device's bump allocator.
+//
+// A Buffer<T> names `count` 32-bit elements at a word base the allocator
+// chose -- kernels and examples address device memory through buffer bases
+// instead of hard-coded constants. Copies ride the bulk span fast path
+// (hw::MultiPortMemory::peek_span/poke_span) rather than per-word staged
+// writes.
+//
+// Buffers are non-owning value handles: the arena is reclaimed wholesale by
+// Device::mem_reset() (launch-scoped allocation), so handles must not be
+// used after a reset.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/device.hpp"
+
+namespace simt::runtime {
+
+template <typename T>
+class Buffer {
+  // Device words are 32 bits; int32/uint32 views are alias-compatible.
+  static_assert(std::is_same_v<T, std::uint32_t> ||
+                    std::is_same_v<T, std::int32_t>,
+                "Buffer element type must be a 32-bit integer");
+
+ public:
+  Buffer() = default;
+  Buffer(Device* dev, std::uint32_t base, std::size_t count)
+      : dev_(dev), base_(base), count_(count) {}
+
+  bool valid() const { return dev_ != nullptr; }
+  std::uint32_t word_base() const { return base_; }
+  std::size_t size() const { return count_; }
+
+  /// Host -> device. `host.size()` must not exceed the buffer size.
+  void write(std::span<const T> host) {
+    check(host.size());
+    dev_->write_words(base_, as_words(host));
+  }
+
+  /// Device -> host into caller storage.
+  void read_into(std::span<T> out) const {
+    check(out.size());
+    dev_->read_words(base_, as_words(out));
+  }
+
+  /// Device -> host, full buffer.
+  std::vector<T> read() const {
+    std::vector<T> out(count_);
+    read_into(out);
+    return out;
+  }
+
+  /// Single-element convenience (result collection, spot checks).
+  T at(std::size_t i) const {
+    check(i + 1);
+    T value{};
+    dev_->read_words(base_ + static_cast<std::uint32_t>(i),
+                     std::span<std::uint32_t>(
+                         reinterpret_cast<std::uint32_t*>(&value), 1));
+    return value;
+  }
+
+ private:
+  void check(std::size_t n) const {
+    if (!dev_) {
+      throw Error("use of an invalid buffer handle");
+    }
+    if (n > count_) {
+      throw Error("buffer access of " + std::to_string(n) +
+                  " elements exceeds buffer size " + std::to_string(count_));
+    }
+  }
+
+  static std::span<const std::uint32_t> as_words(std::span<const T> s) {
+    return {reinterpret_cast<const std::uint32_t*>(s.data()), s.size()};
+  }
+  static std::span<std::uint32_t> as_words(std::span<T> s) {
+    return {reinterpret_cast<std::uint32_t*>(s.data()), s.size()};
+  }
+
+  Device* dev_ = nullptr;
+  std::uint32_t base_ = 0;
+  std::size_t count_ = 0;
+};
+
+template <typename T>
+Buffer<T> Device::alloc(std::size_t count) {
+  return Buffer<T>(this, pool_.allocate(count), count);
+}
+
+}  // namespace simt::runtime

@@ -1,0 +1,349 @@
+#include "runtime/device.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "common/error.hpp"
+#include "runtime/stream.hpp"
+
+namespace simt::runtime {
+
+namespace {
+
+/// Fold one hardware round into a rolled-up launch. Work counters
+/// (instructions, thread-ops, memory traffic) accumulate; the clock-domain
+/// counters (cycles and their breakdown) are handled by the caller, which
+/// knows whether rounds ran in parallel or back to back.
+void accumulate_work(core::PerfCounters& into, const core::PerfCounters& r) {
+  into.instructions += r.instructions;
+  into.operation_instrs += r.operation_instrs;
+  into.load_instrs += r.load_instrs;
+  into.store_instrs += r.store_instrs;
+  into.single_instrs += r.single_instrs;
+  into.thread_rows += r.thread_rows;
+  into.thread_ops += r.thread_ops;
+  into.shm_reads += r.shm_reads;
+  into.shm_writes += r.shm_writes;
+  for (std::size_t i = 0; i < r.per_opcode.size(); ++i) {
+    into.per_opcode[i] += r.per_opcode[i];
+  }
+}
+
+void accumulate_clocks(core::PerfCounters& into, const core::PerfCounters& r) {
+  into.cycles += r.cycles;
+  into.issue_cycles += r.issue_cycles;
+  into.flush_cycles += r.flush_cycles;
+  into.stall_cycles += r.stall_cycles;
+  into.fill_cycles += r.fill_cycles;
+}
+
+void check_launch_threads(unsigned threads) {
+  if (threads == 0) {
+    throw Error("launch needs at least one thread");
+  }
+}
+
+/// Balanced shard sizes: every shard gets total/parts, the first
+/// total%parts shards one extra, so no shard exceeds ceil(total/parts).
+std::vector<unsigned> balanced_split(unsigned total, unsigned parts) {
+  std::vector<unsigned> sizes(parts, total / parts);
+  for (unsigned i = 0; i < total % parts; ++i) {
+    ++sizes[i];
+  }
+  return sizes;
+}
+
+}  // namespace
+
+// ---- DeviceDescriptor ------------------------------------------------------
+
+DeviceDescriptor DeviceDescriptor::simt_core(core::CoreConfig cfg) {
+  DeviceDescriptor d;
+  d.backend = BackendKind::SimtCore;
+  d.core = cfg;
+  return d;
+}
+
+DeviceDescriptor DeviceDescriptor::multi_core(unsigned cores,
+                                              core::CoreConfig cfg) {
+  DeviceDescriptor d;
+  d.backend = BackendKind::MultiCore;
+  d.num_cores = cores;
+  d.core = cfg;
+  return d;
+}
+
+DeviceDescriptor DeviceDescriptor::scalar_cpu(baseline::ScalarCpuConfig cfg) {
+  DeviceDescriptor d;
+  d.backend = BackendKind::Scalar;
+  d.scalar = cfg;
+  return d;
+}
+
+// ---- SimtCoreBackend -------------------------------------------------------
+
+void SimtCoreBackend::load_program(const core::Program& program) {
+  gpu_.load_program(program);
+}
+
+LaunchStats SimtCoreBackend::launch(std::uint32_t entry, unsigned threads) {
+  check_launch_threads(threads);
+  LaunchStats out;
+  out.exited = true;
+  const unsigned per_round = gpu_.config().max_threads;
+  unsigned done = 0;
+  while (done < threads) {
+    const unsigned batch = std::min(threads - done, per_round);
+    gpu_.set_thread_base(done);
+    gpu_.set_ntid_override(threads);  // %ntid = the logical grid, per round
+    gpu_.set_thread_count(batch);
+    const auto r = gpu_.run(entry);
+    accumulate_work(out.perf, r.perf);
+    accumulate_clocks(out.perf, r.perf);
+    out.exited = out.exited && r.exited;
+    ++out.rounds;
+    done += batch;
+  }
+  gpu_.set_thread_base(0);
+  gpu_.set_ntid_override(0);
+  return out;
+}
+
+void SimtCoreBackend::read_words(std::uint32_t base,
+                                 std::span<std::uint32_t> out) const {
+  gpu_.read_shared_span(base, out);
+}
+
+void SimtCoreBackend::write_words(std::uint32_t base,
+                                  std::span<const std::uint32_t> data) {
+  gpu_.write_shared_span(base, data);
+}
+
+// ---- MultiCoreBackend ------------------------------------------------------
+
+MultiCoreBackend::MultiCoreBackend(const system::SystemConfig& cfg)
+    : sys_(cfg), master_(cfg.core.shared_mem_words, 0) {}
+
+void MultiCoreBackend::load_program(const core::Program& program) {
+  sys_.load_program_all(program);
+}
+
+LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads) {
+  check_launch_threads(threads);
+  LaunchStats out;
+  out.exited = true;
+  const unsigned capacity = max_concurrent_threads();
+  std::vector<std::uint32_t> scratch(master_.size());
+
+  unsigned done = 0;
+  while (done < threads) {
+    const unsigned round_total = std::min(threads - done, capacity);
+    // Spread the round over every core (each shard stays <= max_threads
+    // because round_total <= cores * max_threads): the round's clock cost
+    // is its slowest core, so balance beats packing cores full.
+    const unsigned cores_used = std::min(sys_.num_cores(), round_total);
+    const auto sizes = balanced_split(round_total, cores_used);
+
+    // Stage: broadcast the coherent image and shard the grid by %tid base.
+    std::vector<system::Dispatch> dispatches;
+    unsigned base = done;
+    for (unsigned c = 0; c < cores_used; ++c) {
+      if (sizes[c] == 0) {
+        continue;
+      }
+      auto& gpu = sys_.core(c);
+      gpu.write_shared_span(0, master_);
+      gpu.set_thread_base(base);
+      gpu.set_ntid_override(threads);  // %ntid = the logical grid
+      dispatches.push_back({c, sizes[c], entry});
+      base += sizes[c];
+    }
+
+    const auto res = sys_.run(dispatches);
+
+    // Roll up: cores run in parallel, so the round's clock cost is the
+    // critical-path core; work counters sum across cores.
+    std::uint64_t worst = 0;
+    std::size_t worst_i = 0;
+    for (std::size_t i = 0; i < res.per_core.size(); ++i) {
+      accumulate_work(out.perf, res.per_core[i].perf);
+      out.exited = out.exited && res.per_core[i].exited;
+      if (res.per_core[i].perf.cycles >= worst) {
+        worst = res.per_core[i].perf.cycles;
+        worst_i = i;
+      }
+    }
+    accumulate_clocks(out.perf, res.per_core[worst_i].perf);
+
+    // Merge: fold each core's memory writes back into the master image.
+    // Every core is diffed against the pre-round image it was staged with.
+    const auto before = master_;
+    for (const auto& d : dispatches) {
+      sys_.core(d.core).read_shared_span(0, scratch);
+      for (std::size_t w = 0; w < master_.size(); ++w) {
+        if (scratch[w] != before[w]) {
+          master_[w] = scratch[w];
+        }
+      }
+    }
+
+    ++out.rounds;
+    done += round_total;
+  }
+
+  for (unsigned c = 0; c < sys_.num_cores(); ++c) {
+    sys_.core(c).set_thread_base(0);
+    sys_.core(c).set_ntid_override(0);
+  }
+  return out;
+}
+
+void MultiCoreBackend::read_words(std::uint32_t base,
+                                  std::span<std::uint32_t> out) const {
+  if (base > master_.size() || out.size() > master_.size() - base) {
+    throw Error("multicore read out of device memory bounds");
+  }
+  std::copy_n(master_.begin() + base, out.size(), out.begin());
+}
+
+void MultiCoreBackend::write_words(std::uint32_t base,
+                                   std::span<const std::uint32_t> data) {
+  if (base > master_.size() || data.size() > master_.size() - base) {
+    throw Error("multicore write out of device memory bounds");
+  }
+  std::copy(data.begin(), data.end(), master_.begin() + base);
+}
+
+// ---- ScalarBackend ---------------------------------------------------------
+
+void ScalarBackend::load_program(const core::Program& program) {
+  cpu_.load_program(program);
+}
+
+LaunchStats ScalarBackend::launch(std::uint32_t entry, unsigned threads) {
+  check_launch_threads(threads);
+  if (entry != 0) {
+    throw Error("scalar backend: nonzero entry points are not supported");
+  }
+  LaunchStats out;
+  // ScalarSoftCpu::run only returns via EXIT (budget exhaustion and traps
+  // throw), so a normal return means every sweep iteration exited.
+  out.exited = true;
+  for (unsigned t = 0; t < threads; ++t) {
+    cpu_.set_thread_context(t, threads);
+    const auto stats = cpu_.run();
+    out.perf.cycles += stats.cycles;
+    out.perf.instructions += stats.instructions;
+    out.perf.thread_ops += stats.instructions;
+    ++out.rounds;
+  }
+  cpu_.set_thread_context(0, 1);
+  return out;
+}
+
+void ScalarBackend::read_words(std::uint32_t base,
+                               std::span<std::uint32_t> out) const {
+  cpu_.read_mem_span(base, out);
+}
+
+void ScalarBackend::write_words(std::uint32_t base,
+                                std::span<const std::uint32_t> data) {
+  cpu_.write_mem_span(base, data);
+}
+
+// ---- MemoryPool ------------------------------------------------------------
+
+std::uint32_t MemoryPool::allocate(std::size_t count) {
+  if (count == 0) {
+    throw Error("buffer allocation needs at least one word");
+  }
+  if (count > static_cast<std::size_t>(words_ - next_)) {
+    throw Error("device memory exhausted: requested " +
+                std::to_string(count) + " words with " +
+                std::to_string(words_ - next_) + " of " +
+                std::to_string(words_) + " free");
+  }
+  const std::uint32_t base = next_;
+  next_ += static_cast<unsigned>(count);
+  return base;
+}
+
+// ---- Device ----------------------------------------------------------------
+
+namespace {
+
+std::unique_ptr<DeviceBackend> make_backend(const DeviceDescriptor& desc) {
+  switch (desc.backend) {
+    case BackendKind::SimtCore:
+      return std::make_unique<SimtCoreBackend>(desc.core);
+    case BackendKind::MultiCore: {
+      system::SystemConfig cfg;
+      cfg.num_cores = desc.num_cores;
+      cfg.core = desc.core;
+      return std::make_unique<MultiCoreBackend>(cfg);
+    }
+    case BackendKind::Scalar:
+      return std::make_unique<ScalarBackend>(desc.scalar);
+  }
+  throw Error("unknown backend kind");
+}
+
+}  // namespace
+
+Device::Device(DeviceDescriptor desc)
+    : desc_(desc),
+      backend_(make_backend(desc_)),
+      pool_(backend_->mem_words()) {}
+
+Device::~Device() = default;
+
+double Device::fmax_mhz() const {
+  return desc_.fmax_mhz > 0.0 ? desc_.fmax_mhz
+                              : backend_->default_fmax_mhz();
+}
+
+Module& Device::load_module(std::string_view source) {
+  const std::uint64_t key = hash_source(source);
+  const auto it = modules_.find(key);
+  if (it != modules_.end()) {
+    return *it->second;
+  }
+  auto module = std::make_unique<Module>(std::string(source),
+                                         assembler::assemble(source), key);
+  auto [inserted, ok] = modules_.emplace(key, std::move(module));
+  (void)ok;
+  return *inserted->second;
+}
+
+void Device::read_words(std::uint32_t base,
+                        std::span<std::uint32_t> out) const {
+  backend_->read_words(base, out);
+}
+
+void Device::write_words(std::uint32_t base,
+                         std::span<const std::uint32_t> data) {
+  backend_->write_words(base, data);
+}
+
+LaunchStats Device::launch_sync(const Kernel& kernel, unsigned threads) {
+  if (!kernel.valid()) {
+    throw Error("launch of an invalid kernel handle");
+  }
+  if (kernel.module != resident_) {
+    backend_->load_program(kernel.module->program());
+    resident_ = kernel.module;
+  }
+  LaunchStats stats = backend_->launch(kernel.entry, threads);
+  stats.wall_us = static_cast<double>(stats.perf.cycles) / fmax_mhz();
+  return stats;
+}
+
+Stream& Device::stream() {
+  if (!stream_) {
+    stream_ = std::make_unique<Stream>(*this);
+  }
+  return *stream_;
+}
+
+}  // namespace simt::runtime

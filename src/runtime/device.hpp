@@ -1,0 +1,260 @@
+// The unified device runtime: a CUDA-driver-flavoured host API that treats
+// every execution engine in this repo -- the single SIMT core, the
+// multi-core system, and the scalar soft-CPU baseline -- as a `Device` you
+// allocate buffers on, load modules into, and launch kernels at.
+//
+// The paper positions the eGPU as a software-programmable accelerator the
+// host "programs against" (Section 1); the scalable soft-GPGPU follow-up
+// manages the core through exactly this kind of uniform runtime. Backends
+// are pluggable via DeviceDescriptor, so workloads, tools, and benches run
+// unchanged across engines and the backend comparison is one flag.
+//
+// Grid semantics: `launch(kernel, threads)` covers a logical grid of
+// `threads` threads. When the grid exceeds what the hardware holds at once
+// (max_threads per core x cores), the launch is transparently split into
+// rounds, and across cores within a round, using the %tid thread-base
+// offset -- the single-block analogue of CUDA's blockIdx.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/scalar_cpu.hpp"
+#include "core/gpgpu.hpp"
+#include "core/perf.hpp"
+#include "runtime/module.hpp"
+#include "system/multicore.hpp"
+
+namespace simt::runtime {
+
+class Stream;
+template <typename T>
+class Buffer;
+
+/// Which execution engine backs the device.
+enum class BackendKind { SimtCore, MultiCore, Scalar };
+
+/// Everything needed to open a device. The realized clock defaults to the
+/// backend's paper figure (950 MHz single core, the Table 2 multi-stamp
+/// clock for a system, 300 MHz for the scalar soft CPU); set `fmax_mhz` to
+/// override it with a fitter-realized value (fit::Fitter).
+struct DeviceDescriptor {
+  BackendKind backend = BackendKind::SimtCore;
+  core::CoreConfig core{};             ///< core shape (SimtCore / MultiCore)
+  unsigned num_cores = 1;              ///< MultiCore only
+  baseline::ScalarCpuConfig scalar{};  ///< Scalar only
+  double fmax_mhz = 0.0;               ///< 0 = backend default
+
+  static DeviceDescriptor simt_core(core::CoreConfig cfg = {});
+  static DeviceDescriptor multi_core(unsigned cores,
+                                     core::CoreConfig cfg = {});
+  static DeviceDescriptor scalar_cpu(baseline::ScalarCpuConfig cfg = {});
+};
+
+/// Rolled-up result of one logical launch (possibly many hardware rounds).
+struct LaunchStats {
+  core::PerfCounters perf{};  ///< cycles = critical path; work counters sum
+  bool exited = false;        ///< every round reached EXIT
+  unsigned rounds = 0;        ///< sequential hardware launches used
+  double wall_us = 0.0;       ///< perf.cycles / the device's realized Fmax
+};
+
+/// The pluggable engine interface. Backends expose a flat word-addressed
+/// device memory, a loadable program store, and a grid launch.
+class DeviceBackend {
+ public:
+  virtual ~DeviceBackend() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual unsigned mem_words() const = 0;
+  /// Threads the hardware covers in one round (grid sizes above this are
+  /// legal and split into rounds).
+  virtual unsigned max_concurrent_threads() const = 0;
+  virtual double default_fmax_mhz() const = 0;
+
+  virtual void load_program(const core::Program& program) = 0;
+  virtual LaunchStats launch(std::uint32_t entry, unsigned threads) = 0;
+
+  virtual void read_words(std::uint32_t base,
+                          std::span<std::uint32_t> out) const = 0;
+  virtual void write_words(std::uint32_t base,
+                           std::span<const std::uint32_t> data) = 0;
+};
+
+/// Backend wrapping the single cycle-accurate SIMT core (core::Gpgpu).
+class SimtCoreBackend final : public DeviceBackend {
+ public:
+  explicit SimtCoreBackend(const core::CoreConfig& cfg) : gpu_(cfg) {}
+
+  std::string_view name() const override { return "core"; }
+  unsigned mem_words() const override {
+    return gpu_.config().shared_mem_words;
+  }
+  unsigned max_concurrent_threads() const override {
+    return gpu_.config().max_threads;
+  }
+  double default_fmax_mhz() const override { return 950.0; }
+
+  void load_program(const core::Program& program) override;
+  LaunchStats launch(std::uint32_t entry, unsigned threads) override;
+  void read_words(std::uint32_t base,
+                  std::span<std::uint32_t> out) const override;
+  void write_words(std::uint32_t base,
+                   std::span<const std::uint32_t> data) override;
+
+  core::Gpgpu& gpu() { return gpu_; }
+  const core::Gpgpu& gpu() const { return gpu_; }
+
+ private:
+  core::Gpgpu gpu_;
+};
+
+/// Backend wrapping system::MultiCoreSystem. The device presents one flat
+/// memory image; each round broadcasts the image to every dispatched core,
+/// shards the grid across cores via the %tid thread base, and folds each
+/// core's memory writes back into the image (later cores win on a
+/// conflicting address -- kernels with disjoint output ranges are exact).
+class MultiCoreBackend final : public DeviceBackend {
+ public:
+  explicit MultiCoreBackend(const system::SystemConfig& cfg);
+
+  std::string_view name() const override { return "multicore"; }
+  unsigned mem_words() const override {
+    return sys_.config().core.shared_mem_words;
+  }
+  unsigned max_concurrent_threads() const override {
+    return sys_.num_cores() * sys_.config().core.max_threads;
+  }
+  double default_fmax_mhz() const override {
+    return sys_.config().clock_mhz();
+  }
+
+  void load_program(const core::Program& program) override;
+  LaunchStats launch(std::uint32_t entry, unsigned threads) override;
+  void read_words(std::uint32_t base,
+                  std::span<std::uint32_t> out) const override;
+  void write_words(std::uint32_t base,
+                   std::span<const std::uint32_t> data) override;
+
+  system::MultiCoreSystem& system() { return sys_; }
+
+ private:
+  system::MultiCoreSystem sys_;
+  std::vector<std::uint32_t> master_;  ///< host-coherent memory image
+};
+
+/// Backend wrapping the scalar soft-CPU baseline. A grid launch is emulated
+/// as a software sweep: the program runs once per thread id, serially, which
+/// is exactly how a single-threaded soft RISC would cover the same work.
+class ScalarBackend final : public DeviceBackend {
+ public:
+  explicit ScalarBackend(const baseline::ScalarCpuConfig& cfg) : cpu_(cfg) {}
+
+  std::string_view name() const override { return "scalar"; }
+  unsigned mem_words() const override {
+    return cpu_.config().shared_mem_words;
+  }
+  unsigned max_concurrent_threads() const override { return 1; }
+  double default_fmax_mhz() const override { return cpu_.config().fmax_mhz; }
+
+  void load_program(const core::Program& program) override;
+  LaunchStats launch(std::uint32_t entry, unsigned threads) override;
+  void read_words(std::uint32_t base,
+                  std::span<std::uint32_t> out) const override;
+  void write_words(std::uint32_t base,
+                   std::span<const std::uint32_t> data) override;
+
+  baseline::ScalarSoftCpu& cpu() { return cpu_; }
+
+ private:
+  baseline::ScalarSoftCpu cpu_;
+};
+
+/// Bump allocator over device shared-memory words. Buffers are handles into
+/// the arena; there is no per-buffer free -- reset() reclaims everything
+/// (the launch-scoped allocation pattern of embedded accelerators).
+class MemoryPool {
+ public:
+  explicit MemoryPool(unsigned words) : words_(words) {}
+
+  /// Allocate `count` words; throws simt::Error on exhaustion.
+  std::uint32_t allocate(std::size_t count);
+  void reset() { next_ = 0; }
+
+  unsigned words() const { return words_; }
+  unsigned used() const { return next_; }
+  unsigned available() const { return words_ - next_; }
+
+ private:
+  unsigned words_;
+  unsigned next_ = 0;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceDescriptor desc);
+  ~Device();
+
+  // Buffers and streams hold back-pointers to their device.
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceDescriptor& descriptor() const { return desc_; }
+  std::string_view backend_name() const { return backend_->name(); }
+  unsigned mem_words() const { return backend_->mem_words(); }
+  unsigned max_concurrent_threads() const {
+    return backend_->max_concurrent_threads();
+  }
+  /// The realized clock all wall-clock roll-ups use: the descriptor's
+  /// override when set, else the backend default.
+  double fmax_mhz() const;
+
+  // ---- modules -----------------------------------------------------------
+  /// Assemble `source` into a module, or return the cached module if this
+  /// exact source was loaded before (FNV-1a hash key).
+  Module& load_module(std::string_view source);
+  std::size_t module_cache_size() const { return modules_.size(); }
+
+  // ---- memory ------------------------------------------------------------
+  /// Allocate a typed buffer of `count` 32-bit elements (defined in
+  /// runtime/buffer.hpp).
+  template <typename T>
+  Buffer<T> alloc(std::size_t count);
+  /// Reclaim the whole allocation arena (buffers become dangling).
+  void mem_reset() { pool_.reset(); }
+  MemoryPool& mem() { return pool_; }
+
+  /// Raw word-level staging, bounds-checked against device memory.
+  void read_words(std::uint32_t base, std::span<std::uint32_t> out) const;
+  void write_words(std::uint32_t base, std::span<const std::uint32_t> data);
+
+  // ---- execution ---------------------------------------------------------
+  /// Immediate (synchronous) launch: loads the kernel's module into the
+  /// device I-MEM if it is not already resident, runs the grid, and rolls
+  /// wall-clock up at fmax_mhz().
+  LaunchStats launch_sync(const Kernel& kernel, unsigned threads);
+
+  /// The device's default command stream (created lazily).
+  Stream& stream();
+
+  // ---- escape hatches ----------------------------------------------------
+  DeviceBackend& backend() { return *backend_; }
+  template <typename B>
+  B* backend_as() {
+    return dynamic_cast<B*>(backend_.get());
+  }
+
+ private:
+  DeviceDescriptor desc_;
+  std::unique_ptr<DeviceBackend> backend_;
+  MemoryPool pool_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Module>> modules_;
+  const Module* resident_ = nullptr;  ///< module currently in the I-MEM
+  std::unique_ptr<Stream> stream_;
+};
+
+}  // namespace simt::runtime

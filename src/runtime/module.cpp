@@ -1,0 +1,30 @@
+#include "runtime/module.hpp"
+
+#include "common/error.hpp"
+
+namespace simt::runtime {
+
+std::uint64_t hash_source(std::string_view source) {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : source) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Kernel Module::kernel(std::string_view entry_label) const {
+  if (entry_label.empty()) {
+    return Kernel{this, 0};
+  }
+  const auto& labels = program_.labels();
+  const auto it = labels.find(std::string(entry_label));
+  if (it == labels.end()) {
+    throw Error("module has no entry label '" + std::string(entry_label) +
+                "'");
+  }
+  return Kernel{this, it->second};
+}
+
+}  // namespace simt::runtime

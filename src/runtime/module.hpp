@@ -1,0 +1,55 @@
+// Module/Kernel objects: a Module is an assembled program plus its source
+// hash (the Device caches modules by that hash so a kernel is assembled
+// exactly once); a Kernel is a lightweight launchable handle -- a module
+// plus an entry point resolved from the assembler's label table.
+//
+// This mirrors the CUDA driver API's cuModuleLoadData / cuModuleGetFunction
+// split: the expensive step (assembly) happens once per source, and launches
+// reference the cached artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/program.hpp"
+
+namespace simt::runtime {
+
+class Module;
+
+/// A launchable entry point inside a module. Plain value type; valid as
+/// long as the owning Module (and therefore its Device) is alive.
+struct Kernel {
+  const Module* module = nullptr;
+  std::uint32_t entry = 0;  ///< I-MEM address to start execution at
+
+  bool valid() const { return module != nullptr; }
+};
+
+/// FNV-1a hash of assembly source; the module-cache key.
+std::uint64_t hash_source(std::string_view source);
+
+class Module {
+ public:
+  Module(std::string source, core::Program program, std::uint64_t hash)
+      : source_(std::move(source)),
+        program_(std::move(program)),
+        hash_(hash) {}
+
+  const core::Program& program() const { return program_; }
+  const std::string& source() const { return source_; }
+  std::uint64_t source_hash() const { return hash_; }
+
+  /// Entry-point handle. With no label, execution starts at address 0;
+  /// otherwise the label is resolved from the assembler's symbol table.
+  /// Throws simt::Error on an unknown label.
+  Kernel kernel(std::string_view entry_label = {}) const;
+
+ private:
+  std::string source_;
+  core::Program program_;
+  std::uint64_t hash_;
+};
+
+}  // namespace simt::runtime

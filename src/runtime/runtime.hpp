@@ -1,7 +1,17 @@
-// Host runtime: the convenience layer a user of the soft processor would
-// program against. It owns a Gpgpu instance, assembles kernels from source,
-// stages data into the shared memory, launches, and reads results back --
-// the "software acceleration" workflow the paper motivates in Section 1.
+// DEPRECATED compatibility shim.
+//
+// EgpuRuntime was the original single-core host layer (raw word addresses,
+// per-word copies). It is now a thin veneer over the unified device runtime
+// (runtime/device.hpp, runtime/buffer.hpp, runtime/module.hpp,
+// runtime/stream.hpp) and is kept only so existing call sites and tests
+// continue to work. New code should open a Device:
+//
+//   runtime::Device dev(runtime::DeviceDescriptor::simt_core(cfg));
+//   auto buf = dev.alloc<std::uint32_t>(n);
+//   auto& mod = dev.load_module(source);
+//   dev.stream().copy_in(buf, data);
+//   auto ev = dev.stream().launch(mod.kernel(), n);
+//   dev.stream().synchronize();
 #pragma once
 
 #include <cstdint>
@@ -9,61 +19,68 @@
 #include <string_view>
 #include <vector>
 
-#include "asm/assembler.hpp"
 #include "core/gpgpu.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/device.hpp"
+#include "runtime/module.hpp"
+#include "runtime/stream.hpp"
 
 namespace simt::runtime {
 
 class EgpuRuntime {
  public:
-  explicit EgpuRuntime(core::CoreConfig cfg) : gpu_(std::move(cfg)) {}
+  explicit EgpuRuntime(core::CoreConfig cfg)
+      : dev_(DeviceDescriptor::simt_core(cfg)) {}
 
-  /// Assemble and load a kernel (replaces the I-MEM contents).
+  /// Assemble and load a kernel (cached by source hash in the device).
   void load_kernel(std::string_view source) {
-    program_ = assembler::assemble(source);
-    gpu_.load_program(program_);
+    module_ = &dev_.load_module(source);
   }
 
   /// Copy a host buffer into shared memory at word address `base`.
   void copy_in(std::uint32_t base, std::span<const std::uint32_t> data) {
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      gpu_.write_shared(base + static_cast<std::uint32_t>(i), data[i]);
-    }
+    dev_.write_words(base, data);
   }
   void copy_in_i32(std::uint32_t base, std::span<const std::int32_t> data) {
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      gpu_.write_shared(base + static_cast<std::uint32_t>(i),
-                        static_cast<std::uint32_t>(data[i]));
-    }
+    dev_.write_words(base,
+                     {reinterpret_cast<const std::uint32_t*>(data.data()),
+                      data.size()});
   }
 
   /// Copy shared memory back out.
   std::vector<std::uint32_t> copy_out(std::uint32_t base, std::size_t count) {
     std::vector<std::uint32_t> out(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      out[i] = gpu_.read_shared(base + static_cast<std::uint32_t>(i));
-    }
+    dev_.read_words(base, out);
     return out;
   }
   std::vector<std::int32_t> copy_out_i32(std::uint32_t base,
                                          std::size_t count) {
     std::vector<std::int32_t> out(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      out[i] = static_cast<std::int32_t>(
-          gpu_.read_shared(base + static_cast<std::uint32_t>(i)));
-    }
+    dev_.read_words(base, {reinterpret_cast<std::uint32_t*>(out.data()),
+                           out.size()});
     return out;
   }
 
   /// Launch with `threads` threads; returns the run's performance counters.
   core::RunResult launch(unsigned threads) {
-    gpu_.set_thread_count(threads);
-    return gpu_.run();
+    if (module_ == nullptr) {
+      throw Error("launch before load_kernel");
+    }
+    const auto stats = dev_.launch_sync(module_->kernel(), threads);
+    return core::RunResult{stats.perf, stats.exited};
   }
 
-  core::Gpgpu& gpu() { return gpu_; }
-  const core::Gpgpu& gpu() const { return gpu_; }
-  const core::Program& program() const { return program_; }
+  core::Gpgpu& gpu() { return dev_.backend_as<SimtCoreBackend>()->gpu(); }
+  const core::Gpgpu& gpu() const {
+    return const_cast<EgpuRuntime*>(this)->gpu();
+  }
+  const core::Program& program() const {
+    // Pre-load_kernel callers historically saw an empty program.
+    static const core::Program kEmpty;
+    return module_ ? module_->program() : kEmpty;
+  }
+
+  Device& device() { return dev_; }
 
   /// Wall-clock estimate at a realized clock frequency: the cycle-accurate
   /// count divided by the fitter's Fmax.
@@ -72,8 +89,8 @@ class EgpuRuntime {
   }
 
  private:
-  core::Gpgpu gpu_;
-  core::Program program_;
+  Device dev_;
+  const Module* module_ = nullptr;
 };
 
 }  // namespace simt::runtime

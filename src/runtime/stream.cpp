@@ -1,0 +1,61 @@
+#include "runtime/stream.hpp"
+
+namespace simt::runtime {
+
+void Stream::enqueue_copy_in(std::uint32_t base,
+                             std::vector<std::uint32_t> data) {
+  Command cmd;
+  cmd.kind = Command::Kind::CopyIn;
+  cmd.base = base;
+  cmd.payload = std::move(data);
+  queue_.push_back(std::move(cmd));
+}
+
+void Stream::enqueue_copy_out(std::uint32_t base, std::uint32_t* dst,
+                              std::size_t count) {
+  Command cmd;
+  cmd.kind = Command::Kind::CopyOut;
+  cmd.base = base;
+  cmd.dst = dst;
+  cmd.count = count;
+  queue_.push_back(std::move(cmd));
+}
+
+Event Stream::launch(const Kernel& kernel, unsigned threads) {
+  if (!kernel.valid()) {
+    throw Error("launch of an invalid kernel handle");
+  }
+  Command cmd;
+  cmd.kind = Command::Kind::Launch;
+  cmd.kernel = kernel;
+  cmd.threads = threads;
+  cmd.event = std::make_shared<Event::State>();
+  Event event;
+  event.state_ = cmd.event;
+  queue_.push_back(std::move(cmd));
+  return event;
+}
+
+void Stream::synchronize() {
+  // Take the queue first so a throwing command does not replay on the next
+  // synchronize.
+  std::vector<Command> commands;
+  commands.swap(queue_);
+  for (auto& cmd : commands) {
+    switch (cmd.kind) {
+      case Command::Kind::CopyIn:
+        dev_->write_words(cmd.base, cmd.payload);
+        break;
+      case Command::Kind::CopyOut:
+        dev_->read_words(cmd.base, {cmd.dst, cmd.count});
+        break;
+      case Command::Kind::Launch: {
+        cmd.event->stats = dev_->launch_sync(cmd.kernel, cmd.threads);
+        cmd.event->complete = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace simt::runtime

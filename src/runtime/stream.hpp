@@ -1,0 +1,109 @@
+// Stream: an in-order command queue over a Device, with Events that carry
+// per-launch PerfCounters and wall-clock at the device's realized Fmax.
+//
+// Commands (copy-in, launch, copy-out) are enqueued and executed in FIFO
+// order by synchronize() -- the cudaMemcpyAsync / kernel<<<>>> /
+// cudaStreamSynchronize shape, sized for a simulator: "async" means
+// deferred-until-synchronize, which is what lets a future scheduler overlap
+// staging and launches across cores without changing client code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/device.hpp"
+#include "runtime/module.hpp"
+
+namespace simt::runtime {
+
+/// Completion handle for an enqueued launch. Stats become available once
+/// the owning stream has synchronized past the launch.
+class Event {
+ public:
+  Event() = default;
+
+  bool complete() const { return state_ && state_->complete; }
+
+  /// Rolled-up counters for the launch; throws if still pending.
+  const LaunchStats& stats() const {
+    if (!complete()) {
+      throw Error("event is not complete; synchronize the stream first");
+    }
+    return state_->stats;
+  }
+  double wall_us() const { return stats().wall_us; }
+
+ private:
+  friend class Stream;
+  struct State {
+    bool complete = false;
+    LaunchStats stats{};
+  };
+  std::shared_ptr<State> state_;
+};
+
+class Stream {
+ public:
+  explicit Stream(Device& dev) : dev_(&dev) {}
+
+  /// Enqueue host -> device copy. The host data is snapshotted now, so the
+  /// source may be freed immediately.
+  template <typename T>
+  Stream& copy_in(Buffer<T>& dst, std::span<const T> host) {
+    if (host.size() > dst.size()) {
+      throw Error("copy_in larger than destination buffer");
+    }
+    const auto* words = reinterpret_cast<const std::uint32_t*>(host.data());
+    enqueue_copy_in(dst.word_base(),
+                    std::vector<std::uint32_t>(words, words + host.size()));
+    return *this;
+  }
+
+  /// Enqueue device -> host copy into caller storage, filled at
+  /// synchronize(); `out` must stay alive until then.
+  template <typename T>
+  Stream& copy_out(const Buffer<T>& src, std::span<T> out) {
+    if (out.size() > src.size()) {
+      throw Error("copy_out larger than source buffer");
+    }
+    enqueue_copy_out(src.word_base(),
+                     reinterpret_cast<std::uint32_t*>(out.data()),
+                     out.size());
+    return *this;
+  }
+
+  /// Enqueue a grid launch; the returned Event resolves at synchronize().
+  Event launch(const Kernel& kernel, unsigned threads);
+
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Execute every queued command in order.
+  void synchronize();
+
+  Device& device() { return *dev_; }
+
+ private:
+  struct Command {
+    enum class Kind { CopyIn, Launch, CopyOut } kind;
+    std::uint32_t base = 0;
+    std::vector<std::uint32_t> payload;      // CopyIn
+    std::uint32_t* dst = nullptr;            // CopyOut
+    std::size_t count = 0;                   // CopyOut
+    Kernel kernel{};                         // Launch
+    unsigned threads = 0;                    // Launch
+    std::shared_ptr<Event::State> event;     // Launch
+  };
+
+  void enqueue_copy_in(std::uint32_t base, std::vector<std::uint32_t> data);
+  void enqueue_copy_out(std::uint32_t base, std::uint32_t* dst,
+                        std::size_t count);
+
+  Device* dev_;
+  std::vector<Command> queue_;
+};
+
+}  // namespace simt::runtime

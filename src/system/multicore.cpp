@@ -16,11 +16,15 @@ MultiCoreSystem::MultiCoreSystem(SystemConfig cfg) : cfg_(std::move(cfg)) {
   cores_.reserve(cfg_.num_cores);
   for (unsigned i = 0; i < cfg_.num_cores; ++i) {
     cores_.emplace_back(cfg_.core);
+    cores_.back().set_smid(i);
   }
 }
 
 void MultiCoreSystem::load_kernel_all(std::string_view source) {
-  const auto program = assembler::assemble(source);
+  load_program_all(assembler::assemble(source));
+}
+
+void MultiCoreSystem::load_program_all(const core::Program& program) {
   for (auto& c : cores_) {
     c.load_program(program);
   }
@@ -51,7 +55,7 @@ SystemRunResult MultiCoreSystem::run(const std::vector<Dispatch>& dispatches) {
     workers.emplace_back([&, i] {
       auto& gpu = cores_[dispatches[i].core];
       gpu.set_thread_count(dispatches[i].threads);
-      res.per_core[i] = gpu.run();
+      res.per_core[i] = gpu.run(dispatches[i].entry);
     });
   }
   for (auto& w : workers) {

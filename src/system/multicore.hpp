@@ -41,6 +41,7 @@ struct SystemConfig {
 struct Dispatch {
   unsigned core = 0;
   unsigned threads = 0;
+  std::uint32_t entry = 0;  ///< I-MEM address to start execution at
 };
 
 struct SystemRunResult {
@@ -71,6 +72,9 @@ class MultiCoreSystem {
   void load_kernel_all(std::string_view source);
   /// Load a kernel into one core.
   void load_kernel(unsigned core, std::string_view source);
+  /// Load an already-assembled program into every core's I-MEM (the module
+  /// cache path: assemble once, stamp everywhere).
+  void load_program_all(const core::Program& program);
 
   /// Launch the given dispatches concurrently (each core at most once) and
   /// account wall-clock at the realized system clock. Throws simt::Error on

@@ -1,11 +1,14 @@
-// simt-run: run a kernel on the cycle-accurate simulator from the command
-// line, optionally preloading shared memory from a file of decimal words.
+// simt-run: run a kernel on the unified device runtime from the command
+// line, selecting the execution backend, optionally preloading device
+// memory from a file of decimal words.
 //
-// usage: simt-run <kernel.s> [--threads N] [--mem file.txt]
-//                 [--dump base count]
+// usage: simt-run <kernel.s> [--backend {core,multicore,scalar}]
+//                 [--cores N] [--threads N] [--fmax MHZ]
+//                 [--mem file.txt] [--dump base count]
 //
-// Prints the performance counters and (with --dump) a window of shared
-// memory after the run.
+// Prints the per-launch performance counters (rolled up across hardware
+// rounds and cores) and (with --dump) a window of device memory after the
+// run.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -13,23 +16,34 @@
 #include <string>
 #include <vector>
 
-#include "asm/assembler.hpp"
 #include "common/error.hpp"
-#include "core/gpgpu.hpp"
+#include "runtime/device.hpp"
+#include "runtime/stream.hpp"
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: simt-run <kernel.s> [--threads N] [--mem file] "
+                 "usage: simt-run <kernel.s> "
+                 "[--backend {core,multicore,scalar}] [--cores N] "
+                 "[--threads N] [--fmax MHZ] [--mem file] "
                  "[--dump base count]\n");
     return 2;
   }
   unsigned threads = 512;
+  unsigned cores = 1;
+  double fmax = 0.0;
+  std::string backend = "core";
   std::string mem_file;
   unsigned dump_base = 0, dump_count = 0;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--backend") && i + 1 < argc) {
+      backend = argv[++i];
+    } else if (!std::strcmp(argv[i], "--cores") && i + 1 < argc) {
+      cores = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--fmax") && i + 1 < argc) {
+      fmax = std::stod(argv[++i]);
     } else if (!std::strcmp(argv[i], "--mem") && i + 1 < argc) {
       mem_file = argv[++i];
     } else if (!std::strcmp(argv[i], "--dump") && i + 2 < argc) {
@@ -50,33 +64,56 @@ int main(int argc, char** argv) {
     src << in.rdbuf();
 
     simt::core::CoreConfig cfg;
-    cfg.max_threads = std::max(16u, threads);
+    // Thread space must be a multiple of the SP count; grids beyond it are
+    // covered in rounds by the runtime.
+    cfg.max_threads = std::min(4096u, std::max(16u, (threads + 15u) / 16u * 16u));
     cfg.shared_mem_words = 4096;
     cfg.predicates_enabled = true;
-    simt::core::Gpgpu gpu(cfg);
-    gpu.load_program(simt::assembler::assemble(src.str()));
-    gpu.set_thread_count(threads);
+
+    simt::runtime::DeviceDescriptor desc;
+    if (backend == "core") {
+      desc = simt::runtime::DeviceDescriptor::simt_core(cfg);
+    } else if (backend == "multicore") {
+      desc = simt::runtime::DeviceDescriptor::multi_core(cores, cfg);
+    } else if (backend == "scalar") {
+      simt::baseline::ScalarCpuConfig scfg;
+      scfg.shared_mem_words = 4096;
+      desc = simt::runtime::DeviceDescriptor::scalar_cpu(scfg);
+    } else {
+      std::fprintf(stderr, "simt-run: unknown backend %s\n", backend.c_str());
+      return 2;
+    }
+    desc.fmax_mhz = fmax;  // 0 keeps the backend's paper-realized default
+
+    simt::runtime::Device dev(desc);
+    auto& module = dev.load_module(src.str());
 
     if (!mem_file.empty()) {
       std::ifstream mem(mem_file);
       if (!mem) {
         throw simt::Error("cannot open " + mem_file);
       }
-      std::uint32_t addr = 0;
+      std::vector<std::uint32_t> image;
       long long value;
       while (mem >> value) {
-        gpu.write_shared(addr++, static_cast<std::uint32_t>(value));
+        image.push_back(static_cast<std::uint32_t>(value));
       }
+      dev.write_words(0, image);
     }
 
-    const auto res = gpu.run();
-    std::printf("%s\n", res.perf.summary().c_str());
-    std::printf("exited=%s  (%.3f us at 950 MHz)\n",
-                res.exited ? "yes" : "no",
-                static_cast<double>(res.perf.cycles) / 950.0);
-    for (unsigned i = 0; i < dump_count; ++i) {
-      std::printf("mem[%u] = %u\n", dump_base + i,
-                  gpu.read_shared(dump_base + i));
+    const auto stats = dev.launch_sync(module.kernel(), threads);
+    std::printf("backend=%s  threads=%u  rounds=%u\n",
+                std::string(dev.backend_name()).c_str(), threads,
+                stats.rounds);
+    std::printf("%s\n", stats.perf.summary().c_str());
+    std::printf("exited=%s  (%.3f us at %.0f MHz)\n",
+                stats.exited ? "yes" : "no", stats.wall_us, dev.fmax_mhz());
+    if (dump_count) {
+      std::vector<std::uint32_t> window(dump_count);
+      dev.read_words(dump_base, window);
+      for (unsigned i = 0; i < dump_count; ++i) {
+        std::printf("mem[%u] = %u\n", dump_base + i, window[i]);
+      }
     }
     return 0;
   } catch (const simt::Error& e) {
