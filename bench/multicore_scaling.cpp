@@ -11,6 +11,7 @@
 // column is what the runtime did internally.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,12 +21,19 @@
 #include "runtime/device.hpp"
 #include "runtime/stream.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simt;
 
-  std::puts("== Multi-core system scaling: 1536-sample FIR, 16 taps ==\n");
+  unsigned samples = 1536;  // one logical grid
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      samples = 384;  // CI smoke-run size
+    }
+  }
+  std::printf("== Multi-core system scaling: %u-sample FIR, 16 taps ==\n\n",
+              samples);
 
-  constexpr unsigned kSamples = 1536;  // one logical grid
+  const unsigned kSamples = samples;
   constexpr unsigned kTaps = 16;
   constexpr unsigned kQ = 8;
 

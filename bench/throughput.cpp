@@ -8,6 +8,7 @@
 // is cycles / realized Fmax: 950 MHz for the SIMT core (the paper's
 // headline), 300 MHz for the scalar baseline -- both the backend defaults.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -19,7 +20,8 @@ namespace {
 
 using namespace simt;
 
-constexpr unsigned kN = 512;
+// Problem size; --quick shrinks it so CI can smoke-run the binary.
+unsigned kN = 512;
 constexpr unsigned kTaps = 16;
 
 struct WorkloadResult {
@@ -185,7 +187,7 @@ WorkloadResult reduction() {
   const std::string scalar =
       "movi %r1, 0\n"  // index
       "movi %r2, 0\n"  // acc
-      "loopi 512, end\n"
+      "loopi " + std::to_string(kN) + ", end\n"
       "lds %r3, [%r1]\n"
       "add %r2, %r2, %r3\n"
       "addi %r1, %r1, 1\n"
@@ -199,19 +201,25 @@ WorkloadResult reduction() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      kN = 128;  // power of two (the tree reduction halves it stepwise)
+    }
+  }
   std::puts("== Throughput: SIMT @ 950 MHz vs scalar soft CPU @ 300 MHz ==\n");
 
   Table t({"Workload", "SIMT cycles", "SIMT us", "scalar cycles", "scalar us",
            "speedup"});
   struct Row {
-    const char* name;
+    std::string name;
     WorkloadResult r;
   };
-  const Row rows[] = {{"vecadd 512", vecadd()},
-                      {"fir 512x16 (Q24.8)", fir()},
+  const std::string n = std::to_string(kN);
+  const Row rows[] = {{"vecadd " + n, vecadd()},
+                      {"fir " + n + "x16 (Q24.8)", fir()},
                       {"matmul 16x16", matmul()},
-                      {"reduction 512", reduction()}};
+                      {"reduction " + n, reduction()}};
   for (const auto& row : rows) {
     const double simt_us = static_cast<double>(row.r.simt_cycles) / 950.0;
     const double scalar_us =

@@ -1,0 +1,103 @@
+// Async pipeline: serve a queue of small requests with request batching
+// and two ping-ponged streams -- the production-traffic shape the runtime
+// is built for.
+//
+// A BatchQueue coalesces several requests into ONE sharded grid launch
+// (one copy-in, one launch, one copy-out instead of one each per request),
+// and alternating two streams over disjoint staging buffers lets batch
+// N+1's copy-in overlap batch N's execution on the scheduler's modeled
+// engines -- double-buffered staging. The scheduler timeline at the end
+// shows the modeled gain over executing every command back to back.
+//
+// Build & run:  ./example_async_pipeline
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/batch.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/device.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/stream.hpp"
+
+int main() {
+  using namespace simt;
+
+  // A 2-core device: each core 64 threads, one shared 8 K-word memory map.
+  core::CoreConfig cfg;
+  cfg.max_threads = 64;
+  cfg.shared_mem_words = 8192;
+  runtime::Device dev(runtime::DeviceDescriptor::multi_core(2, cfg));
+
+  constexpr unsigned kRequestWords = 128;  // elements per request
+  constexpr unsigned kBatch = 4;           // requests per coalesced launch
+  constexpr unsigned kRequests = 24;
+
+  // Double buffer: each stream owns its own in/out staging area.
+  auto& stream_a = dev.stream();
+  auto& stream_b = dev.create_stream();
+  auto in_a = dev.alloc<std::uint32_t>(kRequestWords * kBatch, 16);
+  auto out_a = dev.alloc<std::uint32_t>(kRequestWords * kBatch, 16);
+  auto in_b = dev.alloc<std::uint32_t>(kRequestWords * kBatch, 16);
+  auto out_b = dev.alloc<std::uint32_t>(kRequestWords * kBatch, 16);
+
+  // Elementwise request kernel: out[tid] = 5 * in[tid] + 1.
+  const auto kernel_src = [](std::uint32_t in, std::uint32_t out) {
+    return "movsr %r0, %tid\n"
+           "lds %r1, [%r0 + " + std::to_string(in) + "]\n"
+           "muli %r2, %r1, 5\n"
+           "addi %r2, %r2, 1\n"
+           "sts [%r0 + " + std::to_string(out) + "], %r2\n"
+           "exit\n";
+  };
+  auto& mod_a = dev.load_module(kernel_src(in_a.word_base(),
+                                           out_a.word_base()));
+  auto& mod_b = dev.load_module(kernel_src(in_b.word_base(),
+                                           out_b.word_base()));
+
+  runtime::BatchQueue queue_a(stream_a, mod_a.kernel(), in_a, out_a,
+                              kRequestWords);
+  runtime::BatchQueue queue_b(stream_b, mod_b.kernel(), in_b, out_b,
+                              kRequestWords);
+
+  // Submit the request traffic: batches alternate between the two queues,
+  // so the scheduler can stage one batch while the other executes.
+  std::vector<runtime::BatchQueue::Ticket> tickets(kRequests);
+  for (unsigned r = 0; r < kRequests; ++r) {
+    std::vector<std::uint32_t> request(kRequestWords);
+    for (unsigned i = 0; i < kRequestWords; ++i) {
+      request[i] = r * 1000 + i;
+    }
+    auto& queue = (r / kBatch) % 2 == 0 ? queue_a : queue_b;
+    tickets[r] = queue.submit(std::span<const std::uint32_t>(request));
+  }
+  queue_a.flush();
+  queue_b.flush();
+  stream_a.synchronize();
+  stream_b.synchronize();
+
+  // Validate every request's slice of the batched results.
+  for (unsigned r = 0; r < kRequests; ++r) {
+    const auto result = tickets[r].result();
+    for (unsigned i = 0; i < kRequestWords; ++i) {
+      const std::uint32_t want = 5 * (r * 1000 + i) + 1;
+      if (result[i] != want) {
+        std::printf("FAIL: request %u elem %u: %u != %u\n", r, i, result[i],
+                    want);
+        return 1;
+      }
+    }
+  }
+
+  const auto batches = queue_a.stats().batches + queue_b.stats().batches;
+  const auto saved = queue_a.stats().launches_saved() +
+                     queue_b.stats().launches_saved();
+  const auto t = dev.scheduler().timeline();
+  std::printf("served %u requests in %u coalesced launches "
+              "(%u launches saved)\n", kRequests, batches, saved);
+  std::printf("modeled: %.2f us back to back, %.2f us with double-buffered "
+              "staging (%.2fx)\n", t.serial_us, t.overlap_us,
+              t.overlap_speedup());
+  std::puts("OK");
+  return 0;
+}

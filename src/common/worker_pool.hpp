@@ -1,0 +1,103 @@
+// Persistent worker threads with per-worker FIFO job queues.
+//
+// The multi-core system dispatches one job per core per round, and the
+// runtime scheduler drains one command queue per device; both used to pay a
+// thread spawn/join per batch of work. A WorkerPool keeps the threads alive
+// for the lifetime of the owner, so per-round dispatch is a queue push plus
+// a condition-variable wake instead of a pthread create.
+//
+// Jobs must not throw: wrap the body and capture std::current_exception()
+// at the call site if failure needs to propagate (see
+// system::MultiCoreSystem::run).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simt::common {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(unsigned n) : workers_(n) {
+    for (unsigned i = 0; i < n; ++i) {
+      workers_[i].thread = std::thread([this, i] { loop(workers_[i]); });
+    }
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() {
+    for (auto& w : workers_) {
+      {
+        std::lock_guard<std::mutex> lock(w.mutex);
+        w.stopping = true;
+      }
+      w.wake.notify_all();
+    }
+    for (auto& w : workers_) {
+      w.thread.join();
+    }
+  }
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a job on worker `worker` (FIFO per worker).
+  void post(unsigned worker, std::function<void()> job) {
+    auto& w = workers_.at(worker);
+    {
+      std::lock_guard<std::mutex> lock(w.mutex);
+      w.jobs.push_back(std::move(job));
+    }
+    w.wake.notify_all();
+  }
+
+  /// Block until every queue is empty and every worker is idle.
+  void drain() {
+    for (auto& w : workers_) {
+      std::unique_lock<std::mutex> lock(w.mutex);
+      w.idle.wait(lock, [&w] { return w.jobs.empty() && !w.busy; });
+    }
+  }
+
+ private:
+  struct Worker {
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable wake;
+    std::condition_variable idle;
+    std::deque<std::function<void()>> jobs;
+    bool busy = false;
+    bool stopping = false;
+  };
+
+  void loop(Worker& w) {
+    std::unique_lock<std::mutex> lock(w.mutex);
+    for (;;) {
+      w.wake.wait(lock, [&w] { return !w.jobs.empty() || w.stopping; });
+      if (w.jobs.empty()) {
+        return;  // stopping and drained
+      }
+      auto job = std::move(w.jobs.front());
+      w.jobs.pop_front();
+      w.busy = true;
+      lock.unlock();
+      job();
+      lock.lock();
+      w.busy = false;
+      if (w.jobs.empty()) {
+        w.idle.notify_all();
+      }
+    }
+  }
+
+  // deque: Worker is neither movable nor copyable (mutex members), and the
+  // worker threads capture references into the container.
+  std::deque<Worker> workers_;
+};
+
+}  // namespace simt::common

@@ -329,11 +329,74 @@ unsigned Gpgpu::exec_store(const Instr& instr, unsigned active) {
       throw Error("STS address out of bounds: thread " + std::to_string(t) +
                   " addr " + std::to_string(addr));
     }
+    note_store(addr);
     shared_.write(addr, rf_read(t, instr.rd));
     ++lanes;
   }
   shared_.commit();
   return lanes;
+}
+
+void Gpgpu::note_store(std::uint32_t addr) {
+  // Track the write shard as a handful of coalesced windows. Extend the
+  // nearest window when the store lands inside or within the gap of one;
+  // otherwise open a new window, merging the two closest windows first if
+  // every slot is taken. All loops are over kStoreWindows entries, so the
+  // per-store cost is constant.
+  unsigned best = kStoreWindows;
+  std::uint32_t best_dist = kStoreWindowGap + 1;
+  for (unsigned i = 0; i < store_win_count_; ++i) {
+    auto& [lo, hi] = store_win_[i];
+    if (addr >= lo && addr < hi) {
+      return;
+    }
+    const std::uint32_t dist = addr < lo ? lo - addr : addr - hi + 1;
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  if (best < kStoreWindows) {
+    // Grow the nearest window, absorbing any sibling the growth touches.
+    std::uint32_t lo = std::min(store_win_[best].first, addr);
+    std::uint32_t hi = std::max(store_win_[best].second, addr + 1);
+    store_win_[best] = store_win_[--store_win_count_];
+    for (unsigned i = 0; i < store_win_count_;) {
+      if (store_win_[i].first < hi && lo < store_win_[i].second) {
+        lo = std::min(lo, store_win_[i].first);
+        hi = std::max(hi, store_win_[i].second);
+        store_win_[i] = store_win_[--store_win_count_];
+      } else {
+        ++i;
+      }
+    }
+    store_win_[store_win_count_++] = {lo, hi};
+    return;
+  }
+  if (store_win_count_ < kStoreWindows) {
+    store_win_[store_win_count_++] = {addr, addr + 1};
+    return;
+  }
+  // All slots taken and the store is far from every window: merge the two
+  // closest windows and open a fresh one in the freed slot.
+  unsigned a = 0, b = 1;
+  std::uint64_t min_gap = ~0ull;
+  for (unsigned i = 0; i < store_win_count_; ++i) {
+    for (unsigned j = i + 1; j < store_win_count_; ++j) {
+      const auto& [ilo, ihi] = store_win_[i];
+      const auto& [jlo, jhi] = store_win_[j];
+      const std::uint64_t gap =
+          ihi <= jlo ? jlo - ihi : (jhi <= ilo ? ilo - jhi : 0);
+      if (gap < min_gap) {
+        min_gap = gap;
+        a = i;
+        b = j;
+      }
+    }
+  }
+  store_win_[a] = {std::min(store_win_[a].first, store_win_[b].first),
+                   std::max(store_win_[a].second, store_win_[b].second)};
+  store_win_[b] = {addr, addr + 1};
 }
 
 std::uint64_t Gpgpu::producer_bound(const ProducerRecord& p, unsigned my_width,
@@ -431,6 +494,7 @@ RunResult Gpgpu::run(std::uint32_t entry, std::uint64_t max_instructions) {
 
   fetch_.reset(entry);
   active_threads_ = launch_threads_;
+  store_win_count_ = 0;
   std::fill(reg_producer_.begin(), reg_producer_.end(), ProducerRecord{});
   pred_producer_.fill(ProducerRecord{});
   store_producer_ = ProducerRecord{};

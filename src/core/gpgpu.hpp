@@ -11,9 +11,11 @@
 // Datapaths are the bit-exact structural models from src/hw.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
@@ -74,6 +76,20 @@ class Gpgpu {
   RunResult run(std::uint32_t entry = 0,
                 std::uint64_t max_instructions = 1'000'000'000);
 
+  /// Coalesced half-open windows [lo, hi) of shared-memory addresses the
+  /// last run() stored to -- the core's write shard (empty when nothing
+  /// was stored). A host runtime merging several cores' results reads
+  /// back only these windows instead of diffing the whole memory image.
+  /// Bounded at kStoreWindows so the per-store bookkeeping stays O(1): a
+  /// kernel writing an output array plus a far-away flag word yields two
+  /// tight windows, not one image-sized one.
+  static constexpr unsigned kStoreWindows = 4;
+  /// Windows closer than this merge into one (a DMA prefers few bursts).
+  static constexpr std::uint32_t kStoreWindowGap = 32;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> store_windows() const {
+    return {store_win_.begin(), store_win_.begin() + store_win_count_};
+  }
+
   // ---- host (backdoor) access -------------------------------------------
   std::uint32_t read_shared(std::uint32_t addr) const;
   void write_shared(std::uint32_t addr, std::uint32_t value);
@@ -131,9 +147,15 @@ class Gpgpu {
   FetchDecode fetch_;
   unsigned launch_threads_;
   unsigned active_threads_;
+  void note_store(std::uint32_t addr);
+
   std::uint32_t thread_base_ = 0;
   std::uint32_t smid_ = 0;
   std::uint32_t ntid_override_ = 0;
+  /// Write-shard windows of the last run (first store_win_count_ valid).
+  std::array<std::pair<std::uint32_t, std::uint32_t>, kStoreWindows>
+      store_win_{};
+  unsigned store_win_count_ = 0;
 
   std::vector<ProducerRecord> reg_producer_;   ///< per architectural register
   std::array<ProducerRecord, isa::kNumPredRegs> pred_producer_{};

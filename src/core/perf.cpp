@@ -4,6 +4,29 @@
 
 namespace simt::core {
 
+void PerfCounters::add_work(const PerfCounters& r) {
+  instructions += r.instructions;
+  operation_instrs += r.operation_instrs;
+  load_instrs += r.load_instrs;
+  store_instrs += r.store_instrs;
+  single_instrs += r.single_instrs;
+  thread_rows += r.thread_rows;
+  thread_ops += r.thread_ops;
+  shm_reads += r.shm_reads;
+  shm_writes += r.shm_writes;
+  for (std::size_t i = 0; i < r.per_opcode.size(); ++i) {
+    per_opcode[i] += r.per_opcode[i];
+  }
+}
+
+void PerfCounters::add_clocks(const PerfCounters& r) {
+  cycles += r.cycles;
+  issue_cycles += r.issue_cycles;
+  flush_cycles += r.flush_cycles;
+  stall_cycles += r.stall_cycles;
+  fill_cycles += r.fill_cycles;
+}
+
 std::string PerfCounters::summary() const {
   std::ostringstream out;
   out << "cycles=" << cycles << " (issue=" << issue_cycles

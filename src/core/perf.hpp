@@ -31,6 +31,17 @@ struct PerfCounters {
 
   std::array<std::uint64_t, isa::kOpcodeCount> per_opcode{};
 
+  /// Accumulate another run's work counters (instruction classes, thread
+  /// ops, memory traffic). Clock counters are left alone: a roll-up across
+  /// parallel engines sums work but takes the critical path on clocks (see
+  /// add_clocks), so the two must accumulate independently.
+  void add_work(const PerfCounters& r);
+
+  /// Accumulate another run's clock counters (cycles and their breakdown).
+  /// Used for back-to-back rounds, or exactly once per round with the
+  /// critical-path core of a parallel dispatch.
+  void add_clocks(const PerfCounters& r);
+
   /// Thread-operations per clock -- the SIMT utilization figure.
   double ops_per_cycle() const {
     return cycles ? static_cast<double>(thread_ops) /

@@ -1,0 +1,126 @@
+#include "runtime/batch.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "runtime/stream.hpp"
+
+namespace simt::runtime {
+
+/// One flushed (or still open) batch: the host-side output storage the
+/// copy-out lands in, shared by every ticket of the batch. Kept alive by
+/// tickets and by the queue until the copy-out has executed.
+struct BatchQueue::Ticket::Batch {
+  std::vector<std::uint32_t> host_out;
+  Event event;     ///< the batch's grid-launch event (stats)
+  Event retired;   ///< marker past the copy-out: results are readable
+  bool flushed = false;
+};
+
+bool BatchQueue::Ticket::done() const {
+  return batch_ && batch_->flushed && batch_->retired.done();
+}
+
+Event BatchQueue::Ticket::event() const {
+  if (!batch_ || !batch_->flushed) {
+    throw Error("batch not flushed yet; flush() the queue");
+  }
+  return batch_->event;
+}
+
+std::span<const std::uint32_t> BatchQueue::Ticket::result() const {
+  if (!done()) {
+    throw Error(
+        "batch request not complete; flush() and synchronize the stream");
+  }
+  return {batch_->host_out.data() + offset_, words_};
+}
+
+BatchQueue::BatchQueue(Stream& stream, Kernel kernel, Buffer<std::uint32_t> in,
+                       Buffer<std::uint32_t> out, unsigned request_threads)
+    : stream_(&stream),
+      kernel_(kernel),
+      in_(in),
+      out_(out),
+      request_threads_(request_threads),
+      capacity_(request_threads > 0
+                    ? static_cast<unsigned>(in.size() / request_threads)
+                    : 0) {
+  if (!kernel_.valid()) {
+    throw Error("batch queue needs a valid kernel");
+  }
+  if (request_threads_ == 0) {
+    throw Error("batch queue needs at least one thread per request");
+  }
+  if (capacity_ == 0) {
+    throw Error("batch input buffer smaller than one request");
+  }
+  if (out_.size() < static_cast<std::size_t>(capacity_) * request_threads_) {
+    throw Error("batch output buffer smaller than a full batch");
+  }
+  staging_.reserve(static_cast<std::size_t>(capacity_) * request_threads_);
+  open_ = std::make_shared<Ticket::Batch>();
+}
+
+BatchQueue::~BatchQueue() {
+  // Flushed batches own the storage in-flight copy-outs write to; make
+  // sure the stream has drained before it disappears. Destructors must
+  // not throw, so a failed command is swallowed here (it would have
+  // surfaced at synchronize()).
+  try {
+    stream_->synchronize();
+  } catch (...) {
+  }
+}
+
+BatchQueue::Ticket BatchQueue::submit(std::span<const std::uint32_t> input) {
+  if (input.size() != request_threads_) {
+    throw Error("batch request must be exactly " +
+                std::to_string(request_threads_) + " words, got " +
+                std::to_string(input.size()));
+  }
+  if (pending_ == capacity_) {
+    flush();
+  }
+  Ticket ticket;
+  ticket.batch_ = open_;
+  ticket.offset_ = staging_.size();
+  ticket.words_ = request_threads_;
+  staging_.insert(staging_.end(), input.begin(), input.end());
+  ++pending_;
+  ++stats_.requests;
+  return ticket;
+}
+
+Event BatchQueue::flush() {
+  if (pending_ == 0) {
+    return Event{};
+  }
+  const unsigned threads = pending_ * request_threads_;
+  stream_->copy_in(in_, std::span<const std::uint32_t>(staging_));
+  Event event = stream_->launch(kernel_, threads);
+  auto batch = std::move(open_);
+  batch->host_out.resize(threads);
+  stream_->copy_out(out_, std::span<std::uint32_t>(batch->host_out));
+  batch->event = event;
+  batch->retired = stream_->record();
+  batch->flushed = true;
+
+  inflight_.push_back(std::move(batch));
+  // Retire batches whose copy-out has landed (tickets may still share
+  // ownership of the results).
+  inflight_.erase(
+      std::remove_if(inflight_.begin(), inflight_.end(),
+                     [](const auto& b) { return b->retired.done(); }),
+      inflight_.end());
+
+  staging_.clear();
+  pending_ = 0;
+  open_ = std::make_shared<Ticket::Batch>();
+  ++stats_.batches;
+  return event;
+}
+
+}  // namespace simt::runtime

@@ -1,0 +1,104 @@
+// BatchQueue: request batching on top of a Stream.
+//
+// The production-traffic path: many small host requests target the same
+// kernel, and launching each one alone wastes a pipeline fill, a round of
+// staging, and most of the thread space. A BatchQueue coalesces them --
+// requests accumulate in a host staging area, and one flush() emits a
+// single copy-in, ONE sharded grid launch covering every pending request,
+// and a single copy-out, all asynchronously on the underlying stream.
+//
+// Contract: the kernel must be elementwise over %tid against the queue's
+// buffers -- thread t reads in[in_base + t] and writes out[out_base + t]
+// (kernels::vecscale-style). Requests are `request_threads` elements each;
+// request j of a batch occupies tids [j*m, (j+1)*m), which is exactly the
+// %tid thread-base sharding the runtime already applies across rounds and
+// cores. The queue auto-flushes when the staging buffer is full.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/buffer.hpp"
+#include "runtime/event.hpp"
+#include "runtime/module.hpp"
+
+namespace simt::runtime {
+
+class Stream;
+
+class BatchQueue {
+ public:
+  /// Aggregate batching counters.
+  struct Stats {
+    unsigned requests = 0;  ///< submitted requests
+    unsigned batches = 0;   ///< flushes that launched
+    /// Grid launches avoided by coalescing (requests - batches).
+    unsigned launches_saved() const { return requests - batches; }
+  };
+
+  /// Completion handle for one submitted request. Results become readable
+  /// once the batch it rode in has been flushed and executed.
+  class Ticket {
+   public:
+    Ticket() = default;
+
+    /// Has the batch carrying this request executed?
+    bool done() const;
+    /// The batch's launch event; throws before the batch is flushed.
+    Event event() const;
+    /// This request's output slice; throws until done().
+    std::span<const std::uint32_t> result() const;
+
+   private:
+    friend class BatchQueue;
+    struct Batch;
+    std::shared_ptr<Batch> batch_;
+    std::size_t offset_ = 0;  ///< word offset of this request in the batch
+    std::size_t words_ = 0;
+  };
+
+  /// Batch requests of exactly `request_threads` elements for `kernel`
+  /// over `in`/`out`. Capacity (requests per batch) is in.size() /
+  /// request_threads; `out` must hold at least capacity * request_threads
+  /// words.
+  BatchQueue(Stream& stream, Kernel kernel, Buffer<std::uint32_t> in,
+             Buffer<std::uint32_t> out, unsigned request_threads);
+  ~BatchQueue();
+
+  BatchQueue(const BatchQueue&) = delete;
+  BatchQueue& operator=(const BatchQueue&) = delete;
+
+  /// Queue one request (input.size() must equal request_threads). Flushes
+  /// first if the staging buffer is full.
+  Ticket submit(std::span<const std::uint32_t> input);
+
+  /// Coalesce every pending request into one copy-in + grid launch +
+  /// copy-out on the stream. Returns the launch event (a default Event if
+  /// nothing was pending).
+  Event flush();
+
+  unsigned pending_requests() const { return pending_; }
+  unsigned capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Stream* stream_;
+  Kernel kernel_;
+  Buffer<std::uint32_t> in_;
+  Buffer<std::uint32_t> out_;
+  unsigned request_threads_;
+  unsigned capacity_;
+
+  std::vector<std::uint32_t> staging_;  ///< pending request inputs
+  unsigned pending_ = 0;
+  std::shared_ptr<Ticket::Batch> open_;  ///< batch tickets point into
+  /// Flushed batches whose copy-out may still be in flight: their host
+  /// storage must outlive the scheduler command even if every ticket was
+  /// dropped. Pruned once executed.
+  std::vector<std::shared_ptr<Ticket::Batch>> inflight_;
+  Stats stats_;
+};
+
+}  // namespace simt::runtime

@@ -90,8 +90,8 @@ class Buffer {
 };
 
 template <typename T>
-Buffer<T> Device::alloc(std::size_t count) {
-  return Buffer<T>(this, pool_.allocate(count), count);
+Buffer<T> Device::alloc(std::size_t count, unsigned align) {
+  return Buffer<T>(this, pool_.allocate(count, align), count);
 }
 
 }  // namespace simt::runtime

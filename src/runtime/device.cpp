@@ -5,38 +5,12 @@
 
 #include "asm/assembler.hpp"
 #include "common/error.hpp"
+#include "runtime/scheduler.hpp"
 #include "runtime/stream.hpp"
 
 namespace simt::runtime {
 
 namespace {
-
-/// Fold one hardware round into a rolled-up launch. Work counters
-/// (instructions, thread-ops, memory traffic) accumulate; the clock-domain
-/// counters (cycles and their breakdown) are handled by the caller, which
-/// knows whether rounds ran in parallel or back to back.
-void accumulate_work(core::PerfCounters& into, const core::PerfCounters& r) {
-  into.instructions += r.instructions;
-  into.operation_instrs += r.operation_instrs;
-  into.load_instrs += r.load_instrs;
-  into.store_instrs += r.store_instrs;
-  into.single_instrs += r.single_instrs;
-  into.thread_rows += r.thread_rows;
-  into.thread_ops += r.thread_ops;
-  into.shm_reads += r.shm_reads;
-  into.shm_writes += r.shm_writes;
-  for (std::size_t i = 0; i < r.per_opcode.size(); ++i) {
-    into.per_opcode[i] += r.per_opcode[i];
-  }
-}
-
-void accumulate_clocks(core::PerfCounters& into, const core::PerfCounters& r) {
-  into.cycles += r.cycles;
-  into.issue_cycles += r.issue_cycles;
-  into.flush_cycles += r.flush_cycles;
-  into.stall_cycles += r.stall_cycles;
-  into.fill_cycles += r.fill_cycles;
-}
 
 void check_launch_threads(unsigned threads) {
   if (threads == 0) {
@@ -99,8 +73,8 @@ LaunchStats SimtCoreBackend::launch(std::uint32_t entry, unsigned threads) {
     gpu_.set_ntid_override(threads);  // %ntid = the logical grid, per round
     gpu_.set_thread_count(batch);
     const auto r = gpu_.run(entry);
-    accumulate_work(out.perf, r.perf);
-    accumulate_clocks(out.perf, r.perf);
+    out.perf.add_work(r.perf);
+    out.perf.add_clocks(r.perf);
     out.exited = out.exited && r.exited;
     ++out.rounds;
     done += batch;
@@ -122,8 +96,16 @@ void SimtCoreBackend::write_words(std::uint32_t base,
 
 // ---- MultiCoreBackend ------------------------------------------------------
 
-MultiCoreBackend::MultiCoreBackend(const system::SystemConfig& cfg)
-    : sys_(cfg), master_(cfg.core.shared_mem_words, 0) {}
+MultiCoreBackend::MultiCoreBackend(const system::SystemConfig& cfg,
+                                   double staging_words_per_cycle)
+    : sys_(cfg),
+      master_(cfg.core.shared_mem_words, 0),
+      stale_(sys_.num_cores()),
+      staging_words_per_cycle_(staging_words_per_cycle) {
+  // Cores power up zeroed, exactly like the master image: every shard map
+  // starts clean, and staleness accrues only from host writes and sibling
+  // cores' merged output shards.
+}
 
 void MultiCoreBackend::load_program(const core::Program& program) {
   sys_.load_program_all(program);
@@ -134,7 +116,16 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads) {
   LaunchStats out;
   out.exited = true;
   const unsigned capacity = max_concurrent_threads();
-  std::vector<std::uint32_t> scratch(master_.size());
+  const unsigned num_cores = sys_.num_cores();
+  out.per_core.resize(num_cores);
+  for (unsigned c = 0; c < num_cores; ++c) {
+    out.per_core[c].core = c;
+  }
+  std::vector<std::vector<RoundCost>> round_costs;
+  // Ranges merged in the previous round: staging that re-covers them is
+  // data-dependent on those merges, so the pipeline model must not
+  // prefetch it (RoundCost::stage_late_cycles).
+  RangeSet merged_prev;
 
   unsigned done = 0;
   while (done < threads) {
@@ -142,10 +133,13 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads) {
     // Spread the round over every core (each shard stays <= max_threads
     // because round_total <= cores * max_threads): the round's clock cost
     // is its slowest core, so balance beats packing cores full.
-    const unsigned cores_used = std::min(sys_.num_cores(), round_total);
+    const unsigned cores_used = std::min(num_cores, round_total);
     const auto sizes = balanced_split(round_total, cores_used);
+    std::vector<RoundCost> costs(num_cores);
 
-    // Stage: broadcast the coherent image and shard the grid by %tid base.
+    // Stage: bring each dispatched core's private image up to date by
+    // copying only its stale ranges from the master (the shard map),
+    // then shard the grid by %tid base.
     std::vector<system::Dispatch> dispatches;
     unsigned base = done;
     for (unsigned c = 0; c < cores_used; ++c) {
@@ -153,7 +147,21 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads) {
         continue;
       }
       auto& gpu = sys_.core(c);
-      gpu.write_shared_span(0, master_);
+      std::uint64_t staged = 0;
+      for (const auto& r : stale_[c].ranges()) {
+        gpu.write_shared_span(
+            r.lo, std::span<const std::uint32_t>(master_.data() + r.lo,
+                                                 r.words()));
+        staged += r.words();
+      }
+      const std::uint64_t late = overlap_words(stale_[c], merged_prev);
+      stale_[c].clear();
+      out.per_core[c].staged_words += staged;
+      out.staged_words += staged;
+      costs[c].stage_early_cycles =
+          staging_cycles(staged - late, staging_words_per_cycle_);
+      costs[c].stage_late_cycles =
+          staging_cycles(late, staging_words_per_cycle_);
       gpu.set_thread_base(base);
       gpu.set_ntid_override(threads);  // %ntid = the logical grid
       dispatches.push_back({c, sizes[c], entry});
@@ -167,34 +175,100 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads) {
     std::uint64_t worst = 0;
     std::size_t worst_i = 0;
     for (std::size_t i = 0; i < res.per_core.size(); ++i) {
-      accumulate_work(out.perf, res.per_core[i].perf);
+      out.perf.add_work(res.per_core[i].perf);
       out.exited = out.exited && res.per_core[i].exited;
+      const unsigned c = dispatches[i].core;
+      out.per_core[c].exec_cycles += res.per_core[i].perf.cycles;
+      out.per_core[c].rounds += 1;
+      costs[c].exec_cycles = res.per_core[i].perf.cycles;
       if (res.per_core[i].perf.cycles >= worst) {
         worst = res.per_core[i].perf.cycles;
         worst_i = i;
       }
     }
-    accumulate_clocks(out.perf, res.per_core[worst_i].perf);
+    out.perf.add_clocks(res.per_core[worst_i].perf);
 
-    // Merge: fold each core's memory writes back into the master image.
-    // Every core is diffed against the pre-round image it was staged with.
-    const auto before = master_;
+    // Merge: read back each core's write shard (the store windows the
+    // core tracked during the run), diff it against the pre-round master,
+    // fold the changes in (later cores win on conflicts), and mark the
+    // changed ranges stale for the sibling cores.
+    struct Shard {
+      unsigned core;
+      std::uint32_t lo;
+      std::vector<std::uint32_t> data;    ///< core memory in the window
+      std::vector<std::uint32_t> before;  ///< pre-round master in the window
+    };
+    std::vector<Shard> shards;
     for (const auto& d : dispatches) {
-      sys_.core(d.core).read_shared_span(0, scratch);
-      for (std::size_t w = 0; w < master_.size(); ++w) {
-        if (scratch[w] != before[w]) {
-          master_[w] = scratch[w];
+      auto& gpu = sys_.core(d.core);
+      std::uint64_t merged = 0;
+      for (const auto& [lo, hi] : gpu.store_windows()) {
+        Shard s;
+        s.core = d.core;
+        s.lo = lo;
+        s.data.resize(hi - lo);
+        gpu.read_shared_span(lo, s.data);
+        s.before.assign(master_.begin() + lo, master_.begin() + hi);
+        merged += s.data.size();
+        shards.push_back(std::move(s));
+      }
+      out.per_core[d.core].merged_words += merged;
+      out.merged_words += merged;
+      costs[d.core].merge_cycles =
+          staging_cycles(merged, staging_words_per_cycle_);
+    }
+    RangeSet merged_now;
+    for (const auto& s : shards) {
+      // Fold changed words into the master and collect them as ranges for
+      // the sibling shard maps (RangeSet coalesces nearby runs).
+      RangeSet changed;
+      std::size_t w = 0;
+      while (w < s.data.size()) {
+        if (s.data[w] == s.before[w]) {
+          ++w;
+          continue;
+        }
+        std::size_t end = w;
+        while (end < s.data.size() && s.data[end] != s.before[end]) {
+          master_[s.lo + end] = s.data[end];
+          ++end;
+        }
+        changed.insert(s.lo + static_cast<std::uint32_t>(w),
+                       s.lo + static_cast<std::uint32_t>(end));
+        w = end;
+      }
+      for (const auto& r : changed.ranges()) {
+        merged_now.insert(r.lo, r.hi);
+        for (unsigned c = 0; c < num_cores; ++c) {
+          if (c != s.core) {
+            stale_[c].insert(r.lo, r.hi);
+          }
         }
       }
     }
+    merged_prev = std::move(merged_now);
 
+    round_costs.push_back(std::move(costs));
     ++out.rounds;
     done += round_total;
   }
 
-  for (unsigned c = 0; c < sys_.num_cores(); ++c) {
+  for (unsigned c = 0; c < num_cores; ++c) {
     sys_.core(c).set_thread_base(0);
     sys_.core(c).set_ntid_override(0);
+  }
+
+  const auto model = model_pipeline(round_costs);
+  out.serial_cycles = model.serial_cycles;
+  out.overlap_cycles = model.overlap_cycles;
+  // Occupancy: how much of the launch's exec critical path each core spent
+  // executing (the critical path is the per-round worst-core sum, i.e.
+  // perf.cycles).
+  if (out.perf.cycles > 0) {
+    for (auto& c : out.per_core) {
+      c.occupancy = static_cast<double>(c.exec_cycles) /
+                    static_cast<double>(out.perf.cycles);
+    }
   }
   return out;
 }
@@ -213,6 +287,10 @@ void MultiCoreBackend::write_words(std::uint32_t base,
     throw Error("multicore write out of device memory bounds");
   }
   std::copy(data.begin(), data.end(), master_.begin() + base);
+  // Every core's private image is now stale on these words.
+  for (auto& map : stale_) {
+    map.insert(base, base + static_cast<std::uint32_t>(data.size()));
+  }
 }
 
 // ---- ScalarBackend ---------------------------------------------------------
@@ -254,19 +332,25 @@ void ScalarBackend::write_words(std::uint32_t base,
 
 // ---- MemoryPool ------------------------------------------------------------
 
-std::uint32_t MemoryPool::allocate(std::size_t count) {
+std::uint32_t MemoryPool::allocate(std::size_t count, unsigned align) {
   if (count == 0) {
     throw Error("buffer allocation needs at least one word");
   }
-  if (count > static_cast<std::size_t>(words_ - next_)) {
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw Error("buffer alignment must be a power of two, got " +
+                std::to_string(align));
+  }
+  const std::uint64_t base = (static_cast<std::uint64_t>(next_) + align - 1) &
+                             ~static_cast<std::uint64_t>(align - 1);
+  if (base > words_ || count > words_ - base) {
     throw Error("device memory exhausted: requested " +
-                std::to_string(count) + " words with " +
+                std::to_string(count) + " words (aligned to " +
+                std::to_string(align) + ") with " +
                 std::to_string(words_ - next_) + " of " +
                 std::to_string(words_) + " free");
   }
-  const std::uint32_t base = next_;
-  next_ += static_cast<unsigned>(count);
-  return base;
+  next_ = static_cast<unsigned>(base + count);
+  return static_cast<std::uint32_t>(base);
 }
 
 // ---- Device ----------------------------------------------------------------
@@ -281,7 +365,8 @@ std::unique_ptr<DeviceBackend> make_backend(const DeviceDescriptor& desc) {
       system::SystemConfig cfg;
       cfg.num_cores = desc.num_cores;
       cfg.core = desc.core;
-      return std::make_unique<MultiCoreBackend>(cfg);
+      return std::make_unique<MultiCoreBackend>(
+          cfg, desc.staging_words_per_cycle);
     }
     case BackendKind::Scalar:
       return std::make_unique<ScalarBackend>(desc.scalar);
@@ -294,7 +379,12 @@ std::unique_ptr<DeviceBackend> make_backend(const DeviceDescriptor& desc) {
 Device::Device(DeviceDescriptor desc)
     : desc_(desc),
       backend_(make_backend(desc_)),
-      pool_(backend_->mem_words()) {}
+      pool_(backend_->mem_words()),
+      scheduler_(std::make_unique<Scheduler>(*this)) {
+  if (desc_.staging_words_per_cycle <= 0.0) {
+    throw Error("staging_words_per_cycle must be positive");
+  }
+}
 
 Device::~Device() = default;
 
@@ -318,11 +408,13 @@ Module& Device::load_module(std::string_view source) {
 
 void Device::read_words(std::uint32_t base,
                         std::span<std::uint32_t> out) const {
+  std::lock_guard<std::mutex> lock(exec_mutex_);
   backend_->read_words(base, out);
 }
 
 void Device::write_words(std::uint32_t base,
                          std::span<const std::uint32_t> data) {
+  std::lock_guard<std::mutex> lock(exec_mutex_);
   backend_->write_words(base, data);
 }
 
@@ -330,20 +422,43 @@ LaunchStats Device::launch_sync(const Kernel& kernel, unsigned threads) {
   if (!kernel.valid()) {
     throw Error("launch of an invalid kernel handle");
   }
+  std::lock_guard<std::mutex> lock(exec_mutex_);
   if (kernel.module != resident_) {
     backend_->load_program(kernel.module->program());
     resident_ = kernel.module;
   }
   LaunchStats stats = backend_->launch(kernel.entry, threads);
-  stats.wall_us = static_cast<double>(stats.perf.cycles) / fmax_mhz();
+  // Single-engine backends stage through the host interface before the
+  // launch, so their in-launch staging model is pure execution.
+  if (stats.serial_cycles == 0 && stats.overlap_cycles == 0) {
+    stats.serial_cycles = stats.overlap_cycles = stats.perf.cycles;
+  }
+  if (stats.per_core.empty()) {
+    CoreLaunchStats self;
+    self.exec_cycles = stats.perf.cycles;
+    self.rounds = stats.rounds;
+    self.occupancy = 1.0;
+    stats.per_core.push_back(self);
+  }
+  const double fmax = fmax_mhz();
+  stats.wall_us = static_cast<double>(stats.perf.cycles) / fmax;
+  stats.serial_wall_us = static_cast<double>(stats.serial_cycles) / fmax;
+  stats.overlap_wall_us = static_cast<double>(stats.overlap_cycles) / fmax;
   return stats;
 }
 
 Stream& Device::stream() {
-  if (!stream_) {
-    stream_ = std::make_unique<Stream>(*this);
+  if (streams_.empty()) {
+    streams_.push_back(std::make_unique<Stream>(*this, 0));
   }
-  return *stream_;
+  return *streams_.front();
+}
+
+Stream& Device::create_stream() {
+  stream();  // streams_[0] stays the default stream
+  streams_.push_back(std::make_unique<Stream>(
+      *this, static_cast<unsigned>(streams_.size())));
+  return *streams_.back();
 }
 
 }  // namespace simt::runtime

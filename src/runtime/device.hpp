@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string_view>
 #include <unordered_map>
@@ -27,10 +28,12 @@
 #include "core/gpgpu.hpp"
 #include "core/perf.hpp"
 #include "runtime/module.hpp"
+#include "runtime/staging.hpp"
 #include "system/multicore.hpp"
 
 namespace simt::runtime {
 
+class Scheduler;
 class Stream;
 template <typename T>
 class Buffer;
@@ -48,11 +51,27 @@ struct DeviceDescriptor {
   unsigned num_cores = 1;              ///< MultiCore only
   baseline::ScalarCpuConfig scalar{};  ///< Scalar only
   double fmax_mhz = 0.0;               ///< 0 = backend default
+  /// Host<->core staging bandwidth in 32-bit words per device clock. The
+  /// default models a 32-bit bridge running at the core clock (one word
+  /// per cycle), the common soft-logic host interface.
+  double staging_words_per_cycle = 1.0;
 
   static DeviceDescriptor simt_core(core::CoreConfig cfg = {});
   static DeviceDescriptor multi_core(unsigned cores,
                                      core::CoreConfig cfg = {});
   static DeviceDescriptor scalar_cpu(baseline::ScalarCpuConfig cfg = {});
+};
+
+/// Per-core slice of one logical launch's roll-up.
+struct CoreLaunchStats {
+  unsigned core = 0;
+  std::uint64_t exec_cycles = 0;   ///< kernel cycles, summed over rounds
+  std::uint64_t staged_words = 0;  ///< incremental copy-in to this core
+  std::uint64_t merged_words = 0;  ///< write-shard read-back from this core
+  unsigned rounds = 0;             ///< rounds this core participated in
+  /// exec_cycles over the launch's critical-path exec cycles: how busy the
+  /// core was while the launch ran (1.0 = never waiting on siblings).
+  double occupancy = 0.0;
 };
 
 /// Rolled-up result of one logical launch (possibly many hardware rounds).
@@ -61,6 +80,30 @@ struct LaunchStats {
   bool exited = false;        ///< every round reached EXIT
   unsigned rounds = 0;        ///< sequential hardware launches used
   double wall_us = 0.0;       ///< perf.cycles / the device's realized Fmax
+
+  // Modeled staging roll-up. Nonzero traffic only on the multicore
+  // backend, whose cores have private memories fed from the master image;
+  // the single-core and scalar engines stage through the host interface
+  // before the launch (see Scheduler's stream-level timeline).
+  std::uint64_t staged_words = 0;  ///< incremental per-core copy-in traffic
+  std::uint64_t merged_words = 0;  ///< write-shard read-back traffic
+  std::uint64_t serial_cycles = 0;   ///< stage + exec + merge back to back
+  std::uint64_t overlap_cycles = 0;  ///< double-buffered staging pipeline
+  double serial_wall_us = 0.0;       ///< serial_cycles at the realized Fmax
+  double overlap_wall_us = 0.0;      ///< overlap_cycles at the realized Fmax
+  std::vector<CoreLaunchStats> per_core;
+
+  /// Mean per-core occupancy (1.0 for single-engine backends).
+  double occupancy() const {
+    if (per_core.empty()) {
+      return 0.0;
+    }
+    double sum = 0.0;
+    for (const auto& c : per_core) {
+      sum += c.occupancy;
+    }
+    return sum / static_cast<double>(per_core.size());
+  }
 };
 
 /// The pluggable engine interface. Backends expose a flat word-addressed
@@ -114,13 +157,20 @@ class SimtCoreBackend final : public DeviceBackend {
 };
 
 /// Backend wrapping system::MultiCoreSystem. The device presents one flat
-/// memory image; each round broadcasts the image to every dispatched core,
-/// shards the grid across cores via the %tid thread base, and folds each
-/// core's memory writes back into the image (later cores win on a
-/// conflicting address -- kernels with disjoint output ranges are exact).
+/// memory image, but each core keeps a persistent private copy of it: a
+/// per-core shard map (RangeSet of stale words) records exactly what the
+/// core has not seen yet, so staging a round copies increments instead of
+/// re-broadcasting the image. After a round, each core's write shard (the
+/// Gpgpu store window) is diffed against the pre-round image and folded
+/// back into the master (later cores win on a conflicting address --
+/// kernels with disjoint output ranges are exact), and the changed ranges
+/// are marked stale for the sibling cores. Launch roll-ups carry the
+/// modeled staging pipeline (LaunchStats::serial/overlap_cycles) and
+/// per-core occupancy.
 class MultiCoreBackend final : public DeviceBackend {
  public:
-  explicit MultiCoreBackend(const system::SystemConfig& cfg);
+  MultiCoreBackend(const system::SystemConfig& cfg,
+                   double staging_words_per_cycle);
 
   std::string_view name() const override { return "multicore"; }
   unsigned mem_words() const override {
@@ -145,6 +195,10 @@ class MultiCoreBackend final : public DeviceBackend {
  private:
   system::MultiCoreSystem sys_;
   std::vector<std::uint32_t> master_;  ///< host-coherent memory image
+  /// Per-core shard map: master words this core's private image is stale
+  /// on (host writes and sibling cores' merged output shards).
+  std::vector<RangeSet> stale_;
+  double staging_words_per_cycle_;
 };
 
 /// Backend wrapping the scalar soft-CPU baseline. A grid launch is emulated
@@ -181,8 +235,11 @@ class MemoryPool {
  public:
   explicit MemoryPool(unsigned words) : words_(words) {}
 
-  /// Allocate `count` words; throws simt::Error on exhaustion.
-  std::uint32_t allocate(std::size_t count);
+  /// Allocate `count` words, with the base rounded up to `align` words
+  /// (power of two; e.g. the staging vector width, so DMA bursts start
+  /// aligned). Throws simt::Error on a zero-word request, a non-power-of-
+  /// two alignment, or exhaustion.
+  std::uint32_t allocate(std::size_t count, unsigned align = 1);
   void reset() { next_ = 0; }
 
   unsigned words() const { return words_; }
@@ -220,26 +277,38 @@ class Device {
   std::size_t module_cache_size() const { return modules_.size(); }
 
   // ---- memory ------------------------------------------------------------
-  /// Allocate a typed buffer of `count` 32-bit elements (defined in
-  /// runtime/buffer.hpp).
+  /// Allocate a typed buffer of `count` 32-bit elements, optionally
+  /// word-aligned (defined in runtime/buffer.hpp).
   template <typename T>
-  Buffer<T> alloc(std::size_t count);
+  Buffer<T> alloc(std::size_t count, unsigned align = 1);
   /// Reclaim the whole allocation arena (buffers become dangling).
   void mem_reset() { pool_.reset(); }
   MemoryPool& mem() { return pool_; }
 
-  /// Raw word-level staging, bounds-checked against device memory.
+  /// Raw word-level staging, bounds-checked against device memory and
+  /// serialized against in-flight scheduler commands. Direct access
+  /// observes whatever has executed so far: synchronize the streams first
+  /// for a defined ordering.
   void read_words(std::uint32_t base, std::span<std::uint32_t> out) const;
   void write_words(std::uint32_t base, std::span<const std::uint32_t> data);
 
   // ---- execution ---------------------------------------------------------
   /// Immediate (synchronous) launch: loads the kernel's module into the
   /// device I-MEM if it is not already resident, runs the grid, and rolls
-  /// wall-clock up at fmax_mhz().
+  /// wall-clock up at fmax_mhz(). Also the body of the scheduler's exec
+  /// commands.
   LaunchStats launch_sync(const Kernel& kernel, unsigned threads);
+
+  /// The asynchronous command scheduler every stream feeds.
+  Scheduler& scheduler() { return *scheduler_; }
 
   /// The device's default command stream (created lazily).
   Stream& stream();
+  /// Create an additional independent stream (device-owned; lives until
+  /// the device is destroyed). Streams are in-order individually and
+  /// unordered against each other except through Stream::wait(Event).
+  Stream& create_stream();
+  std::size_t stream_count() const { return streams_.size(); }
 
   // ---- escape hatches ----------------------------------------------------
   DeviceBackend& backend() { return *backend_; }
@@ -254,7 +323,13 @@ class Device {
   MemoryPool pool_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Module>> modules_;
   const Module* resident_ = nullptr;  ///< module currently in the I-MEM
-  std::unique_ptr<Stream> stream_;
+  /// Serializes backend access between the scheduler's executor thread and
+  /// direct host calls (read/write_words, launch_sync).
+  mutable std::mutex exec_mutex_;
+  // Declared after the backend so destruction drains and joins the
+  // scheduler before the engine it drives disappears.
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<std::unique_ptr<Stream>> streams_;  ///< [0] = default stream
 };
 
 }  // namespace simt::runtime

@@ -1,0 +1,193 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "runtime/device.hpp"
+
+namespace simt::runtime {
+
+Scheduler::Scheduler(Device& dev) : dev_(dev), fmax_mhz_(dev.fmax_mhz()) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  thread_.join();  // drains the queue: every event has resolved by now
+  liveness_.reset();
+}
+
+Ticket Scheduler::submit(Command cmd, std::vector<Ticket> deps) {
+  Node node;
+  node.cmd = std::move(cmd);
+  node.deps = std::move(deps);
+  Ticket ticket;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ticket = next_ticket_++;
+    node.ticket = ticket;
+    if (node.cmd.event) {
+      node.cmd.event->ticket = ticket;
+      node.cmd.event->scheduler = this;
+      node.cmd.event->scheduler_alive = liveness_;
+    }
+    queue_.push_back(std::move(node));
+  }
+  work_cv_.notify_all();
+  return ticket;
+}
+
+void Scheduler::wait(Ticket t) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this, t] { return completed_ >= t; });
+}
+
+void Scheduler::wait_all() {
+  Ticket last;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last = next_ticket_ - 1;
+  }
+  wait(last);
+}
+
+bool Scheduler::done(Ticket t) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_ >= t;
+}
+
+void Scheduler::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void Scheduler::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+TimelineStats Scheduler::timeline() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TimelineStats t;
+  t.serial_us = serial_us_;
+  t.overlap_us = overlap_us_;
+  t.copied_words = copied_words_;
+  t.exec_cycles = exec_cycles_;
+  t.commands = commands_;
+  return t;
+}
+
+void Scheduler::account(const Node& node, std::uint64_t cycles) {
+  const double dur_us = static_cast<double>(cycles) / fmax_mhz_;
+  serial_us_ += dur_us;
+
+  double ready = 0.0;
+  for (const Ticket dep : node.deps) {
+    const auto it = finish_us_.find(dep);
+    if (it != finish_us_.end()) {
+      ready = std::max(ready, it->second);
+    }
+  }
+  double finish = ready;
+  switch (node.cmd.engine) {
+    case EngineKind::Copy: {
+      if (copy_free_us_.size() <= node.cmd.channel) {
+        copy_free_us_.resize(node.cmd.channel + 1, 0.0);
+      }
+      double& channel_free = copy_free_us_[node.cmd.channel];
+      finish = std::max(channel_free, ready) + dur_us;
+      channel_free = finish;
+      break;
+    }
+    case EngineKind::Exec:
+      finish = std::max(exec_free_us_, ready) + dur_us;
+      exec_free_us_ = finish;
+      break;
+    case EngineKind::None:
+      break;
+  }
+  finish_us_[node.ticket] = finish;
+  finish_order_.push_back(node.ticket);
+  while (finish_order_.size() > kFinishWindow) {
+    finish_us_.erase(finish_order_.front());
+    finish_order_.pop_front();
+  }
+  overlap_us_ = std::max(overlap_us_, finish);
+  copied_words_ += node.cmd.words;
+  if (node.cmd.engine == EngineKind::Exec) {
+    exec_cycles_ += cycles;
+  }
+  ++commands_;
+}
+
+void Scheduler::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stopping_ || (!paused_ && !queue_.empty());
+    });
+    if (queue_.empty()) {
+      return;  // stopping with a drained queue
+    }
+    Node node = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+
+    std::uint64_t cycles = 0;
+    std::exception_ptr err;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      if (node.cmd.run) {
+        cycles = node.cmd.run();
+      }
+    } catch (...) {
+      err = std::current_exception();
+    }
+    const double host_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    lock.lock();
+    account(node, cycles);
+    completed_ = node.ticket;
+    if (node.cmd.event) {
+      if (err) {
+        node.cmd.event->error = err;
+        node.cmd.event->failed.store(true, std::memory_order_release);
+      } else {
+        node.cmd.event->host_elapsed_us = host_us;
+        node.cmd.event->complete.store(true, std::memory_order_release);
+      }
+    }
+    if (err && node.cmd.error_slot && !*node.cmd.error_slot) {
+      *node.cmd.error_slot = err;  // first fault on the stream wins
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void Event::wait() const {
+  if (!state_ || !state_->scheduler) {
+    return;
+  }
+  // Only touch the scheduler while it is alive; a destroyed device already
+  // drained its queue, so the event's final state is set and the wait
+  // degrades to the completion/failure check below. (Destroying the device
+  // concurrently with wait() is outside the API contract.)
+  if (auto alive = state_->scheduler_alive.lock()) {
+    state_->scheduler->wait(state_->ticket);
+  }
+  if (failed()) {
+    std::rethrow_exception(state_->error);
+  }
+}
+
+}  // namespace simt::runtime

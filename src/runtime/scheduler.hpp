@@ -1,0 +1,146 @@
+// The device-owned asynchronous scheduler.
+//
+// Streams do not execute anything themselves: every copy/launch command is
+// submitted here and runs on the scheduler's executor thread, so host code
+// keeps going while the device simulates. Stream::synchronize() is a join.
+// Commands carry dependency tickets (same-stream ordering, cross-stream
+// Event waits); the in-process executor runs commands in submission order,
+// which trivially satisfies those dependencies and keeps multi-stream
+// execution deterministic -- on real hardware the dependencies are what
+// the DMA descriptors would encode.
+//
+// Alongside functional execution the scheduler keeps a modeled timeline:
+// each command occupies a device engine (the staging DMA for copies, the
+// compute array for launches) for its modeled duration. serial_us prices
+// the PR-1 shape -- every command back to back on one timeline -- and
+// overlap_us prices the engines running concurrently subject to the
+// dependency tickets, i.e. double-buffered staging. The ratio is the
+// modeled throughput gain of the asynchronous engine.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/event.hpp"
+
+namespace simt::runtime {
+
+class Device;
+
+/// Which modeled device engine a command occupies.
+enum class EngineKind { Copy, Exec, None };
+
+/// Modeled timeline roll-up across everything this scheduler has executed.
+struct TimelineStats {
+  double serial_us = 0.0;   ///< every command back to back (the PR-1 model)
+  double overlap_us = 0.0;  ///< copy/exec engines overlapped
+  std::uint64_t copied_words = 0;
+  std::uint64_t exec_cycles = 0;
+  unsigned commands = 0;
+
+  /// Modeled throughput gain of overlapping staging with execution.
+  double overlap_speedup() const {
+    return overlap_us > 0.0 ? serial_us / overlap_us : 1.0;
+  }
+};
+
+class Scheduler {
+ public:
+  /// One schedulable command. `run` executes on the scheduler thread and
+  /// returns the command's modeled duration in device cycles.
+  struct Command {
+    EngineKind engine = EngineKind::None;
+    std::function<std::uint64_t()> run;
+    std::shared_ptr<EventState> event;  ///< resolved after run (optional)
+    /// The submitting stream's error slot: a faulting command stores its
+    /// exception here (first fault wins), so errors stay attributed to
+    /// the stream that owns the command instead of leaking to whichever
+    /// stream synchronizes first.
+    std::shared_ptr<std::exception_ptr> error_slot;
+    std::uint64_t words = 0;            ///< staging traffic (copies)
+    /// Staging channel for Copy commands: each stream owns one (its half
+    /// of the double buffer), so copies on different streams overlap while
+    /// copies within a stream serialize. Launches share the one compute
+    /// array regardless.
+    unsigned channel = 0;
+  };
+
+  explicit Scheduler(Device& dev);
+  ~Scheduler();  ///< drains the queue and joins the executor
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueue a command after `deps` (earlier tickets). Returns its ticket.
+  Ticket submit(Command cmd, std::vector<Ticket> deps = {});
+
+  /// Block until ticket `t` has executed (t == 0 returns immediately).
+  /// Errors are reported through the command's stream error slot and
+  /// event, not here -- see Stream::synchronize() and Event::wait().
+  void wait(Ticket t);
+  /// Block until every submitted command has executed.
+  void wait_all();
+
+  /// Has ticket `t` executed? (Non-blocking; t == 0 is always done.)
+  bool done(Ticket t) const;
+
+  /// Hold the executor between commands (in-flight work finishes). Lets
+  /// tests and tools observe queued state deterministically.
+  void pause();
+  void resume();
+
+  TimelineStats timeline() const;
+
+ private:
+  struct Node {
+    Command cmd;
+    std::vector<Ticket> deps;
+    Ticket ticket = 0;
+  };
+
+  void loop();
+  /// Fold an executed command into the modeled timeline (mutex held).
+  void account(const Node& node, std::uint64_t cycles);
+
+  Device& dev_;
+  double fmax_mhz_;
+  /// Handed to events as a weak_ptr; reset by the destructor so an Event
+  /// that outlives the device can tell its scheduler is gone.
+  std::shared_ptr<void> liveness_ = std::make_shared<int>(0);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< wakes the executor
+  std::condition_variable done_cv_;  ///< wakes waiters
+  std::deque<Node> queue_;
+  Ticket next_ticket_ = 1;
+  Ticket completed_ = 0;  ///< every ticket <= this has executed
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  // Modeled timeline (all in modeled microseconds at fmax_mhz_).
+  std::vector<double> copy_free_us_;  ///< per staging channel
+  double exec_free_us_ = 0.0;
+  double serial_us_ = 0.0;
+  double overlap_us_ = 0.0;
+  std::uint64_t copied_words_ = 0;
+  std::uint64_t exec_cycles_ = 0;
+  unsigned commands_ = 0;
+  /// Finish times of recent commands, for dependency lookups. Bounded: a
+  /// long-lived serving device would otherwise grow one entry per command
+  /// forever. A dependency older than the window resolves to "ready at 0",
+  /// which the monotone engine timelines make harmless in practice.
+  static constexpr std::size_t kFinishWindow = 16384;
+  std::unordered_map<Ticket, double> finish_us_;
+  std::deque<Ticket> finish_order_;
+
+  std::thread thread_;  ///< last member: joins before state tears down
+};
+
+}  // namespace simt::runtime

@@ -1,0 +1,83 @@
+// Shard maps and the double-buffered staging model.
+//
+// The multicore backend keeps one persistent memory image per core instead
+// of re-broadcasting the whole device image every round. A RangeSet per
+// core records which words of the master image the core has NOT yet seen
+// (host writes and other cores' merged output shards); staging a round
+// copies exactly those ranges. model_pipeline() then prices the rounds two
+// ways: the serial PR-1 shape (stage, execute, merge back to back) and the
+// double-buffered shape, where each core's DMA engine prefetches round
+// N+1's staging while round N executes and reads the write shard back
+// afterwards -- the overlap-adjusted wall clock LaunchStats reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace simt::runtime {
+
+/// Half-open word range [lo, hi).
+struct WordRange {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  std::uint32_t words() const { return hi - lo; }
+};
+
+/// Sorted, disjoint set of word ranges with gap coalescing: ranges closer
+/// than kCoalesceGap merge into one burst, since a DMA engine prefers few
+/// long transfers over many short ones (and the host-side bookkeeping stays
+/// small either way).
+class RangeSet {
+ public:
+  static constexpr std::uint32_t kCoalesceGap = 32;
+
+  void insert(std::uint32_t lo, std::uint32_t hi);
+  void clear() { ranges_.clear(); }
+  bool empty() const { return ranges_.empty(); }
+
+  /// Total words covered (after coalescing -- i.e. the staging traffic).
+  std::uint64_t words() const;
+
+  const std::vector<WordRange>& ranges() const { return ranges_; }
+
+ private:
+  std::vector<WordRange> ranges_;
+};
+
+/// Modeled per-core cost of one hardware round. Staging is split by data
+/// dependency: the early part (host writes, ranges stale since before the
+/// previous round) can be prefetched while the previous round executes;
+/// the late part re-stages words the previous round's merges produced, so
+/// it cannot start before those merges complete.
+struct RoundCost {
+  std::uint64_t stage_early_cycles = 0;  ///< prefetchable copy-in
+  std::uint64_t stage_late_cycles = 0;   ///< depends on round r-1's merges
+  std::uint64_t exec_cycles = 0;         ///< the core's kernel run
+  std::uint64_t merge_cycles = 0;        ///< write-shard read-back
+};
+
+struct PipelineModel {
+  std::uint64_t serial_cycles = 0;   ///< stage + exec + merge, back to back
+  std::uint64_t overlap_cycles = 0;  ///< double-buffered staging pipeline
+};
+
+/// Evaluate the staging pipeline over `rounds[r][c]` (round r, core c; every
+/// inner vector must have the same size). Serial charges each round its
+/// slowest stage, exec, and merge in sequence. Overlap gives each core a DMA
+/// engine and an exec engine: the DMA prefetches round r+1's early staging
+/// while round r executes, drains round r's merge, and only then moves the
+/// merge-dependent late staging -- the double-buffer schedule with its data
+/// dependencies intact. Rounds are dispatched with a join, as the multicore
+/// system runs them: a round's execution starts nowhere before the previous
+/// round's slowest core finished. The launch ends at the slowest core's
+/// final merge.
+PipelineModel model_pipeline(const std::vector<std::vector<RoundCost>>& rounds);
+
+/// Words covered by both range sets (exact on the coalesced ranges).
+std::uint64_t overlap_words(const RangeSet& a, const RangeSet& b);
+
+/// Modeled cycles to move `words` words at `words_per_cycle` (ceiling; zero
+/// words cost zero).
+std::uint64_t staging_cycles(std::uint64_t words, double words_per_cycle);
+
+}  // namespace simt::runtime

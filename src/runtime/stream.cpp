@@ -1,60 +1,110 @@
 #include "runtime/stream.hpp"
 
+#include <utility>
+
 namespace simt::runtime {
+
+Ticket Stream::submit(Scheduler::Command cmd, std::vector<Ticket> extra_deps) {
+  std::vector<Ticket> deps = std::move(extra_deps);
+  if (last_ != 0) {
+    deps.push_back(last_);
+  }
+  cmd.error_slot = error_;
+  last_ = sched_->submit(std::move(cmd), std::move(deps));
+  live_.push_back(last_);
+  return last_;
+}
 
 void Stream::enqueue_copy_in(std::uint32_t base,
                              std::vector<std::uint32_t> data) {
-  Command cmd;
-  cmd.kind = Command::Kind::CopyIn;
-  cmd.base = base;
-  cmd.payload = std::move(data);
-  queue_.push_back(std::move(cmd));
+  Scheduler::Command cmd;
+  cmd.engine = EngineKind::Copy;
+  cmd.words = data.size();
+  cmd.channel = channel_;
+  const std::uint64_t cycles = staging_cycles(
+      data.size(), dev_->descriptor().staging_words_per_cycle);
+  cmd.run = [dev = dev_, base, payload = std::move(data), cycles] {
+    dev->write_words(base, payload);
+    return cycles;
+  };
+  submit(std::move(cmd));
 }
 
 void Stream::enqueue_copy_out(std::uint32_t base, std::uint32_t* dst,
                               std::size_t count) {
-  Command cmd;
-  cmd.kind = Command::Kind::CopyOut;
-  cmd.base = base;
-  cmd.dst = dst;
-  cmd.count = count;
-  queue_.push_back(std::move(cmd));
+  Scheduler::Command cmd;
+  cmd.engine = EngineKind::Copy;
+  cmd.words = count;
+  cmd.channel = channel_;
+  const std::uint64_t cycles = staging_cycles(
+      count, dev_->descriptor().staging_words_per_cycle);
+  cmd.run = [dev = dev_, base, dst, count, cycles] {
+    dev->read_words(base, {dst, count});
+    return cycles;
+  };
+  submit(std::move(cmd));
 }
 
 Event Stream::launch(const Kernel& kernel, unsigned threads) {
   if (!kernel.valid()) {
     throw Error("launch of an invalid kernel handle");
   }
-  Command cmd;
-  cmd.kind = Command::Kind::Launch;
-  cmd.kernel = kernel;
-  cmd.threads = threads;
-  cmd.event = std::make_shared<Event::State>();
+  if (threads == 0) {
+    throw Error("launch needs at least one thread");
+  }
+  auto state = std::make_shared<EventState>();
+  Scheduler::Command cmd;
+  cmd.engine = EngineKind::Exec;
+  cmd.event = state;
+  cmd.run = [dev = dev_, kernel, threads, state] {
+    state->stats = dev->launch_sync(kernel, threads);
+    // The launch occupies the compute array for its overlap-adjusted span
+    // (exec critical path plus unhidden in-launch staging).
+    return state->stats.overlap_cycles;
+  };
+  submit(std::move(cmd));
   Event event;
-  event.state_ = cmd.event;
-  queue_.push_back(std::move(cmd));
+  event.state_ = std::move(state);
   return event;
 }
 
+Event Stream::record() {
+  auto state = std::make_shared<EventState>();
+  Scheduler::Command cmd;
+  cmd.engine = EngineKind::None;
+  cmd.event = state;
+  submit(std::move(cmd));
+  Event event;
+  event.state_ = std::move(state);
+  return event;
+}
+
+Stream& Stream::wait(const Event& event) {
+  if (!event.state_ || event.state_->scheduler != sched_) {
+    throw Error("wait on an event from no stream or another device");
+  }
+  // A no-op marker command carrying the cross-stream dependency: later
+  // commands on this stream chain behind it.
+  Scheduler::Command cmd;
+  cmd.engine = EngineKind::None;
+  submit(std::move(cmd), {event.state_->ticket});
+  return *this;
+}
+
+std::size_t Stream::pending() const {
+  while (!live_.empty() && sched_->done(live_.front())) {
+    live_.pop_front();
+  }
+  return live_.size();
+}
+
 void Stream::synchronize() {
-  // Take the queue first so a throwing command does not replay on the next
-  // synchronize.
-  std::vector<Command> commands;
-  commands.swap(queue_);
-  for (auto& cmd : commands) {
-    switch (cmd.kind) {
-      case Command::Kind::CopyIn:
-        dev_->write_words(cmd.base, cmd.payload);
-        break;
-      case Command::Kind::CopyOut:
-        dev_->read_words(cmd.base, {cmd.dst, cmd.count});
-        break;
-      case Command::Kind::Launch: {
-        cmd.event->stats = dev_->launch_sync(cmd.kernel, cmd.threads);
-        cmd.event->complete = true;
-        break;
-      }
-    }
+  sched_->wait(last_);
+  live_.clear();  // everything up to last_ has retired
+  if (*error_) {
+    auto err = *error_;
+    *error_ = nullptr;  // sticky error consumed; the stream stays usable
+    std::rethrow_exception(err);
   }
 }
 

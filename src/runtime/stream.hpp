@@ -1,14 +1,21 @@
-// Stream: an in-order command queue over a Device, with Events that carry
-// per-launch PerfCounters and wall-clock at the device's realized Fmax.
+// Stream: an in-order command queue over a Device, executed asynchronously
+// by the device's Scheduler.
 //
-// Commands (copy-in, launch, copy-out) are enqueued and executed in FIFO
-// order by synchronize() -- the cudaMemcpyAsync / kernel<<<>>> /
-// cudaStreamSynchronize shape, sized for a simulator: "async" means
-// deferred-until-synchronize, which is what lets a future scheduler overlap
-// staging and launches across cores without changing client code.
+// Commands (copy-in, launch, copy-out) start executing in the background as
+// soon as they are enqueued -- the cudaMemcpyAsync / kernel<<<>>> /
+// cudaStreamSynchronize shape -- and synchronize() is a join, not the
+// executor. A device can have any number of streams (Device::stream() is
+// the default, Device::create_stream() adds more); each stream is in-order
+// with itself, and streams are unordered against each other except through
+// wait(event), which makes this stream's later commands depend on another
+// stream's launch. Copies are priced on the staging DMA engine and launches
+// on the compute array in the scheduler's modeled timeline, so overlapping
+// streams report the double-buffered staging gain (Scheduler::timeline()).
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <memory>
 #include <span>
 #include <vector>
@@ -16,39 +23,22 @@
 #include "common/error.hpp"
 #include "runtime/buffer.hpp"
 #include "runtime/device.hpp"
+#include "runtime/event.hpp"
 #include "runtime/module.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/staging.hpp"
 
 namespace simt::runtime {
 
-/// Completion handle for an enqueued launch. Stats become available once
-/// the owning stream has synchronized past the launch.
-class Event {
- public:
-  Event() = default;
-
-  bool complete() const { return state_ && state_->complete; }
-
-  /// Rolled-up counters for the launch; throws if still pending.
-  const LaunchStats& stats() const {
-    if (!complete()) {
-      throw Error("event is not complete; synchronize the stream first");
-    }
-    return state_->stats;
-  }
-  double wall_us() const { return stats().wall_us; }
-
- private:
-  friend class Stream;
-  struct State {
-    bool complete = false;
-    LaunchStats stats{};
-  };
-  std::shared_ptr<State> state_;
-};
-
 class Stream {
  public:
-  explicit Stream(Device& dev) : dev_(&dev) {}
+  /// `channel` is the modeled staging channel this stream's copies occupy
+  /// (Device hands each stream its own; see Scheduler::Command::channel).
+  explicit Stream(Device& dev, unsigned channel = 0)
+      : dev_(&dev), sched_(&dev.scheduler()), channel_(channel) {}
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
 
   /// Enqueue host -> device copy. The host data is snapshotted now, so the
   /// source may be freed immediately.
@@ -63,8 +53,8 @@ class Stream {
     return *this;
   }
 
-  /// Enqueue device -> host copy into caller storage, filled at
-  /// synchronize(); `out` must stay alive until then.
+  /// Enqueue device -> host copy into caller storage, filled by the time
+  /// synchronize() returns; `out` must stay alive until then.
   template <typename T>
   Stream& copy_out(const Buffer<T>& src, std::span<T> out) {
     if (out.size() > src.size()) {
@@ -76,34 +66,47 @@ class Stream {
     return *this;
   }
 
-  /// Enqueue a grid launch; the returned Event resolves at synchronize().
+  /// Enqueue a grid launch; the returned Event resolves once the scheduler
+  /// has executed it (invalid kernels and zero-thread grids throw now).
   Event launch(const Kernel& kernel, unsigned threads);
 
-  std::size_t pending() const { return queue_.size(); }
+  /// Record a marker event that resolves once every command enqueued on
+  /// this stream so far has executed (cudaEventRecord). Marker events
+  /// carry no launch stats -- use them for ordering and completion polls.
+  Event record();
 
-  /// Execute every queued command in order.
+  /// Order this stream's subsequent commands after another stream's launch
+  /// (cross-stream dependency; a same-stream event is a no-op beyond the
+  /// ordering the stream already has).
+  Stream& wait(const Event& event);
+
+  /// Commands enqueued on this stream the scheduler has not executed yet.
+  std::size_t pending() const;
+
+  /// Join: block until every command enqueued on this stream has executed.
+  /// Rethrows (and clears) the first error one of THIS stream's commands
+  /// raised -- the CUDA-style sticky stream error; other streams' faults
+  /// surface on their own synchronize().
   void synchronize();
 
   Device& device() { return *dev_; }
 
  private:
-  struct Command {
-    enum class Kind { CopyIn, Launch, CopyOut } kind;
-    std::uint32_t base = 0;
-    std::vector<std::uint32_t> payload;      // CopyIn
-    std::uint32_t* dst = nullptr;            // CopyOut
-    std::size_t count = 0;                   // CopyOut
-    Kernel kernel{};                         // Launch
-    unsigned threads = 0;                    // Launch
-    std::shared_ptr<Event::State> event;     // Launch
-  };
-
   void enqueue_copy_in(std::uint32_t base, std::vector<std::uint32_t> data);
   void enqueue_copy_out(std::uint32_t base, std::uint32_t* dst,
                         std::size_t count);
+  /// Submit with this stream's ordering dependency and track the ticket.
+  Ticket submit(Scheduler::Command cmd, std::vector<Ticket> extra_deps = {});
 
   Device* dev_;
-  std::vector<Command> queue_;
+  Scheduler* sched_;
+  unsigned channel_;
+  Ticket last_ = 0;                   ///< most recent command on this stream
+  mutable std::deque<Ticket> live_;   ///< unretired tickets, for pending()
+  /// First fault among this stream's commands (shared with the scheduler,
+  /// which fills it from the executor thread); consumed by synchronize().
+  std::shared_ptr<std::exception_ptr> error_ =
+      std::make_shared<std::exception_ptr>();
 };
 
 }  // namespace simt::runtime

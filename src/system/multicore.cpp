@@ -1,14 +1,15 @@
 #include "system/multicore.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <set>
-#include <thread>
 
 #include "common/error.hpp"
 
 namespace simt::system {
 
-MultiCoreSystem::MultiCoreSystem(SystemConfig cfg) : cfg_(std::move(cfg)) {
+MultiCoreSystem::MultiCoreSystem(SystemConfig cfg)
+    : cfg_(std::move(cfg)), pool_(cfg_.num_cores) {
   if (cfg_.num_cores == 0) {
     throw Error("system needs at least one core");
   }
@@ -48,18 +49,28 @@ SystemRunResult MultiCoreSystem::run(const std::vector<Dispatch>& dispatches) {
 
   SystemRunResult res;
   res.per_core.resize(dispatches.size());
-  // The cores are independent hardware; simulate them concurrently.
-  std::vector<std::thread> workers;
-  workers.reserve(dispatches.size());
+  // The cores are independent hardware; simulate them concurrently on the
+  // persistent per-core dispatch workers. A faulting core (e.g. an
+  // out-of-bounds store) must not tear down the process from a worker
+  // thread, so exceptions are captured and the first one rethrown on the
+  // caller after every core has settled.
+  std::vector<std::exception_ptr> errors(dispatches.size());
   for (std::size_t i = 0; i < dispatches.size(); ++i) {
-    workers.emplace_back([&, i] {
-      auto& gpu = cores_[dispatches[i].core];
-      gpu.set_thread_count(dispatches[i].threads);
-      res.per_core[i] = gpu.run(dispatches[i].entry);
+    pool_.post(dispatches[i].core, [this, &res, &errors, &dispatches, i] {
+      try {
+        auto& gpu = cores_[dispatches[i].core];
+        gpu.set_thread_count(dispatches[i].threads);
+        res.per_core[i] = gpu.run(dispatches[i].entry);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
     });
   }
-  for (auto& w : workers) {
-    w.join();
+  pool_.drain();
+  for (const auto& e : errors) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
   }
 
   for (const auto& r : res.per_core) {

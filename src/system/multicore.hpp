@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "asm/assembler.hpp"
+#include "common/worker_pool.hpp"
 #include "core/gpgpu.hpp"
 
 namespace simt::system {
@@ -77,8 +78,10 @@ class MultiCoreSystem {
   void load_program_all(const core::Program& program);
 
   /// Launch the given dispatches concurrently (each core at most once) and
-  /// account wall-clock at the realized system clock. Throws simt::Error on
-  /// duplicate core ids.
+  /// account wall-clock at the realized system clock. Each core has a
+  /// persistent dispatch worker, so a round costs a queue push per core
+  /// rather than a thread spawn. Throws simt::Error on duplicate core ids;
+  /// a core that faults mid-kernel rethrows here after every core settled.
   SystemRunResult run(const std::vector<Dispatch>& dispatches);
 
   /// Partition [0, total) into per-core contiguous slices (last core takes
@@ -89,6 +92,7 @@ class MultiCoreSystem {
  private:
   SystemConfig cfg_;
   std::vector<core::Gpgpu> cores_;
+  common::WorkerPool pool_;  ///< one persistent dispatch worker per core
 };
 
 }  // namespace simt::system

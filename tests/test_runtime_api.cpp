@@ -13,6 +13,7 @@
 #include "runtime/device.hpp"
 #include "runtime/module.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/scheduler.hpp"
 #include "runtime/stream.hpp"
 
 namespace simt::runtime {
@@ -123,6 +124,9 @@ TEST(StreamQueue, CommandsRunInOrderAtSynchronize) {
   std::iota(host.begin(), host.end(), 0u);
   std::vector<std::uint32_t> result(64, 0xdeadbeef);
 
+  // Hold the scheduler so the queued-but-unexecuted state is observable
+  // deterministically (commands normally start in the background at once).
+  dev.scheduler().pause();
   auto& stream = dev.stream();
   stream.copy_in(in, std::span<const std::uint32_t>(host));
   Event event = stream.launch(mod.kernel(), 64);
@@ -135,6 +139,7 @@ TEST(StreamQueue, CommandsRunInOrderAtSynchronize) {
   EXPECT_THROW(event.stats(), Error);
   EXPECT_EQ(result[0], 0xdeadbeefu);
 
+  dev.scheduler().resume();
   stream.synchronize();
   EXPECT_EQ(stream.pending(), 0u);
   ASSERT_TRUE(event.complete());

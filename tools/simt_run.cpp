@@ -5,10 +5,14 @@
 // usage: simt-run <kernel.s> [--backend {core,multicore,scalar}]
 //                 [--cores N] [--threads N] [--fmax MHZ]
 //                 [--mem file.txt] [--dump base count]
+//                 [--batch M] [--streams N]
 //
 // Prints the per-launch performance counters (rolled up across hardware
 // rounds and cores) and (with --dump) a window of device memory after the
-// run.
+// run. --batch repeats the launch M times through the asynchronous
+// scheduler, --streams spreads the repeats round-robin over N independent
+// streams; both print the scheduler's modeled timeline (serial vs
+// overlapped) and, on the multicore backend, per-core occupancy.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +22,7 @@
 
 #include "common/error.hpp"
 #include "runtime/device.hpp"
+#include "runtime/scheduler.hpp"
 #include "runtime/stream.hpp"
 
 int main(int argc, char** argv) {
@@ -31,6 +36,8 @@ int main(int argc, char** argv) {
   }
   unsigned threads = 512;
   unsigned cores = 1;
+  unsigned batch = 1;
+  unsigned streams = 1;
   double fmax = 0.0;
   std::string backend = "core";
   std::string mem_file;
@@ -42,6 +49,10 @@ int main(int argc, char** argv) {
       backend = argv[++i];
     } else if (!std::strcmp(argv[i], "--cores") && i + 1 < argc) {
       cores = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--batch") && i + 1 < argc) {
+      batch = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--streams") && i + 1 < argc) {
+      streams = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (!std::strcmp(argv[i], "--fmax") && i + 1 < argc) {
       fmax = std::stod(argv[++i]);
     } else if (!std::strcmp(argv[i], "--mem") && i + 1 < argc) {
@@ -53,6 +64,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "simt-run: unknown argument %s\n", argv[i]);
       return 2;
     }
+  }
+  if (batch == 0 || streams == 0) {
+    std::fprintf(stderr, "simt-run: --batch and --streams need at least 1\n");
+    return 2;
   }
 
   try {
@@ -101,13 +116,49 @@ int main(int argc, char** argv) {
       dev.write_words(0, image);
     }
 
-    const auto stats = dev.launch_sync(module.kernel(), threads);
+    simt::runtime::LaunchStats stats;
+    if (batch == 1 && streams == 1) {
+      stats = dev.launch_sync(module.kernel(), threads);
+    } else {
+      // Repeat the launch through the asynchronous scheduler, round-robin
+      // over the requested streams, and report the modeled timeline.
+      std::vector<simt::runtime::Stream*> ring;
+      ring.push_back(&dev.stream());
+      for (unsigned s = 1; s < streams; ++s) {
+        ring.push_back(&dev.create_stream());
+      }
+      std::vector<simt::runtime::Event> events;
+      for (unsigned b = 0; b < batch; ++b) {
+        events.push_back(ring[b % streams]->launch(module.kernel(), threads));
+      }
+      for (auto* s : ring) {
+        s->synchronize();
+      }
+      stats = events.back().stats();
+      const auto t = dev.scheduler().timeline();
+      std::printf("batch=%u  streams=%u  modeled serial=%.3f us  "
+                  "overlapped=%.3f us  speedup=%.2fx\n",
+                  batch, streams, t.serial_us, t.overlap_us,
+                  t.overlap_speedup());
+    }
     std::printf("backend=%s  threads=%u  rounds=%u\n",
                 std::string(dev.backend_name()).c_str(), threads,
                 stats.rounds);
     std::printf("%s\n", stats.perf.summary().c_str());
     std::printf("exited=%s  (%.3f us at %.0f MHz)\n",
                 stats.exited ? "yes" : "no", stats.wall_us, dev.fmax_mhz());
+    if (stats.per_core.size() > 1) {
+      for (const auto& c : stats.per_core) {
+        std::printf("core %u: exec=%llu cycles  staged=%llu  merged=%llu  "
+                    "occupancy=%.2f\n",
+                    c.core, static_cast<unsigned long long>(c.exec_cycles),
+                    static_cast<unsigned long long>(c.staged_words),
+                    static_cast<unsigned long long>(c.merged_words),
+                    c.occupancy);
+      }
+      std::printf("staging model: serial=%.3f us  overlapped=%.3f us\n",
+                  stats.serial_wall_us, stats.overlap_wall_us);
+    }
     if (dump_count) {
       std::vector<std::uint32_t> window(dump_count);
       dev.read_words(dump_base, window);
