@@ -58,19 +58,29 @@ int main() {
     x[i] = to_fixed(0.4 * std::sin(0.05 * i) + 0.3 * std::sin(1.9 * i), kQ);
   }
 
-  // Kernel: fully unrolled 16-tap MAC per thread, against buffer bases.
+  // Kernel: fully unrolled 16-tap MAC per thread. The signal, coefficient,
+  // and output buffers are parameters ($x/$coef/$y) with declared
+  // footprints; `$x + k` shows a parameter reference with a constant
+  // addend (tap k of this thread's window).
   std::string src =
+      ".kernel fir16\n"
+      ".param x buffer\n"
+      ".param coef buffer\n"
+      ".param y buffer\n"
+      ".reads x\n"
+      ".reads coef\n"
+      ".writes y\n"
       "movsr %r0, %tid\n"
-      "movi %r5, " + std::to_string(coef_buf.word_base()) + "\n"
+      "movi %r5, $coef\n"
       "movi %r6, 0\n";
   for (unsigned k = 0; k < kTaps; ++k) {
-    src += "lds %r2, [%r0 + " + std::to_string(x_buf.word_base() + k) + "]\n";
+    src += "lds %r2, [%r0 + $x + " + std::to_string(k) + "]\n";
     src += "lds %r3, [%r5 + " + std::to_string(k) + "]\n";
     src += "mul.lo %r4, %r2, %r3\n";
     src += "add %r6, %r6, %r4\n";
   }
   src += "sari %r6, %r6, " + std::to_string(kQ) + "\n";
-  src += "sts [%r0 + " + std::to_string(y_buf.word_base()) + "], %r6\n";
+  src += "sts [%r0 + $y], %r6\n";
   src += "exit\n";
   auto& module = dev.load_module(src);
 
@@ -78,7 +88,9 @@ int main() {
   auto& stream = dev.stream();
   stream.copy_in(x_buf, std::span<const std::int32_t>(x));
   stream.copy_in(coef_buf, std::span<const std::int32_t>(coef));
-  auto event = stream.launch(module.kernel(), kN);
+  auto event = stream.launch(
+      module.kernel("fir16"), kN,
+      runtime::KernelArgs().arg(x_buf).arg(coef_buf).arg(y_buf));
   stream.copy_out(y_buf, std::span<std::int32_t>(y));
   stream.synchronize();
 

@@ -68,18 +68,30 @@ int main() {
   // wrap for any reachable |z|, so an escaped thread stays escaped. The
   // masked z-updates use the full Q26 composition, which is exact for
   // threads that are still bounded (|z|^2 <= 4 < 32).
-  const std::string four_q20 = std::to_string(std::int64_t{4} << (2 * kQ - 32));
+  //
+  // The pixel-plane buffers are buffer parameters; the escape bound and
+  // iteration cap are SCALAR parameters -- the same assembled module can
+  // re-render at another depth by rebinding $maxiter, no re-assembly.
   const std::string hi_shift = std::to_string(32 - kQ);
   const std::string lo_shift = std::to_string(kQ);
   std::string src =
+      ".kernel mandel\n"
+      ".param cre buffer\n"
+      ".param cim buffer\n"
+      ".param iters buffer\n"
+      ".param four scalar\n"
+      ".param maxiter scalar\n"
+      ".reads cre\n"
+      ".reads cim\n"
+      ".writes iters\n"
       "movsr %r0, %tid\n"
-      "lds %r3, [%r0 + " + std::to_string(cre_buf.word_base()) + "]\n"
-      "lds %r4, [%r0 + " + std::to_string(cim_buf.word_base()) + "]\n"
+      "lds %r3, [%r0 + $cre]\n"
+      "lds %r4, [%r0 + $cim]\n"
       "movi %r1, 0\n"                                 // zr
       "movi %r2, 0\n"                                 // zi
       "movi %r5, 0\n"                                 // iteration count
-      "movi %r10, " + four_q20 + "\n"
-      "movi %r12, " + std::to_string(kMaxIter) + "\n"
+      "movi %r10, $four\n"
+      "movi %r12, $maxiter\n"
       "iterate:\n"
       "mul.hi %r6, %r1, %r1\n"                        // hi(zr^2), Q20
       "mul.hi %r7, %r2, %r2\n"                        // hi(zi^2), Q20
@@ -107,7 +119,7 @@ int main() {
       "sub %r6, %r6, %r7\n"
       "@p0 add %r1, %r6, %r3\n"                       // zr'
       "brp %p0, iterate\n"                            // loop while ANY active
-      "sts [%r0 + " + std::to_string(iter_buf.word_base()) + "], %r5\n"
+      "sts [%r0 + $iters], %r5\n"
       "exit\n";
   auto& module = dev.load_module(src);
 
@@ -126,7 +138,15 @@ int main() {
   auto& stream = dev.stream();
   stream.copy_in(cre_buf, std::span<const std::int32_t>(cre));
   stream.copy_in(cim_buf, std::span<const std::int32_t>(cim));
-  auto event = stream.launch(module.kernel(), kPixels);
+  const auto four_q20 =
+      static_cast<std::uint32_t>(std::int64_t{4} << (2 * kQ - 32));
+  auto event = stream.launch(module.kernel("mandel"), kPixels,
+                             runtime::KernelArgs()
+                                 .arg(cre_buf)
+                                 .arg(cim_buf)
+                                 .arg(iter_buf)
+                                 .scalar(four_q20)
+                                 .scalar(kMaxIter));
   stream.copy_out(iter_buf, std::span<std::uint32_t>(iters));
   stream.synchronize();
 

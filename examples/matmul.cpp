@@ -38,7 +38,15 @@ int main() {
   // Kernel. MULHI gives (a*b) >> 32; for Q24 x Q24 -> Q24 we need
   // (a*b) >> 24, i.e. mulhi << 8 | mullo >> 24 -- both halves are written
   // back, shifted, and OR-ed, exercising the full multiplier datapath.
+  // The matrices are kernel parameters ($a/$b/$c), bound at launch.
   const std::string src =
+      ".kernel matmul_q24\n"
+      ".param a buffer\n"
+      ".param b buffer\n"
+      ".param c buffer\n"
+      ".reads a\n"
+      ".reads b\n"
+      ".writes c\n"
       "movsr %r0, %tid\n"
       "movi  %r1, 31\n"
       "and   %r2, %r0, %r1\n"   // j = tid % 32
@@ -47,8 +55,8 @@ int main() {
       "mov   %r5, %r2\n"        // b index = j (+32k)
       "movi  %r6, 0\n"          // acc
       "loopi 32, kend\n"
-      "lds   %r7, [%r4 + " + std::to_string(a_buf.word_base()) + "]\n"
-      "lds   %r8, [%r5 + " + std::to_string(b_buf.word_base()) + "]\n"
+      "lds   %r7, [%r4 + $a]\n"
+      "lds   %r8, [%r5 + $b]\n"
       "mul.hi %r9, %r7, %r8\n"  // high 32 bits of the 64-bit product
       "shli  %r9, %r9, 8\n"     // align Q48 -> Q24 (upper part)
       "mul.lo %r10, %r7, %r8\n"
@@ -58,7 +66,7 @@ int main() {
       "addi  %r4, %r4, 1\n"
       "addi  %r5, %r5, 32\n"
       "kend:\n"
-      "sts   [%r0 + " + std::to_string(c_buf.word_base()) + "], %r6\n"
+      "sts   [%r0 + $c], %r6\n"
       "exit\n";
   auto& module = dev.load_module(src);
 
@@ -73,7 +81,9 @@ int main() {
   auto& stream = dev.stream();
   stream.copy_in(a_buf, std::span<const std::int32_t>(a));
   stream.copy_in(b_buf, std::span<const std::int32_t>(b));
-  auto event = stream.launch(module.kernel(), kDim * kDim);
+  auto event = stream.launch(
+      module.kernel("matmul_q24"), kDim * kDim,
+      runtime::KernelArgs().arg(a_buf).arg(b_buf).arg(c_buf));
   stream.copy_out(c_buf, std::span<std::int32_t>(c));
   stream.synchronize();
 

@@ -31,25 +31,37 @@ int main() {
   runtime::Device dev(runtime::DeviceDescriptor::simt_core(cfg));
 
   // 2. Allocate device buffers. The allocator hands out word addresses, so
-  //    nothing is hard-coded: the kernel is generated against buffer bases.
+  //    nothing is hard-coded: buffers are bound to the kernel's parameters
+  //    at launch time.
   constexpr unsigned kN = 512;
   auto a = dev.alloc<std::uint32_t>(kN);
   auto b = dev.alloc<std::uint32_t>(kN);
   auto c = dev.alloc<std::uint32_t>(kN);
 
   // 3. Load a module. Every thread adds one element pair:
-  //    c[tid] = a[tid] + b[tid]. Modules are cached by source hash, so
-  //    loading the same source twice assembles once.
+  //    c[tid] = a[tid] + b[tid]. The `.kernel` / `.param` directives
+  //    declare the argument list, and `$a` / `$b` / `$c` reference the
+  //    parameters symbolically -- no addresses in the source, so the
+  //    module assembles exactly once no matter which buffers it later
+  //    runs over (the cache keys on the source hash).
   auto& module = dev.load_module(
+      ".kernel vecadd\n"
+      ".param a buffer\n"
+      ".param b buffer\n"
+      ".param c buffer\n"
+      ".reads a\n"
+      ".reads b\n"
+      ".writes c\n"
       "movsr %r0, %tid\n"
-      "lds   %r1, [%r0 + " + std::to_string(a.word_base()) + "]\n"
-      "lds   %r2, [%r0 + " + std::to_string(b.word_base()) + "]\n"
+      "lds   %r1, [%r0 + $a]\n"
+      "lds   %r2, [%r0 + $b]\n"
       "add   %r3, %r1, %r2\n"
-      "sts   [%r0 + " + std::to_string(c.word_base()) + "], %r3\n"
+      "sts   [%r0 + $c], %r3\n"
       "exit\n");
 
   // 4. Stage inputs, launch all 512 threads (32 lockstep rows over the 16
-  //    SPs), and read back -- all through the in-order stream.
+  //    SPs) with the buffers bound as arguments, and read back -- all
+  //    through the in-order stream.
   std::vector<std::uint32_t> host_a(kN), host_b(kN), host_c(kN);
   std::iota(host_a.begin(), host_a.end(), 0u);
   for (unsigned i = 0; i < kN; ++i) {
@@ -59,7 +71,8 @@ int main() {
   auto& stream = dev.stream();
   stream.copy_in(a, std::span<const std::uint32_t>(host_a));
   stream.copy_in(b, std::span<const std::uint32_t>(host_b));
-  auto event = stream.launch(module.kernel(), kN);
+  auto event = stream.launch(module.kernel("vecadd"), kN,
+                             runtime::KernelArgs().arg(a).arg(b).arg(c));
   stream.copy_out(c, std::span<std::uint32_t>(host_c));
   stream.synchronize();
 

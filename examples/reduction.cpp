@@ -27,21 +27,29 @@ int main() {
   auto sums = dev.alloc<std::uint32_t>(kN);
   auto maxima = dev.alloc<std::uint32_t>(kN);
 
-  std::string src = "movsr %r0, %tid\n";
-  const auto s = std::to_string(sums.word_base());
-  const auto m = std::to_string(maxima.word_base());
+  // In-place tree reduction over two parameter buffers: every unrolled
+  // halving step addresses `$sums + stride` / `$maxima + stride` -- the
+  // strides are compile-time constants, the bases bind at launch, and the
+  // buffers are both read and written (declared in both footprints).
+  std::string src =
+      ".kernel reduce2\n"
+      ".param sums buffer\n"
+      ".param maxima buffer\n"
+      ".reads sums\n"
+      ".reads maxima\n"
+      ".writes sums\n"
+      ".writes maxima\n"
+      "movsr %r0, %tid\n";
   for (unsigned stride = kN / 2; stride >= 1; stride /= 2) {
     src += "setti " + std::to_string(stride) + "\n";
-    src += "lds %r1, [%r0 + " + s + "]\n";
-    src += "lds %r2, [%r0 + " + std::to_string(sums.word_base() + stride) +
-           "]\n";
+    src += "lds %r1, [%r0 + $sums]\n";
+    src += "lds %r2, [%r0 + $sums + " + std::to_string(stride) + "]\n";
     src += "add %r3, %r1, %r2\n";
-    src += "sts [%r0 + " + s + "], %r3\n";
-    src += "lds %r4, [%r0 + " + m + "]\n";
-    src += "lds %r5, [%r0 + " +
-           std::to_string(maxima.word_base() + stride) + "]\n";
+    src += "sts [%r0 + $sums], %r3\n";
+    src += "lds %r4, [%r0 + $maxima]\n";
+    src += "lds %r5, [%r0 + $maxima + " + std::to_string(stride) + "]\n";
     src += "max %r6, %r4, %r5\n";
-    src += "sts [%r0 + " + m + "], %r6\n";
+    src += "sts [%r0 + $maxima], %r6\n";
   }
   src += "exit\n";
   auto& module = dev.load_module(src);
@@ -60,7 +68,8 @@ int main() {
   auto& stream = dev.stream();
   stream.copy_in(sums, std::span<const std::uint32_t>(values));
   stream.copy_in(maxima, std::span<const std::uint32_t>(values));
-  auto event = stream.launch(module.kernel(), kN);
+  auto event = stream.launch(module.kernel("reduce2"), kN,
+                             runtime::KernelArgs().arg(sums).arg(maxima));
   stream.synchronize();
 
   const auto sum = sums.at(0);

@@ -19,11 +19,12 @@ using isa::Instr;
 using isa::Opcode;
 
 struct Token {
-  enum class Kind { Ident, Reg, Pred, Special, Number, Punct, End };
+  enum class Kind { Ident, Reg, Pred, Special, Number, Param, Punct, End };
   Kind kind;
   std::string text;
   std::int64_t number = 0;
-  bool negated = false;  ///< a '-' sign preceded an identifier operand
+  bool negated = false;   ///< a '-' sign preceded an identifier operand
+  bool has_sign = false;  ///< an explicit '+'/'-' preceded the token
 };
 
 [[noreturn]] void fail(int line, const std::string& msg) {
@@ -51,6 +52,24 @@ class Lexer {
   Lexer(std::string_view text, int line) : text_(text), line_(line) {}
 
   Token next() {
+    if (peeked_) {
+      peeked_ = false;
+      return lookahead_;
+    }
+    return lex();
+  }
+
+  /// One-token lookahead (does not consume).
+  const Token& peek() {
+    if (!peeked_) {
+      lookahead_ = lex();
+      peeked_ = true;
+    }
+    return lookahead_;
+  }
+
+ private:
+  Token lex() {
     skip_ws();
     if (pos_ >= text_.size()) {
       return {Token::Kind::End, ""};
@@ -58,6 +77,9 @@ class Lexer {
     const char c = text_[pos_];
     if (c == '%') {
       return lex_register();
+    }
+    if (c == '$') {
+      return lex_param();
     }
     if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
       return lex_number();
@@ -73,7 +95,6 @@ class Lexer {
     fail(line_, std::string("unexpected character '") + c + "'");
   }
 
- private:
   void skip_ws() {
     while (pos_ < text_.size() &&
            (text_[pos_] == ' ' || text_[pos_] == '\t')) {
@@ -117,19 +138,45 @@ class Lexer {
     fail(line_, "unknown register token: " + t);
   }
 
+  Token lex_param() {
+    ++pos_;  // '$'
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail(line_, "'$' must be followed by a parameter name");
+    }
+    return {Token::Kind::Param, std::string(text_.substr(start, pos_ - start))};
+  }
+
   Token lex_number() {
     bool negative = false;
+    bool saw_sign = false;
     if (text_[pos_] == '-' || text_[pos_] == '+') {
       negative = text_[pos_] == '-';
+      saw_sign = true;
       ++pos_;
       skip_ws();  // allow "[%r1 + 4]" spacing
     }
-    // A signed symbolic constant, e.g. "[%r1 + BASE]".
+    // A signed symbolic constant, e.g. "[%r1 + BASE]" or "[%r1 + $a]".
+    if (pos_ < text_.size() && text_[pos_] == '$') {
+      if (negative) {
+        fail(line_, "'-$param' is not supported (parameters bind positive "
+                    "word addresses)");
+      }
+      Token t = lex_param();
+      t.has_sign = saw_sign;
+      return t;
+    }
     if (pos_ < text_.size() &&
         (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
          text_[pos_] == '_')) {
       Token t = lex_ident();
       t.negated = negative;
+      t.has_sign = saw_sign;
       return t;
     }
     std::size_t start = pos_;
@@ -153,7 +200,7 @@ class Lexer {
       if (negative) {
         v = -v;
       }
-      return {Token::Kind::Number, t, v};
+      return {Token::Kind::Number, t, v, false, saw_sign};
     } catch (const Error&) {
       throw;
     } catch (const std::exception&) {
@@ -175,6 +222,8 @@ class Lexer {
   std::string_view text_;
   std::size_t pos_ = 0;
   int line_;
+  Token lookahead_{Token::Kind::End, ""};
+  bool peeked_ = false;
 };
 
 /// A parsed source line that emits one instruction.
@@ -183,6 +232,8 @@ struct PendingInstr {
   Instr instr;
   std::string target_label;  ///< branch/loop target to resolve in pass 2
   bool needs_label = false;
+  int param = -1;   ///< `$param` index referenced by the immediate, if any
+  int kernel = -1;  ///< enclosing .kernel region at parse time
 };
 
 class AsmContext {
@@ -223,6 +274,7 @@ class AsmContext {
     }
     core::Program prog(std::move(instrs));
     prog.set_labels(labels_);
+    prog.set_kernels(std::move(kernels_));
     return prog;
   }
 
@@ -237,6 +289,41 @@ class AsmContext {
       fail(line, "duplicate label: " + name);
     }
     labels_[name] = static_cast<std::uint32_t>(pending_.size());
+  }
+
+  core::KernelInfo& current_kernel(int line, const char* directive) {
+    if (kernels_.empty()) {
+      fail(line, std::string(directive) + " before any .kernel directive");
+    }
+    return kernels_.back();
+  }
+
+  /// Footprint operand: "name" (whole buffer) or "name+extent".
+  core::Footprint parse_footprint(int line, Lexer& lex, const char* what) {
+    const Token name = lex.next();
+    if (name.kind != Token::Kind::Ident) {
+      fail(line, std::string(what) + " needs a parameter name");
+    }
+    auto& k = current_kernel(line, what);
+    const int idx = k.param_index(name.text);
+    if (idx < 0) {
+      fail(line, std::string(what) + " of undeclared parameter '" +
+                 name.text + "'");
+    }
+    if (k.params[idx].kind != core::KernelParam::Kind::Buffer) {
+      fail(line, std::string(what) + " footprints apply to buffer "
+                 "parameters; '" + name.text + "' is a scalar");
+    }
+    std::int64_t extent = 0;
+    if (lex.peek().kind != Token::Kind::End) {
+      extent = immediate(line, lex.next());
+      if (extent <= 0 || extent > 0xffffffffll) {
+        fail(line, std::string(what) + " extent must be a positive word "
+                   "count");
+      }
+    }
+    return {static_cast<std::uint32_t>(idx),
+            static_cast<std::uint32_t>(extent)};
   }
 
   void parse_directive(int line, const std::string& s) {
@@ -262,6 +349,61 @@ class AsmContext {
       equs_[name.text] = v;
       return;
     }
+    if (head.text == ".kernel") {
+      const Token name = lex.next();
+      if (name.kind != Token::Kind::Ident) {
+        fail(line, ".kernel needs a name");
+      }
+      for (const auto& k : kernels_) {
+        if (k.name == name.text) {
+          fail(line, "duplicate .kernel: " + name.text);
+        }
+      }
+      // The kernel name doubles as an entry label so Module::kernel(name)
+      // resolves it like any other entry point.
+      define_label(line, name.text);
+      core::KernelInfo k;
+      k.name = name.text;
+      k.entry = static_cast<std::uint32_t>(pending_.size());
+      kernels_.push_back(std::move(k));
+      expect_end(line, lex);
+      return;
+    }
+    if (head.text == ".param") {
+      const Token name = lex.next();
+      const Token kind = lex.next();
+      if (name.kind != Token::Kind::Ident || kind.kind != Token::Kind::Ident) {
+        fail(line, ".param needs a name and a kind (buffer | scalar)");
+      }
+      auto& k = current_kernel(line, ".param");
+      if (k.param_index(name.text) >= 0) {
+        fail(line, "duplicate .param: " + name.text);
+      }
+      core::KernelParam::Kind pk;
+      if (kind.text == "buffer") {
+        pk = core::KernelParam::Kind::Buffer;
+      } else if (kind.text == "scalar") {
+        pk = core::KernelParam::Kind::Scalar;
+      } else {
+        fail(line, ".param kind must be buffer or scalar, got '" +
+                   kind.text + "'");
+      }
+      k.params.push_back({name.text, pk});
+      expect_end(line, lex);
+      return;
+    }
+    if (head.text == ".reads") {
+      auto& k = current_kernel(line, ".reads");
+      k.reads.push_back(parse_footprint(line, lex, ".reads"));
+      expect_end(line, lex);
+      return;
+    }
+    if (head.text == ".writes") {
+      auto& k = current_kernel(line, ".writes");
+      k.writes.push_back(parse_footprint(line, lex, ".writes"));
+      expect_end(line, lex);
+      return;
+    }
     fail(line, "unknown directive: " + head.text);
   }
 
@@ -279,10 +421,70 @@ class AsmContext {
     fail(line, "expected an immediate, got '" + t.text + "'");
   }
 
+  /// Record a `$param` reference on the instruction being parsed. The
+  /// numeric parts of the expression stay in the immediate as the addend.
+  /// Kernels are sequential source regions, so the instruction belongs to
+  /// the most recently opened `.kernel`.
+  void note_param(int line, PendingInstr& p, const Token& t) {
+    if (kernels_.empty()) {
+      fail(line, "'$" + t.text + "' outside a .kernel region");
+    }
+    const auto& k = kernels_.back();
+    const int idx = k.param_index(t.text);
+    if (idx < 0) {
+      fail(line, "undeclared parameter '$" + t.text + "' (declare it with "
+                 ".param in kernel '" + k.name + "')");
+    }
+    if (p.param >= 0) {
+      fail(line, "an instruction can reference at most one $parameter");
+    }
+    p.param = idx;
+    p.kernel = static_cast<int>(kernels_.size()) - 1;
+  }
+
+  /// Immediate expression: numbers, .equ constants, and at most one
+  /// `$param`, summed with explicit signs ("$a + 4 - N"). Every term
+  /// after the first must carry its '+'/'-' -- bare juxtaposition
+  /// ("movi %r1, 1 2") stays the syntax error it always was. Stops before
+  /// `stop` (']' for memory operands) or the end of line.
+  std::int64_t imm_expr(int line, Lexer& lex, PendingInstr& p, char stop) {
+    std::int64_t value = 0;
+    bool any = false;
+    for (;;) {
+      const Token& look = lex.peek();
+      if (look.kind == Token::Kind::End ||
+          (look.kind == Token::Kind::Punct && look.text[0] == stop)) {
+        break;
+      }
+      const Token t = lex.next();
+      if (any && !t.has_sign) {
+        fail(line, "expected '+' or '-' before '" + t.text +
+                   "' in an immediate expression");
+      }
+      if (t.kind == Token::Kind::Param) {
+        note_param(line, p, t);
+      } else {
+        value += immediate(line, t);
+      }
+      any = true;
+    }
+    if (!any) {
+      fail(line, "expected an immediate operand");
+    }
+    return value;
+  }
+
   void expect_punct(int line, Lexer& lex, char c) {
     const Token t = lex.next();
     if (t.kind != Token::Kind::Punct || t.text[0] != c) {
       fail(line, std::string("expected '") + c + "', got '" + t.text + "'");
+    }
+  }
+
+  void expect_end(int line, Lexer& lex) {
+    const Token t = lex.next();
+    if (t.kind != Token::Kind::End) {
+      fail(line, "trailing junk: '" + t.text + "'");
     }
   }
 
@@ -379,7 +581,7 @@ class AsmContext {
         expect_punct(line, lex, ',');
         p.instr.ra = expect_reg(line, lex);
         expect_punct(line, lex, ',');
-        const std::int64_t v = immediate(line, lex.next());
+        const std::int64_t v = imm_expr(line, lex, p, '\0');
         check_imm32(line, v);
         p.instr.imm = static_cast<std::int32_t>(v);
         break;
@@ -392,7 +594,7 @@ class AsmContext {
       case Format::RI: {
         p.instr.rd = expect_reg(line, lex);
         expect_punct(line, lex, ',');
-        const std::int64_t v = immediate(line, lex.next());
+        const std::int64_t v = imm_expr(line, lex, p, '\0');
         check_imm32(line, v);
         p.instr.imm = static_cast<std::int32_t>(v);
         break;
@@ -491,9 +693,13 @@ class AsmContext {
         break;
     }
 
-    const Token tail = lex.next();
-    if (tail.kind != Token::Kind::End) {
-      fail(line, "trailing junk: '" + tail.text + "'");
+    expect_end(line, lex);
+    if (p.param >= 0) {
+      // The immediate currently holds the constant addend; the runtime
+      // loader patches `bound value + addend` in at launch.
+      kernels_[p.kernel].refs.push_back(
+          {static_cast<std::uint32_t>(pending_.size()),
+           static_cast<std::uint32_t>(p.param), p.instr.imm});
     }
     pending_.push_back(std::move(p));
   }
@@ -501,19 +707,11 @@ class AsmContext {
   void parse_mem_operand(int line, Lexer& lex, PendingInstr& p) {
     expect_punct(line, lex, '[');
     p.instr.ra = expect_reg(line, lex);
-    Token t = lex.next();
     std::int64_t offset = 0;
-    if (t.kind == Token::Kind::Number) {
-      // "[%r1 + 4]" lexes the "+ 4" as a signed number; "[%r1 - 4]" too.
-      offset = t.number;
-      t = lex.next();
-    } else if (t.kind == Token::Kind::Ident) {
-      offset = immediate(line, t);
-      t = lex.next();
+    if (!(lex.peek().kind == Token::Kind::Punct && lex.peek().text[0] == ']')) {
+      offset = imm_expr(line, lex, p, ']');
     }
-    if (t.kind != Token::Kind::Punct || t.text[0] != ']') {
-      fail(line, "expected ']' in memory operand");
-    }
+    expect_punct(line, lex, ']');
     check_imm32(line, offset);
     p.instr.imm = static_cast<std::int32_t>(offset);
   }
@@ -542,6 +740,7 @@ class AsmContext {
   std::vector<PendingInstr> pending_;
   std::map<std::string, std::uint32_t> labels_;
   std::map<std::string, std::int64_t> equs_;
+  std::vector<core::KernelInfo> kernels_;
 };
 
 }  // namespace

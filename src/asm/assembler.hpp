@@ -16,6 +16,28 @@
 //       brp  %p0, entry       ; branch if any active thread's p0 is set
 //       exit
 //
+// Kernel ABI metadata directives separate code from launch arguments:
+//
+//   .kernel vecadd            ; entry point + metadata scope (also a label)
+//   .param a buffer           ; positional parameter (buffer | scalar)
+//   .param b buffer
+//   .param c buffer
+//   .reads a                  ; declared input footprint (whole bound buffer)
+//   .reads b+16               ;   ... or the first 16 words only
+//   .writes c                 ; declared output footprint
+//       movsr %r0, %tid
+//       lds %r1, [%r0 + $a]   ; $param: immediate patched at launch time
+//       lds %r2, [%r0 + $b + 4]
+//       add %r3, %r1, %r2
+//       sts [%r0 + $c], %r3
+//       exit
+//
+// `$param` references assemble to relocation records (core::ParamRef); the
+// runtime loader patches the bound value into the immediate at launch, so
+// the module is assembled exactly once no matter how many argument sets it
+// is launched with. Sources without directives keep the legacy behavior:
+// no parameters, addresses baked into the text.
+//
 // Pass 1 resolves labels to instruction addresses; pass 2 emits decoded
 // instructions. All diagnostics carry the source line number.
 #pragma once

@@ -67,13 +67,19 @@ void ScalarSoftCpu::write_reg(unsigned reg, std::uint32_t value) {
   interp_.write_reg(0, reg, value);
 }
 
-ScalarRunStats ScalarSoftCpu::run(std::uint64_t max_instructions) {
+ScalarRunStats ScalarSoftCpu::run(std::uint32_t entry,
+                                  std::uint64_t max_instructions) {
   // Functional execution walks the same path as the reference interpreter;
   // the cycle model classifies each dynamic instruction with the classic
   // soft-RISC CPI figures. We re-execute instruction by instruction here so
   // branch taken/not-taken can be charged correctly.
+  if (entry >= program_.size()) {
+    throw Error("scalar baseline: entry point " + std::to_string(entry) +
+                " outside the " + std::to_string(program_.size()) +
+                "-instruction program");
+  }
   ScalarRunStats stats;
-  std::uint32_t pc = 0;
+  std::uint32_t pc = entry;
   std::vector<std::uint32_t> call_stack;
   struct Loop {
     std::uint32_t start, end, remaining;

@@ -57,8 +57,10 @@ class ScalarSoftCpu {
   /// before each per-thread run (%tid -> tid, %ntid -> ntid).
   void set_thread_context(std::uint32_t tid, std::uint32_t ntid);
 
-  /// Run to EXIT; returns cycle/instruction counts under the CPI model.
-  ScalarRunStats run(std::uint64_t max_instructions = 1'000'000'000);
+  /// Run from `entry` (an I-MEM address, e.g. a resolved kernel label) to
+  /// EXIT; returns cycle/instruction counts under the CPI model.
+  ScalarRunStats run(std::uint32_t entry = 0,
+                     std::uint64_t max_instructions = 1'000'000'000);
 
   const ScalarCpuConfig& config() const { return cfg_; }
 

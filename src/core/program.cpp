@@ -6,6 +6,45 @@
 
 namespace simt::core {
 
+int KernelInfo::param_index(std::string_view name) const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const KernelInfo* Program::find_kernel(std::string_view name) const {
+  for (const auto& k : kernels_) {
+    if (k.name == name) {
+      return &k;
+    }
+  }
+  return nullptr;
+}
+
+const KernelInfo* Program::kernel_at_entry(std::uint32_t entry) const {
+  for (const auto& k : kernels_) {
+    if (k.entry == entry) {
+      return &k;
+    }
+  }
+  return nullptr;
+}
+
+const KernelInfo* Program::kernel_containing(std::uint32_t pc) const {
+  // Kernels are recorded in source order, so regions have ascending
+  // entries; the owner is the last kernel starting at or before pc.
+  const KernelInfo* owner = nullptr;
+  for (const auto& k : kernels_) {
+    if (k.entry <= pc) {
+      owner = &k;
+    }
+  }
+  return owner;
+}
+
 std::vector<std::uint64_t> Program::encode() const {
   std::vector<std::uint64_t> out;
   out.reserve(instrs_.size());
@@ -43,6 +82,156 @@ std::string Program::listing() const {
     out << "  " << pc << ":\t" << isa::disassemble(instrs_[pc]) << "\n";
   }
   return out.str();
+}
+
+std::string kernel_metadata_text(const Program& program) {
+  std::ostringstream out;
+  for (const auto& k : program.kernels()) {
+    out << "# .kernel " << k.name << " @" << k.entry << "\n";
+    for (const auto& p : k.params) {
+      out << "# .param " << p.name << " "
+          << (p.kind == KernelParam::Kind::Buffer ? "buffer" : "scalar")
+          << "\n";
+    }
+    for (const auto& r : k.reads) {
+      out << "# .reads " << k.params.at(r.param).name;
+      if (r.extent != 0) {
+        out << "+" << r.extent;
+      }
+      out << "\n";
+    }
+    for (const auto& w : k.writes) {
+      out << "# .writes " << k.params.at(w.param).name;
+      if (w.extent != 0) {
+        out << "+" << w.extent;
+      }
+      out << "\n";
+    }
+    for (const auto& r : k.refs) {
+      out << "# .ref @" << r.pc << " " << k.params.at(r.param).name << "+"
+          << r.addend << "\n";
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void meta_fail(const std::string& line, const std::string& why) {
+  throw Error("bad kernel metadata line '" + line + "': " + why);
+}
+
+/// "name+extent" -> (name, extent); plain "name" -> (name, 0).
+std::pair<std::string, std::int64_t> split_extent(const std::string& token,
+                                                 const std::string& line) {
+  const auto plus = token.find('+');
+  if (plus == std::string::npos) {
+    return {token, 0};
+  }
+  try {
+    return {token.substr(0, plus), std::stoll(token.substr(plus + 1))};
+  } catch (const std::exception&) {
+    meta_fail(line, "malformed extent");
+  }
+}
+
+/// "@N" -> N, with the documented simt::Error on corrupt sidecars (a bare
+/// std::stoul would terminate tools that only catch simt::Error).
+std::uint32_t at_number(const std::string& token, const std::string& line) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long v = std::stoul(token.substr(1), &consumed);
+    if (consumed + 1 != token.size() || v > 0xfffffffful) {
+      meta_fail(line, "malformed @address");
+    }
+    return static_cast<std::uint32_t>(v);
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    meta_fail(line, "malformed @address");
+  }
+}
+
+}  // namespace
+
+std::vector<KernelInfo> parse_kernel_metadata(
+    const std::vector<std::string>& lines) {
+  std::vector<KernelInfo> kernels;
+  for (const auto& raw : lines) {
+    std::istringstream in(raw);
+    std::string word;
+    in >> word;
+    if (word == "#") {
+      in >> word;  // the directive follows the comment marker
+    } else if (!word.empty() && word[0] == '#') {
+      word = word.substr(1);
+    }
+    if (word.empty()) {
+      continue;
+    }
+    if (word == ".kernel") {
+      std::string name, at;
+      if (!(in >> name >> at) || at.size() < 2 || at[0] != '@') {
+        meta_fail(raw, ".kernel needs a name and an @entry");
+      }
+      KernelInfo k;
+      k.name = name;
+      k.entry = at_number(at, raw);
+      kernels.push_back(std::move(k));
+      continue;
+    }
+    if (kernels.empty()) {
+      meta_fail(raw, "directive before any .kernel");
+    }
+    auto& k = kernels.back();
+    if (word == ".param") {
+      std::string name, kind;
+      if (!(in >> name >> kind) || (kind != "buffer" && kind != "scalar")) {
+        meta_fail(raw, ".param needs a name and buffer|scalar");
+      }
+      k.params.push_back(
+          {name, kind == "buffer" ? KernelParam::Kind::Buffer
+                                  : KernelParam::Kind::Scalar});
+    } else if (word == ".reads" || word == ".writes") {
+      std::string token;
+      if (!(in >> token)) {
+        meta_fail(raw, word + " needs a parameter name");
+      }
+      const auto [name, extent] = split_extent(token, raw);
+      const int idx = k.param_index(name);
+      if (idx < 0) {
+        meta_fail(raw, "unknown parameter " + name);
+      }
+      // Re-establish what the assembler enforced: footprints apply to
+      // buffer parameters, and an explicit extent is a positive word
+      // count (0 is spelled by omitting the extent).
+      if (k.params[idx].kind != KernelParam::Kind::Buffer) {
+        meta_fail(raw, "footprint on scalar parameter " + name);
+      }
+      if (token.find('+') != std::string::npos &&
+          (extent <= 0 || extent > 0xffffffffll)) {
+        meta_fail(raw, "footprint extent must be a positive word count");
+      }
+      Footprint fp{static_cast<std::uint32_t>(idx),
+                   static_cast<std::uint32_t>(extent)};
+      (word == ".reads" ? k.reads : k.writes).push_back(fp);
+    } else if (word == ".ref") {
+      std::string at, token;
+      if (!(in >> at >> token) || at.size() < 2 || at[0] != '@') {
+        meta_fail(raw, ".ref needs @pc and param+addend");
+      }
+      const auto [name, addend] = split_extent(token, raw);
+      const int idx = k.param_index(name);
+      if (idx < 0) {
+        meta_fail(raw, "unknown parameter " + name);
+      }
+      k.refs.push_back({at_number(at, raw), static_cast<std::uint32_t>(idx),
+                        static_cast<std::int32_t>(addend)});
+    } else {
+      meta_fail(raw, "unknown directive " + word);
+    }
+  }
+  return kernels;
 }
 
 }  // namespace simt::core

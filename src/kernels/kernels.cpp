@@ -128,6 +128,86 @@ std::string inclusive_scan(std::uint32_t base, unsigned n) {
   return src;
 }
 
+std::string vecadd_abi() {
+  return ".kernel vecadd\n"
+         ".param a buffer\n"
+         ".param b buffer\n"
+         ".param c buffer\n"
+         ".reads a\n"
+         ".reads b\n"
+         ".writes c\n"
+         "movsr %r0, %tid\n"
+         "lds %r1, [%r0 + $a]\n"
+         "lds %r2, [%r0 + $b]\n"
+         "add %r3, %r1, %r2\n"
+         "sts [%r0 + $c], %r3\n"
+         "exit\n";
+}
+
+std::string saxpy_abi(unsigned q) {
+  SIMT_CHECK(q > 0 && q < 32);
+  return ".kernel saxpy\n"
+         ".param x buffer\n"
+         ".param y buffer\n"
+         ".param out buffer\n"
+         ".param alpha scalar\n"
+         ".reads x\n"
+         ".reads y\n"
+         ".writes out\n"
+         "movsr %r0, %tid\n"
+         "lds %r1, [%r0 + $x]\n"
+         "movi %r2, $alpha\n" +
+         qmul("%r3", "%r1", "%r2", "%r4", q) +
+         "lds %r5, [%r0 + $y]\n"
+         "add %r6, %r3, %r5\n"
+         "sts [%r0 + $out], %r6\n"
+         "exit\n";
+}
+
+std::string fir_abi(unsigned taps, unsigned q) {
+  SIMT_CHECK(taps >= 1 && q < 32);
+  std::string src =
+      ".kernel fir\n"
+      ".param x buffer\n"
+      ".param coef buffer\n"
+      ".param y buffer\n"
+      ".reads x\n"
+      ".reads coef\n"
+      ".writes y\n"
+      "movsr %r0, %tid\n"
+      "movi %r5, $coef\n"
+      "movi %r6, 0\n";
+  for (unsigned k = 0; k < taps; ++k) {
+    src += "lds %r2, [%r0 + $x + " + num(k) + "]\n";
+    src += "lds %r3, [%r5 + " + num(k) + "]\n";
+    src += "mul.lo %r4, %r2, %r3\n";
+    src += "add %r6, %r6, %r4\n";
+  }
+  if (q > 0) {
+    src += "sari %r6, %r6, " + num(q) + "\n";
+  }
+  src += "sts [%r0 + $y], %r6\n";
+  src += "exit\n";
+  return src;
+}
+
+std::string scale_abi() {
+  return ".kernel scale\n"
+         ".param in buffer\n"
+         ".param out buffer\n"
+         ".param mul scalar\n"
+         ".param add scalar\n"
+         ".reads in\n"
+         ".writes out\n"
+         "movsr %r0, %tid\n"
+         "lds %r1, [%r0 + $in]\n"
+         "movi %r2, $mul\n"
+         "mul.lo %r3, %r1, %r2\n"
+         "addi %r3, %r3, $add\n"
+         "sts [%r0 + $out], %r3\n"
+         "exit\n";
+}
+
 std::string histogram(std::uint32_t data_base, std::uint32_t hist_base,
                       std::uint32_t scratch_base, unsigned bins_log2,
                       unsigned n, unsigned threads) {

@@ -47,4 +47,29 @@ std::string histogram(std::uint32_t data_base, std::uint32_t hist_base,
                       std::uint32_t scratch_base, unsigned bins_log2,
                       unsigned n, unsigned threads);
 
+// ---- kernel-ABI generators -------------------------------------------------
+//
+// Parameterized variants: no addresses baked into the source. Each declares
+// a `.kernel` with positional `.param`s and read/write footprints; the host
+// binds a runtime::KernelArgs at launch. One assembled module serves any
+// number of buffer sets (the module cache hits on every reuse), and the
+// declared footprints let the multicore backend stage only the ranges the
+// kernel touches.
+
+/// c[i] = a[i] + b[i]. Kernel "vecadd"; params (a, b, c: buffer).
+std::string vecadd_abi();
+
+/// out[i] = (alpha * x[i]) >> q + y[i] in Qn fixed point. Kernel "saxpy";
+/// params (x, y, out: buffer; alpha: scalar Qn immediate).
+std::string saxpy_abi(unsigned q);
+
+/// FIR: y[t] = (sum_k coef[k] * x[t+k]) >> q, fully unrolled taps. Kernel
+/// "fir"; params (x, coef, y: buffer).
+std::string fir_abi(unsigned taps, unsigned q);
+
+/// out[i] = mul * in[i] + add. Kernel "scale"; params (in, out: buffer;
+/// mul, add: scalar) -- the elementwise request-serving shape BatchQueue
+/// expects.
+std::string scale_abi();
+
 }  // namespace simt::kernels

@@ -39,7 +39,8 @@ std::span<const std::uint32_t> BatchQueue::Ticket::result() const {
 }
 
 BatchQueue::BatchQueue(Stream& stream, Kernel kernel, Buffer<std::uint32_t> in,
-                       Buffer<std::uint32_t> out, unsigned request_threads)
+                       Buffer<std::uint32_t> out, unsigned request_threads,
+                       KernelArgs args)
     : stream_(&stream),
       kernel_(kernel),
       in_(in),
@@ -47,9 +48,55 @@ BatchQueue::BatchQueue(Stream& stream, Kernel kernel, Buffer<std::uint32_t> in,
       request_threads_(request_threads),
       capacity_(request_threads > 0
                     ? static_cast<unsigned>(in.size() / request_threads)
-                    : 0) {
+                    : 0),
+      args_(std::move(args)) {
   if (!kernel_.valid()) {
     throw Error("batch queue needs a valid kernel");
+  }
+  validate_kernel_args(kernel_, args_);
+  // The queue copies host requests into `in` and reads results from
+  // `out`; an argument set pointing the kernel elsewhere (or binding the
+  // pair backwards) would silently serve garbage. When the kernel
+  // declares footprints, check direction too: `in` must be bound to a
+  // `.reads` parameter and `out` to a `.writes` parameter.
+  if (!args_.empty()) {
+    const auto bound_at = [this](const Buffer<std::uint32_t>& buf,
+                                 std::size_t position) {
+      const auto& v = args_.values()[position];
+      return v.kind == core::KernelParam::Kind::Buffer &&
+             v.value == buf.word_base() && v.size >= buf.size();
+    };
+    const auto bound_in =
+        [&](const Buffer<std::uint32_t>& buf,
+            const std::vector<core::Footprint>& footprints) {
+          for (const auto& fp : footprints) {
+            if (bound_at(buf, fp.param)) {
+              return true;
+            }
+          }
+          return false;
+        };
+    bool ok;
+    if (kernel_.info != nullptr && kernel_.info->has_footprints()) {
+      ok = bound_in(in_, kernel_.info->reads) &&
+           bound_in(out_, kernel_.info->writes);
+    } else {
+      // No footprint metadata: settle for presence at any position.
+      const auto anywhere = [&](const Buffer<std::uint32_t>& buf) {
+        for (std::size_t i = 0; i < args_.size(); ++i) {
+          if (bound_at(buf, i)) {
+            return true;
+          }
+        }
+        return false;
+      };
+      ok = anywhere(in_) && anywhere(out_);
+    }
+    if (!ok) {
+      throw Error("batch queue arguments must bind the queue's in buffer "
+                  "to a read parameter and its out buffer to a write "
+                  "parameter");
+    }
   }
   if (request_threads_ == 0) {
     throw Error("batch queue needs at least one thread per request");
@@ -81,8 +128,9 @@ BatchQueue::Ticket BatchQueue::submit(std::span<const std::uint32_t> input) {
                 std::to_string(request_threads_) + " words, got " +
                 std::to_string(input.size()));
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   if (pending_ == capacity_) {
-    flush();
+    flush_locked();
   }
   Ticket ticket;
   ticket.batch_ = open_;
@@ -95,12 +143,17 @@ BatchQueue::Ticket BatchQueue::submit(std::span<const std::uint32_t> input) {
 }
 
 Event BatchQueue::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flush_locked();
+}
+
+Event BatchQueue::flush_locked() {
   if (pending_ == 0) {
     return Event{};
   }
   const unsigned threads = pending_ * request_threads_;
   stream_->copy_in(in_, std::span<const std::uint32_t>(staging_));
-  Event event = stream_->launch(kernel_, threads);
+  Event event = stream_->launch(kernel_, threads, args_);
   auto batch = std::move(open_);
   batch->host_out.resize(threads);
   stream_->copy_out(out_, std::span<std::uint32_t>(batch->host_out));

@@ -13,13 +13,21 @@
 // request j of a batch occupies tids [j*m, (j+1)*m), which is exactly the
 // %tid thread-base sharding the runtime already applies across rounds and
 // cores. The queue auto-flushes when the staging buffer is full.
+//
+// With the kernel ABI, a queue is built from ONE cached module and a
+// per-queue argument set: several queues (say a double-buffered pair, or
+// per-client queues over private buffers) share the same assembled kernel
+// and differ only in the KernelArgs bound at flush time. submit()/flush()
+// are host-thread-safe, so server worker threads can feed a queue directly.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "runtime/args.hpp"
 #include "runtime/buffer.hpp"
 #include "runtime/event.hpp"
 #include "runtime/module.hpp"
@@ -62,34 +70,48 @@ class BatchQueue {
   /// Batch requests of exactly `request_threads` elements for `kernel`
   /// over `in`/`out`. Capacity (requests per batch) is in.size() /
   /// request_threads; `out` must hold at least capacity * request_threads
-  /// words.
+  /// words. `args` is the argument set bound at every flush (kernels with
+  /// .param metadata; typically `KernelArgs().arg(in).arg(out)` plus any
+  /// scalars). Legacy kernels take the default empty set.
   BatchQueue(Stream& stream, Kernel kernel, Buffer<std::uint32_t> in,
-             Buffer<std::uint32_t> out, unsigned request_threads);
+             Buffer<std::uint32_t> out, unsigned request_threads,
+             KernelArgs args = {});
   ~BatchQueue();
 
   BatchQueue(const BatchQueue&) = delete;
   BatchQueue& operator=(const BatchQueue&) = delete;
 
   /// Queue one request (input.size() must equal request_threads). Flushes
-  /// first if the staging buffer is full.
+  /// first if the staging buffer is full. Thread-safe.
   Ticket submit(std::span<const std::uint32_t> input);
 
   /// Coalesce every pending request into one copy-in + grid launch +
-  /// copy-out on the stream. Returns the launch event (a default Event if
-  /// nothing was pending).
+  /// copy-out on the stream, binding the queue's argument set. Returns the
+  /// launch event (a default Event if nothing was pending). Thread-safe.
   Event flush();
 
-  unsigned pending_requests() const { return pending_; }
+  unsigned pending_requests() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_;
+  }
   unsigned capacity() const { return capacity_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
 
  private:
+  Event flush_locked();
+
   Stream* stream_;
   Kernel kernel_;
   Buffer<std::uint32_t> in_;
   Buffer<std::uint32_t> out_;
   unsigned request_threads_;
   unsigned capacity_;
+  KernelArgs args_;
+  /// Guards the staging area and counters against concurrent submitters.
+  mutable std::mutex mutex_;
 
   std::vector<std::uint32_t> staging_;  ///< pending request inputs
   unsigned pending_ = 0;

@@ -61,7 +61,11 @@ void SimtCoreBackend::load_program(const core::Program& program) {
   gpu_.load_program(program);
 }
 
-LaunchStats SimtCoreBackend::launch(std::uint32_t entry, unsigned threads) {
+LaunchStats SimtCoreBackend::launch(std::uint32_t entry, unsigned threads,
+                                    const LaunchFootprint&) {
+  // The single core owns the one memory image -- host staging happened
+  // through the stream copies already, so the footprint does not change
+  // what this backend moves.
   check_launch_threads(threads);
   LaunchStats out;
   out.exited = true;
@@ -111,12 +115,22 @@ void MultiCoreBackend::load_program(const core::Program& program) {
   sys_.load_program_all(program);
 }
 
-LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads) {
+LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
+                                     const LaunchFootprint& footprint) {
   check_launch_threads(threads);
   LaunchStats out;
   out.exited = true;
   const unsigned capacity = max_concurrent_threads();
   const unsigned num_cores = sys_.num_cores();
+  // With a declared footprint, a round stages only the stale words the
+  // kernel may actually touch: reads for its inputs, writes so the
+  // post-round store-window diff runs against an up-to-date image. The
+  // rest stays in the shard map for whichever later launch needs it.
+  const RangeSet touched = union_sets(footprint.reads, footprint.writes);
+  // Words skipped versus the conservative restage, deduplicated across
+  // rounds (a core dispatched in several rounds skips the same leftover
+  // ranges each time, but conservative would have staged them once).
+  std::vector<RangeSet> skipped(num_cores);
   out.per_core.resize(num_cores);
   for (unsigned c = 0; c < num_cores; ++c) {
     out.per_core[c].core = c;
@@ -147,15 +161,23 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads) {
         continue;
       }
       auto& gpu = sys_.core(c);
+      const RangeSet to_stage =
+          footprint.declared ? intersect_sets(stale_[c], touched)
+                             : std::move(stale_[c]);
       std::uint64_t staged = 0;
-      for (const auto& r : stale_[c].ranges()) {
+      for (const auto& r : to_stage.ranges()) {
         gpu.write_shared_span(
             r.lo, std::span<const std::uint32_t>(master_.data() + r.lo,
                                                  r.words()));
         staged += r.words();
       }
-      const std::uint64_t late = overlap_words(stale_[c], merged_prev);
-      stale_[c].clear();
+      const std::uint64_t late = overlap_words(to_stage, merged_prev);
+      if (footprint.declared) {
+        stale_[c] = subtract_sets(stale_[c], to_stage);
+        skipped[c] = union_sets(skipped[c], stale_[c]);
+      } else {
+        stale_[c].clear();
+      }
       out.per_core[c].staged_words += staged;
       out.staged_words += staged;
       costs[c].stage_early_cycles =
@@ -202,13 +224,25 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads) {
     for (const auto& d : dispatches) {
       auto& gpu = sys_.core(d.core);
       std::uint64_t merged = 0;
+      // With a declared footprint, clip each hardware store window to the
+      // declared write set: window gaps (the tracker coalesces nearby
+      // stores) may cover words this core's image is legitimately stale
+      // on, and diffing those against the master would fold old data back
+      // in. Stores outside the declared .writes are undefined behavior.
+      RangeSet windows;
       for (const auto& [lo, hi] : gpu.store_windows()) {
+        windows.insert(lo, hi);
+      }
+      if (footprint.declared) {
+        windows = intersect_sets(windows, footprint.writes);
+      }
+      for (const auto& w : windows.ranges()) {
         Shard s;
         s.core = d.core;
-        s.lo = lo;
-        s.data.resize(hi - lo);
-        gpu.read_shared_span(lo, s.data);
-        s.before.assign(master_.begin() + lo, master_.begin() + hi);
+        s.lo = w.lo;
+        s.data.resize(w.words());
+        gpu.read_shared_span(w.lo, s.data);
+        s.before.assign(master_.begin() + w.lo, master_.begin() + w.hi);
         merged += s.data.size();
         shards.push_back(std::move(s));
       }
@@ -256,6 +290,7 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads) {
   for (unsigned c = 0; c < num_cores; ++c) {
     sys_.core(c).set_thread_base(0);
     sys_.core(c).set_ntid_override(0);
+    out.staged_words_skipped += skipped[c].words();
   }
 
   const auto model = model_pipeline(round_costs);
@@ -299,18 +334,16 @@ void ScalarBackend::load_program(const core::Program& program) {
   cpu_.load_program(program);
 }
 
-LaunchStats ScalarBackend::launch(std::uint32_t entry, unsigned threads) {
+LaunchStats ScalarBackend::launch(std::uint32_t entry, unsigned threads,
+                                  const LaunchFootprint&) {
   check_launch_threads(threads);
-  if (entry != 0) {
-    throw Error("scalar backend: nonzero entry points are not supported");
-  }
   LaunchStats out;
   // ScalarSoftCpu::run only returns via EXIT (budget exhaustion and traps
   // throw), so a normal return means every sweep iteration exited.
   out.exited = true;
   for (unsigned t = 0; t < threads; ++t) {
     cpu_.set_thread_context(t, threads);
-    const auto stats = cpu_.run();
+    const auto stats = cpu_.run(entry);
     out.perf.cycles += stats.cycles;
     out.perf.instructions += stats.instructions;
     out.perf.thread_ops += stats.instructions;
@@ -395,10 +428,13 @@ double Device::fmax_mhz() const {
 
 Module& Device::load_module(std::string_view source) {
   const std::uint64_t key = hash_source(source);
+  std::lock_guard<std::mutex> lock(module_mutex_);
   const auto it = modules_.find(key);
   if (it != modules_.end()) {
+    ++cache_hits_;
     return *it->second;
   }
+  ++cache_misses_;
   auto module = std::make_unique<Module>(std::string(source),
                                          assembler::assemble(source), key);
   auto [inserted, ok] = modules_.emplace(key, std::move(module));
@@ -419,15 +455,116 @@ void Device::write_words(std::uint32_t base,
 }
 
 LaunchStats Device::launch_sync(const Kernel& kernel, unsigned threads) {
+  return launch_sync(kernel, threads, KernelArgs{});
+}
+
+namespace {
+
+/// Absolute footprint ranges of one declared footprint list.
+void add_footprints(RangeSet& set, const std::vector<core::Footprint>& fps,
+                    const KernelArgs& args, unsigned mem_words,
+                    const core::KernelInfo& info) {
+  for (const auto& fp : fps) {
+    const auto& bound = args.values().at(fp.param);
+    const std::uint64_t base = bound.value;
+    const std::uint64_t extent = fp.extent != 0 ? fp.extent : bound.size;
+    if (base + extent > mem_words) {
+      throw Error("kernel '" + info.name + "' footprint on parameter '" +
+                  info.params.at(fp.param).name + "' spans [" +
+                  std::to_string(base) + ", " +
+                  std::to_string(base + extent) +
+                  "), beyond device memory (" + std::to_string(mem_words) +
+                  " words)");
+    }
+    set.insert(static_cast<std::uint32_t>(base),
+               static_cast<std::uint32_t>(base + extent));
+  }
+}
+
+}  // namespace
+
+LaunchStats Device::launch_sync(const Kernel& kernel, unsigned threads,
+                                const KernelArgs& args) {
   if (!kernel.valid()) {
     throw Error("launch of an invalid kernel handle");
   }
-  std::lock_guard<std::mutex> lock(exec_mutex_);
-  if (kernel.module != resident_) {
-    backend_->load_program(kernel.module->program());
-    resident_ = kernel.module;
+  validate_kernel_args(kernel, args);
+
+  LaunchFootprint footprint;
+  // The I-MEM image depends on the binding only when this kernel has
+  // relocation sites to patch; everything else shares the pristine image
+  // (signature 0), so switching entries in one resident module stays free.
+  const bool has_params = kernel.info != nullptr && !args.empty();
+  const bool patches = has_params && !kernel.info->refs.empty();
+  std::uint64_t sig = patches ? kernel.entry ^ args.signature() : 0;
+  if (has_params) {
+    if (mem_words() <= kParamWindowWords) {
+      throw Error("device memory too small for the parameter window");
+    }
+    const std::uint32_t window = param_window_base();
+    if (pool_.used() > window) {
+      throw Error(
+          "parameter-window collision: " + std::to_string(pool_.used()) +
+          " words are allocated but kernel-ABI launches need the top " +
+          std::to_string(kParamWindowWords) + " words (above " +
+          std::to_string(window) + ") free");
+    }
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const auto& v = args.values()[i];
+      if (v.kind == core::KernelParam::Kind::Buffer &&
+          static_cast<std::uint64_t>(v.value) + v.size > window) {
+        throw Error("argument '" + kernel.info->params[i].name +
+                    "' overlaps the parameter window at word " +
+                    std::to_string(window));
+      }
+    }
+    if (kernel.info->has_footprints()) {
+      footprint.declared = true;
+      add_footprints(footprint.reads, kernel.info->reads, args, mem_words(),
+                     *kernel.info);
+      add_footprints(footprint.writes, kernel.info->writes, args,
+                     mem_words(), *kernel.info);
+      // The parameter window itself is launch input: keep it in the read
+      // set so multicore staging ships the fresh binding to the cores.
+      footprint.reads.insert(window,
+                             window + static_cast<std::uint32_t>(args.size()));
+    }
   }
-  LaunchStats stats = backend_->launch(kernel.entry, threads);
+
+  std::lock_guard<std::mutex> lock(exec_mutex_);
+  if (kernel.module != resident_ || sig != resident_sig_) {
+    if (patches) {
+      // The loader patch: bind the argument values into the module's
+      // $param relocation sites. A copy of the decoded program, a few
+      // immediate stores, one I-MEM load -- no re-assembly.
+      core::Program bound = kernel.module->program();
+      for (const auto& ref : kernel.info->refs) {
+        const auto& v = args.values().at(ref.param);
+        // Unsigned arithmetic: the intended mod-2^32 wrap without the UB
+        // of signed overflow (e.g. scalar 0x7fffffff with a +1 addend).
+        bound.set_imm(ref.pc,
+                      static_cast<std::int32_t>(
+                          v.value + static_cast<std::uint32_t>(ref.addend)));
+      }
+      backend_->load_program(bound);
+    } else {
+      backend_->load_program(kernel.module->program());
+    }
+    resident_ = kernel.module;
+    resident_sig_ = sig;
+  }
+  if (has_params) {
+    // Record the binding in the parameter window (word i = argument i) --
+    // the launch's argument block, visible to host tooling and device
+    // code alike.
+    std::vector<std::uint32_t> window_words;
+    window_words.reserve(args.size());
+    for (const auto& v : args.values()) {
+      window_words.push_back(v.value);
+    }
+    backend_->write_words(param_window_base(), window_words);
+  }
+  LaunchStats stats = backend_->launch(kernel.entry, threads, footprint);
   // Single-engine backends stage through the host interface before the
   // launch, so their in-launch staging model is pure execution.
   if (stats.serial_cycles == 0 && stats.overlap_cycles == 0) {

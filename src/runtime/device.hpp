@@ -27,6 +27,7 @@
 #include "baseline/scalar_cpu.hpp"
 #include "core/gpgpu.hpp"
 #include "core/perf.hpp"
+#include "runtime/args.hpp"
 #include "runtime/module.hpp"
 #include "runtime/staging.hpp"
 #include "system/multicore.hpp"
@@ -87,6 +88,10 @@ struct LaunchStats {
   // before the launch (see Scheduler's stream-level timeline).
   std::uint64_t staged_words = 0;  ///< incremental per-core copy-in traffic
   std::uint64_t merged_words = 0;  ///< write-shard read-back traffic
+  /// Stale words the conservative path would have restaged but the
+  /// kernel's declared read/write footprint let the runtime skip (they
+  /// stay in the shard maps for whoever does need them).
+  std::uint64_t staged_words_skipped = 0;
   std::uint64_t serial_cycles = 0;   ///< stage + exec + merge back to back
   std::uint64_t overlap_cycles = 0;  ///< double-buffered staging pipeline
   double serial_wall_us = 0.0;       ///< serial_cycles at the realized Fmax
@@ -106,6 +111,17 @@ struct LaunchStats {
   }
 };
 
+/// Absolute device-memory footprint of one launch, derived from the
+/// kernel's declared `.reads`/`.writes` and the bound buffer arguments.
+/// When `declared` is false (legacy kernels, or kernels without footprint
+/// directives), staging falls back to the conservative restage-everything
+/// path.
+struct LaunchFootprint {
+  bool declared = false;
+  RangeSet reads;   ///< words the kernel may load (incl. the param window)
+  RangeSet writes;  ///< words the kernel may store
+};
+
 /// The pluggable engine interface. Backends expose a flat word-addressed
 /// device memory, a loadable program store, and a grid launch.
 class DeviceBackend {
@@ -120,7 +136,8 @@ class DeviceBackend {
   virtual double default_fmax_mhz() const = 0;
 
   virtual void load_program(const core::Program& program) = 0;
-  virtual LaunchStats launch(std::uint32_t entry, unsigned threads) = 0;
+  virtual LaunchStats launch(std::uint32_t entry, unsigned threads,
+                             const LaunchFootprint& footprint) = 0;
 
   virtual void read_words(std::uint32_t base,
                           std::span<std::uint32_t> out) const = 0;
@@ -143,7 +160,8 @@ class SimtCoreBackend final : public DeviceBackend {
   double default_fmax_mhz() const override { return 950.0; }
 
   void load_program(const core::Program& program) override;
-  LaunchStats launch(std::uint32_t entry, unsigned threads) override;
+  LaunchStats launch(std::uint32_t entry, unsigned threads,
+                     const LaunchFootprint& footprint) override;
   void read_words(std::uint32_t base,
                   std::span<std::uint32_t> out) const override;
   void write_words(std::uint32_t base,
@@ -184,7 +202,8 @@ class MultiCoreBackend final : public DeviceBackend {
   }
 
   void load_program(const core::Program& program) override;
-  LaunchStats launch(std::uint32_t entry, unsigned threads) override;
+  LaunchStats launch(std::uint32_t entry, unsigned threads,
+                     const LaunchFootprint& footprint) override;
   void read_words(std::uint32_t base,
                   std::span<std::uint32_t> out) const override;
   void write_words(std::uint32_t base,
@@ -216,7 +235,8 @@ class ScalarBackend final : public DeviceBackend {
   double default_fmax_mhz() const override { return cpu_.config().fmax_mhz; }
 
   void load_program(const core::Program& program) override;
-  LaunchStats launch(std::uint32_t entry, unsigned threads) override;
+  LaunchStats launch(std::uint32_t entry, unsigned threads,
+                     const LaunchFootprint& footprint) override;
   void read_words(std::uint32_t base,
                   std::span<std::uint32_t> out) const override;
   void write_words(std::uint32_t base,
@@ -274,7 +294,21 @@ class Device {
   /// Assemble `source` into a module, or return the cached module if this
   /// exact source was loaded before (FNV-1a hash key).
   Module& load_module(std::string_view source);
-  std::size_t module_cache_size() const { return modules_.size(); }
+  std::size_t module_cache_size() const {
+    std::lock_guard<std::mutex> lock(module_mutex_);
+    return modules_.size();
+  }
+  /// load_module() calls served from the cache / by actually assembling.
+  /// With the kernel ABI, launching one kernel with many argument sets
+  /// hits the cache every time after the first assembly.
+  std::uint64_t module_cache_hits() const {
+    std::lock_guard<std::mutex> lock(module_mutex_);
+    return cache_hits_;
+  }
+  std::uint64_t module_cache_misses() const {
+    std::lock_guard<std::mutex> lock(module_mutex_);
+    return cache_misses_;
+  }
 
   // ---- memory ------------------------------------------------------------
   /// Allocate a typed buffer of `count` 32-bit elements, optionally
@@ -296,8 +330,28 @@ class Device {
   /// Immediate (synchronous) launch: loads the kernel's module into the
   /// device I-MEM if it is not already resident, runs the grid, and rolls
   /// wall-clock up at fmax_mhz(). Also the body of the scheduler's exec
-  /// commands.
+  /// commands. A kernel declared with .param metadata must be launched
+  /// through the argument-binding overload below.
   LaunchStats launch_sync(const Kernel& kernel, unsigned threads);
+
+  /// Launch with bound arguments (the kernel ABI path). The loader patches
+  /// the kernel's `$param` relocation sites with the bound values -- a
+  /// handful of immediate words, not a re-assembly -- records the binding
+  /// in the device's parameter window, and derives the launch footprint
+  /// from the declared `.reads`/`.writes` so multicore staging ships only
+  /// the declared input ranges. Throws simt::Error on an argument set that
+  /// does not match the kernel's parameter list.
+  LaunchStats launch_sync(const Kernel& kernel, unsigned threads,
+                          const KernelArgs& args);
+
+  /// Reserved words at the top of device memory where each param launch's
+  /// bound values land (word i = argument i), observable by the host and
+  /// by device code. Buffers must stay below param_window_base() when a
+  /// kernel with parameters is launched.
+  static constexpr unsigned kParamWindowWords = 32;
+  std::uint32_t param_window_base() const {
+    return mem_words() - kParamWindowWords;
+  }
 
   /// The asynchronous command scheduler every stream feeds.
   Scheduler& scheduler() { return *scheduler_; }
@@ -321,8 +375,17 @@ class Device {
   DeviceDescriptor desc_;
   std::unique_ptr<DeviceBackend> backend_;
   MemoryPool pool_;
+  /// Guards the module cache (load_module may race from host worker
+  /// threads feeding streams concurrently).
+  mutable std::mutex module_mutex_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Module>> modules_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
   const Module* resident_ = nullptr;  ///< module currently in the I-MEM
+  /// Binding signature of the resident image (entry + argument values):
+  /// relaunching the same kernel with the same arguments skips both the
+  /// loader patch and the I-MEM reload.
+  std::uint64_t resident_sig_ = 0;
   /// Serializes backend access between the scheduler's executor thread and
   /// direct host calls (read/write_words, launch_sync).
   mutable std::mutex exec_mutex_;

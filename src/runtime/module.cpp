@@ -16,7 +16,7 @@ std::uint64_t hash_source(std::string_view source) {
 
 Kernel Module::kernel(std::string_view entry_label) const {
   if (entry_label.empty()) {
-    return Kernel{this, 0};
+    return Kernel{this, 0, program_.kernel_containing(0)};
   }
   const auto& labels = program_.labels();
   const auto it = labels.find(std::string(entry_label));
@@ -24,7 +24,38 @@ Kernel Module::kernel(std::string_view entry_label) const {
     throw Error("module has no entry label '" + std::string(entry_label) +
                 "'");
   }
-  return Kernel{this, it->second};
+  // Interior labels of a .kernel region resolve with the region's ABI
+  // metadata attached, so launching one still binds (and validates) the
+  // kernel's parameters instead of running with unpatched immediates.
+  return Kernel{this, it->second, program_.kernel_containing(it->second)};
+}
+
+void validate_kernel_args(const Kernel& kernel, const KernelArgs& args) {
+  if (kernel.info == nullptr) {
+    if (!args.empty()) {
+      throw Error("kernel has no .param metadata but was launched with " +
+                  std::to_string(args.size()) +
+                  " argument(s); declare parameters with .kernel/.param");
+    }
+    return;
+  }
+  const auto& params = kernel.info->params;
+  if (params.size() != args.size()) {
+    throw Error("kernel '" + kernel.info->name + "' expects " +
+                std::to_string(params.size()) + " argument(s), got " +
+                std::to_string(args.size()));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].kind != args.values()[i].kind) {
+      const bool want_buffer =
+          params[i].kind == core::KernelParam::Kind::Buffer;
+      throw Error("kernel '" + kernel.info->name + "' parameter '" +
+                  params[i].name + "' (position " + std::to_string(i) +
+                  ") is a " + (want_buffer ? "buffer" : "scalar") +
+                  " but was bound as a " +
+                  (want_buffer ? "scalar" : "buffer"));
+    }
+  }
 }
 
 }  // namespace simt::runtime

@@ -167,8 +167,11 @@ void Scheduler::loop() {
         node.cmd.event->complete.store(true, std::memory_order_release);
       }
     }
-    if (err && node.cmd.error_slot && !*node.cmd.error_slot) {
-      *node.cmd.error_slot = err;  // first fault on the stream wins
+    if (err && node.cmd.error_slot) {
+      std::lock_guard<std::mutex> slot_lock(node.cmd.error_slot->mutex);
+      if (!node.cmd.error_slot->error) {
+        node.cmd.error_slot->error = err;  // first fault on the stream wins
+      }
     }
     done_cv_.notify_all();
   }

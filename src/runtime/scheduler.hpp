@@ -51,6 +51,15 @@ struct TimelineStats {
   }
 };
 
+/// A stream's sticky-error slot, shared between the stream and the
+/// executor thread. It carries its own mutex so the executor's store and
+/// the stream's consume (Stream::synchronize) stay race-free even while
+/// other host threads keep submitting past the joined ticket.
+struct StreamErrorSlot {
+  std::mutex mutex;
+  std::exception_ptr error;
+};
+
 class Scheduler {
  public:
   /// One schedulable command. `run` executes on the scheduler thread and
@@ -63,7 +72,7 @@ class Scheduler {
     /// exception here (first fault wins), so errors stay attributed to
     /// the stream that owns the command instead of leaking to whichever
     /// stream synchronizes first.
-    std::shared_ptr<std::exception_ptr> error_slot;
+    std::shared_ptr<StreamErrorSlot> error_slot;
     std::uint64_t words = 0;            ///< staging traffic (copies)
     /// Staging channel for Copy commands: each stream owns one (its half
     /// of the double buffer), so copies on different streams overlap while

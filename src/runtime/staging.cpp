@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "common/error.hpp"
 
@@ -33,6 +34,75 @@ std::uint64_t RangeSet::words() const {
     n += r.words();
   }
   return n;
+}
+
+RangeSet RangeSet::from_sorted(std::vector<WordRange> ranges) {
+  RangeSet set;
+  set.ranges_ = std::move(ranges);
+  return set;
+}
+
+RangeSet intersect_sets(const RangeSet& a, const RangeSet& b) {
+  std::vector<WordRange> out;
+  auto ia = a.ranges().begin();
+  auto ib = b.ranges().begin();
+  while (ia != a.ranges().end() && ib != b.ranges().end()) {
+    const std::uint32_t lo = std::max(ia->lo, ib->lo);
+    const std::uint32_t hi = std::min(ia->hi, ib->hi);
+    if (lo < hi) {
+      out.push_back({lo, hi});
+    }
+    if (ia->hi < ib->hi) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return RangeSet::from_sorted(std::move(out));
+}
+
+RangeSet subtract_sets(const RangeSet& a, const RangeSet& b) {
+  std::vector<WordRange> out;
+  auto ib = b.ranges().begin();
+  for (const auto& r : a.ranges()) {
+    std::uint32_t lo = r.lo;
+    while (ib != b.ranges().end() && ib->hi <= lo) {
+      ++ib;
+    }
+    auto cut = ib;
+    while (cut != b.ranges().end() && cut->lo < r.hi) {
+      if (cut->lo > lo) {
+        out.push_back({lo, cut->lo});
+      }
+      lo = std::max(lo, cut->hi);
+      ++cut;
+    }
+    if (lo < r.hi) {
+      out.push_back({lo, r.hi});
+    }
+  }
+  return RangeSet::from_sorted(std::move(out));
+}
+
+RangeSet union_sets(const RangeSet& a, const RangeSet& b) {
+  // Merge two sorted disjoint lists, fusing touching/overlapping ranges
+  // (but not coalescing across real gaps).
+  std::vector<WordRange> merged;
+  merged.reserve(a.ranges().size() + b.ranges().size());
+  std::merge(a.ranges().begin(), a.ranges().end(), b.ranges().begin(),
+             b.ranges().end(), std::back_inserter(merged),
+             [](const WordRange& x, const WordRange& y) {
+               return x.lo < y.lo;
+             });
+  std::vector<WordRange> out;
+  for (const auto& r : merged) {
+    if (!out.empty() && r.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, r.hi);
+    } else {
+      out.push_back(r);
+    }
+  }
+  return RangeSet::from_sorted(std::move(out));
 }
 
 std::uint64_t staging_cycles(std::uint64_t words, double words_per_cycle) {

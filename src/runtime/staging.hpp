@@ -40,9 +40,23 @@ class RangeSet {
 
   const std::vector<WordRange>& ranges() const { return ranges_; }
 
+  /// Wrap an already sorted, disjoint range list without re-coalescing.
+  /// The set-algebra helpers below use this so their exact results are not
+  /// widened back over gaps they just carved out.
+  static RangeSet from_sorted(std::vector<WordRange> ranges);
+
  private:
   std::vector<WordRange> ranges_;
 };
+
+/// Exact set algebra over range sets (no gap coalescing on the results).
+/// The footprint-driven staging path uses these: the words to stage are
+/// `intersect(stale, footprint)`, and the shard map afterwards keeps
+/// `subtract(stale, staged)` -- what conservative restaging would have
+/// shipped but the declared read/write set let us skip.
+RangeSet intersect_sets(const RangeSet& a, const RangeSet& b);
+RangeSet subtract_sets(const RangeSet& a, const RangeSet& b);
+RangeSet union_sets(const RangeSet& a, const RangeSet& b);
 
 /// Modeled per-core cost of one hardware round. Staging is split by data
 /// dependency: the early part (host writes, ranges stale since before the

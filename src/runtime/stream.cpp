@@ -5,6 +5,7 @@
 namespace simt::runtime {
 
 Ticket Stream::submit(Scheduler::Command cmd, std::vector<Ticket> extra_deps) {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
   std::vector<Ticket> deps = std::move(extra_deps);
   if (last_ != 0) {
     deps.push_back(last_);
@@ -45,19 +46,21 @@ void Stream::enqueue_copy_out(std::uint32_t base, std::uint32_t* dst,
   submit(std::move(cmd));
 }
 
-Event Stream::launch(const Kernel& kernel, unsigned threads) {
+Event Stream::launch(const Kernel& kernel, unsigned threads,
+                     KernelArgs args) {
   if (!kernel.valid()) {
     throw Error("launch of an invalid kernel handle");
   }
   if (threads == 0) {
     throw Error("launch needs at least one thread");
   }
+  validate_kernel_args(kernel, args);  // mismatches fail at enqueue
   auto state = std::make_shared<EventState>();
   Scheduler::Command cmd;
   cmd.engine = EngineKind::Exec;
   cmd.event = state;
-  cmd.run = [dev = dev_, kernel, threads, state] {
-    state->stats = dev->launch_sync(kernel, threads);
+  cmd.run = [dev = dev_, kernel, threads, state, args = std::move(args)] {
+    state->stats = dev->launch_sync(kernel, threads, args);
     // The launch occupies the compute array for its overlap-adjusted span
     // (exec critical path plus unhidden in-launch staging).
     return state->stats.overlap_cycles;
@@ -92,6 +95,7 @@ Stream& Stream::wait(const Event& event) {
 }
 
 std::size_t Stream::pending() const {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
   while (!live_.empty() && sched_->done(live_.front())) {
     live_.pop_front();
   }
@@ -99,11 +103,25 @@ std::size_t Stream::pending() const {
 }
 
 void Stream::synchronize() {
-  sched_->wait(last_);
-  live_.clear();  // everything up to last_ has retired
-  if (*error_) {
-    auto err = *error_;
-    *error_ = nullptr;  // sticky error consumed; the stream stays usable
+  Ticket target;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    target = last_;
+  }
+  sched_->wait(target);  // join outside the lock: submitters keep going
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    while (!live_.empty() && live_.front() <= target) {
+      live_.pop_front();  // everything up to the joined ticket has retired
+    }
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(error_->mutex);
+    err = error_->error;
+    error_->error = nullptr;  // sticky error consumed; the stream stays usable
+  }
+  if (err) {
     std::rethrow_exception(err);
   }
 }

@@ -11,12 +11,18 @@
 // stream's launch. Copies are priced on the staging DMA engine and launches
 // on the compute array in the scheduler's modeled timeline, so overlapping
 // streams report the double-buffered staging gain (Scheduler::timeline()).
+//
+// Submission is host-thread-safe: the stream's command bookkeeping is
+// guarded by a mutex, so any number of host worker threads can enqueue on
+// one stream (a server front-end feeding a BatchQueue). Commands still
+// execute in submission order; which thread wins a race decides that order.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -67,8 +73,11 @@ class Stream {
   }
 
   /// Enqueue a grid launch; the returned Event resolves once the scheduler
-  /// has executed it (invalid kernels and zero-thread grids throw now).
-  Event launch(const Kernel& kernel, unsigned threads);
+  /// has executed it (invalid kernels, zero-thread grids, and argument
+  /// sets that do not match the kernel's .param list throw now). `args`
+  /// binds the kernel's parameters for this launch (see runtime/args.hpp);
+  /// kernels without metadata take the default empty set.
+  Event launch(const Kernel& kernel, unsigned threads, KernelArgs args = {});
 
   /// Record a marker event that resolves once every command enqueued on
   /// this stream so far has executed (cudaEventRecord). Marker events
@@ -101,12 +110,16 @@ class Stream {
   Device* dev_;
   Scheduler* sched_;
   unsigned channel_;
+  /// Guards the submission bookkeeping (last_, live_) so host worker
+  /// threads can enqueue concurrently.
+  mutable std::mutex submit_mutex_;
   Ticket last_ = 0;                   ///< most recent command on this stream
   mutable std::deque<Ticket> live_;   ///< unretired tickets, for pending()
   /// First fault among this stream's commands (shared with the scheduler,
-  /// which fills it from the executor thread); consumed by synchronize().
-  std::shared_ptr<std::exception_ptr> error_ =
-      std::make_shared<std::exception_ptr>();
+  /// which fills it from the executor thread under the slot's own mutex);
+  /// consumed by synchronize().
+  std::shared_ptr<StreamErrorSlot> error_ =
+      std::make_shared<StreamErrorSlot>();
 };
 
 }  // namespace simt::runtime

@@ -238,5 +238,93 @@ TEST(Assembler, ListingShowsLabelsAndDisassembly) {
   EXPECT_NE(listing.find("exit"), std::string::npos);
 }
 
+// ---- kernel ABI metadata directives ----------------------------------------
+
+TEST(AssemblerAbi, KernelDirectiveDefinesEntryAndLabel) {
+  const auto p = assemble(
+      "movi %r1, 1\n"
+      "exit\n"
+      ".kernel k2\n"
+      "movi %r1, 2\n"
+      "exit\n");
+  ASSERT_EQ(p.kernels().size(), 1u);
+  EXPECT_EQ(p.kernels()[0].name, "k2");
+  EXPECT_EQ(p.kernels()[0].entry, 2u);
+  EXPECT_EQ(p.labels().at("k2"), 2u);  // the name is a label too
+  EXPECT_EQ(p.find_kernel("k2"), &p.kernels()[0]);
+  EXPECT_EQ(p.kernel_at_entry(2), &p.kernels()[0]);
+  EXPECT_EQ(p.find_kernel("missing"), nullptr);
+}
+
+TEST(AssemblerAbi, ParamRefsRecordRelocationsWithAddends) {
+  const auto p = assemble(
+      ".kernel k\n"
+      ".param a buffer\n"
+      ".param n scalar\n"
+      "movsr %r0, %tid\n"
+      "lds %r1, [%r0 + $a]\n"
+      "lds %r2, [%r0 + $a + 3]\n"
+      "movi %r3, $n\n"
+      "addi %r4, %r4, $n\n"
+      "exit\n");
+  const auto& k = p.kernels().at(0);
+  ASSERT_EQ(k.params.size(), 2u);
+  EXPECT_EQ(k.params[0].kind, core::KernelParam::Kind::Buffer);
+  EXPECT_EQ(k.params[1].kind, core::KernelParam::Kind::Scalar);
+  ASSERT_EQ(k.refs.size(), 4u);
+  EXPECT_EQ(k.refs[0], (core::ParamRef{1, 0, 0}));
+  EXPECT_EQ(k.refs[1], (core::ParamRef{2, 0, 3}));
+  EXPECT_EQ(k.refs[2], (core::ParamRef{3, 1, 0}));
+  EXPECT_EQ(k.refs[3], (core::ParamRef{4, 1, 0}));
+  // Unpatched instructions carry only the constant addend.
+  EXPECT_EQ(p.at(1).imm, 0);
+  EXPECT_EQ(p.at(2).imm, 3);
+}
+
+TEST(AssemblerAbi, FootprintsParseWholeAndExtent) {
+  const auto p = assemble(
+      ".equ HALF 32\n"
+      ".kernel k\n"
+      ".param in buffer\n"
+      ".param out buffer\n"
+      ".reads in\n"
+      ".reads in+HALF\n"
+      ".writes out+8\n"
+      "exit\n");
+  const auto& k = p.kernels().at(0);
+  ASSERT_EQ(k.reads.size(), 2u);
+  EXPECT_EQ(k.reads[0], (core::Footprint{0, 0}));   // whole bound buffer
+  EXPECT_EQ(k.reads[1], (core::Footprint{0, 32}));  // .equ-resolved extent
+  ASSERT_EQ(k.writes.size(), 1u);
+  EXPECT_EQ(k.writes[0], (core::Footprint{1, 8}));
+}
+
+TEST(AssemblerAbi, DirectiveDiagnostics) {
+  expect_error(".param a buffer\nexit\n", "before any .kernel");
+  expect_error(".reads a\nexit\n", "before any .kernel");
+  expect_error(".kernel k\n.param a buffer\n.param a buffer\nexit\n",
+               "duplicate .param");
+  expect_error(".kernel k\nexit\n.kernel k\nexit\n", "duplicate .kernel");
+  expect_error(".kernel k\n.param a widget\nexit\n", "buffer or scalar");
+  expect_error(".kernel k\n.reads a\nexit\n", "undeclared parameter");
+  expect_error(".kernel k\n.param n scalar\n.reads n\nexit\n",
+               "is a scalar");
+  expect_error(".kernel k\n.param a buffer\n.reads a+0\nexit\n",
+               "positive word count");
+  expect_error("lds %r1, [%r0 + $a]\n", "outside a .kernel");
+  expect_error(".kernel k\nlds %r1, [%r0 + $a]\n", "undeclared parameter");
+  expect_error(
+      ".kernel k\n.param a buffer\n.param b buffer\n"
+      "lds %r1, [%r0 + $a + $b]\n",
+      "at most one $parameter");
+  expect_error(".kernel k\n.param a buffer\nmovi %r1, -$a\n",
+               "'-$param' is not supported");
+  // Immediate terms must be explicitly signed -- juxtaposition stays an
+  // error, as it was before $param expressions existed.
+  expect_error("movi %r1, 1 2\n", "expected '+' or '-'");
+  expect_error(".kernel k\n.param a buffer\nlds %r1, [%r0 + $a 3]\n",
+               "expected '+' or '-'");
+}
+
 }  // namespace
 }  // namespace simt::assembler

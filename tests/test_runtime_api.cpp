@@ -88,8 +88,11 @@ TEST(Module, CachesBySourceHash) {
   Module& second = dev.load_module(src);
   EXPECT_EQ(&first, &second);
   EXPECT_EQ(dev.module_cache_size(), 1u);
+  EXPECT_EQ(dev.module_cache_misses(), 1u);
+  EXPECT_EQ(dev.module_cache_hits(), 1u);
   dev.load_module("movi %r1, 2\nexit\n");
   EXPECT_EQ(dev.module_cache_size(), 2u);
+  EXPECT_EQ(dev.module_cache_misses(), 2u);
 }
 
 TEST(Module, KernelEntryLabels) {

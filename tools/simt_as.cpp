@@ -1,6 +1,12 @@
 // simt-as: assemble a kernel source file into an I-MEM hex image
 // (one 16-digit hex word per line, directly loadable by simt-run).
 //
+// Kernel ABI metadata (.kernel/.param/.reads/.writes directives and $param
+// relocation sites) is emitted as a `#`-prefixed sidecar header in front of
+// the hex words -- the image words themselves cannot carry it. simt-dis
+// parses the header back and prints the metadata table next to the
+// disassembly, closing the assemble -> disassemble round trip.
+//
 // usage: simt-as <input.s> [output.hex]
 //        simt-as -l <input.s>     # print the listing instead
 #include <cstdio>
@@ -39,6 +45,7 @@ int main(int argc, char** argv) {
   try {
     const auto program = simt::assembler::assemble(read_file(argv[arg]));
     if (listing) {
+      std::fputs(simt::core::kernel_metadata_text(program).c_str(), stdout);
       std::fputs(program.listing().c_str(), stdout);
       return 0;
     }
@@ -51,6 +58,7 @@ int main(int argc, char** argv) {
       }
       out = &file;
     }
+    *out << simt::core::kernel_metadata_text(program);
     for (const std::uint64_t word : program.encode()) {
       char buf[20];
       std::snprintf(buf, sizeof(buf), "%016llx\n",

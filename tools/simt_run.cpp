@@ -6,6 +6,13 @@
 //                 [--cores N] [--threads N] [--fmax MHZ]
 //                 [--mem file.txt] [--dump base count]
 //                 [--batch M] [--streams N]
+//                 [--kernel NAME] [--arg base:size | --arg value]...
+//
+// --kernel starts execution at a `.kernel` (or label) entry instead of
+// address 0 (this works on every backend, including scalar). Each --arg
+// binds one positional kernel parameter: `base:size` binds a buffer by
+// word base and size, a bare integer binds a scalar -- the cuLaunchKernel
+// shape from the command line.
 //
 // Prints the per-launch performance counters (rolled up across hardware
 // rounds and cores) and (with --dump) a window of device memory after the
@@ -42,6 +49,8 @@ int main(int argc, char** argv) {
   std::string backend = "core";
   std::string mem_file;
   unsigned dump_base = 0, dump_count = 0;
+  std::string kernel_name;
+  simt::runtime::KernelArgs args;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = static_cast<unsigned>(std::stoul(argv[++i]));
@@ -55,6 +64,18 @@ int main(int argc, char** argv) {
       streams = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (!std::strcmp(argv[i], "--fmax") && i + 1 < argc) {
       fmax = std::stod(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--kernel") && i + 1 < argc) {
+      kernel_name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--arg") && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) {
+        args.scalar(static_cast<std::uint32_t>(std::stoul(spec)));
+      } else {
+        args.buffer(
+            static_cast<std::uint32_t>(std::stoul(spec.substr(0, colon))),
+            static_cast<std::uint32_t>(std::stoul(spec.substr(colon + 1))));
+      }
     } else if (!std::strcmp(argv[i], "--mem") && i + 1 < argc) {
       mem_file = argv[++i];
     } else if (!std::strcmp(argv[i], "--dump") && i + 2 < argc) {
@@ -102,6 +123,7 @@ int main(int argc, char** argv) {
 
     simt::runtime::Device dev(desc);
     auto& module = dev.load_module(src.str());
+    const auto kernel = module.kernel(kernel_name);
 
     if (!mem_file.empty()) {
       std::ifstream mem(mem_file);
@@ -118,7 +140,7 @@ int main(int argc, char** argv) {
 
     simt::runtime::LaunchStats stats;
     if (batch == 1 && streams == 1) {
-      stats = dev.launch_sync(module.kernel(), threads);
+      stats = dev.launch_sync(kernel, threads, args);
     } else {
       // Repeat the launch through the asynchronous scheduler, round-robin
       // over the requested streams, and report the modeled timeline.
@@ -129,7 +151,7 @@ int main(int argc, char** argv) {
       }
       std::vector<simt::runtime::Event> events;
       for (unsigned b = 0; b < batch; ++b) {
-        events.push_back(ring[b % streams]->launch(module.kernel(), threads));
+        events.push_back(ring[b % streams]->launch(kernel, threads, args));
       }
       for (auto* s : ring) {
         s->synchronize();
@@ -144,6 +166,13 @@ int main(int argc, char** argv) {
     std::printf("backend=%s  threads=%u  rounds=%u\n",
                 std::string(dev.backend_name()).c_str(), threads,
                 stats.rounds);
+    if (kernel.info != nullptr) {
+      std::printf("kernel=%s  params=%zu  bound=%zu  staged-words-skipped="
+                  "%llu\n",
+                  kernel.info->name.c_str(), kernel.info->params.size(),
+                  args.size(),
+                  static_cast<unsigned long long>(stats.staged_words_skipped));
+    }
     std::printf("%s\n", stats.perf.summary().c_str());
     std::printf("exited=%s  (%.3f us at %.0f MHz)\n",
                 stats.exited ? "yes" : "no", stats.wall_us, dev.fmax_mhz());
