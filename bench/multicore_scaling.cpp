@@ -119,16 +119,21 @@ int main(int argc, char** argv) {
   // A serving loop on one 3-core device: every round the host refreshes
   // the FIR signal, an elementwise-scale input, and a 1K-word telemetry
   // block, then launches FIR + scale; a monitoring kernel reads the
-  // telemetry only on the final round. With `.reads`/`.writes` declared,
-  // each launch stages exactly the stale ranges it touches -- the
-  // telemetry refreshes ride to the cores once, for the one launch that
-  // reads them. With the directives stripped (the conservative path),
-  // whichever launch follows a host write restages EVERY stale word on
-  // every core, so the per-round telemetry refresh is shipped 3 cores x 8
-  // rounds even though 7 of those rounds never look at it.
+  // telemetry only on the final round. Three declaration levels:
+  //
+  //   conservative: directives stripped -- whichever launch follows a host
+  //     write restages EVERY stale word on every core, so the per-round
+  //     telemetry refresh is shipped 3 cores x 8 rounds even though 7 of
+  //     those rounds never look at it;
+  //   whole-launch: `.reads`/`.writes` without the @tid thread scaling --
+  //     each launch stages only the ranges it touches, but every core
+  //     ships the WHOLE range even though it covers one slice of the grid;
+  //   sliced: the @tid per-thread declarations the ABI kernels emit --
+  //     each core stages only its thread slice of the elementwise ranges.
+  enum class Decl { Conservative, Whole, Sliced };
   const unsigned kAblSamples = std::min(samples, 512u);
   constexpr unsigned kTelemWords = 1024;
-  const auto staging_run = [&](bool declared) {
+  const auto staging_run = [&](Decl decl) {
     core::CoreConfig ccfg;
     ccfg.max_threads = 512;
     ccfg.shared_mem_words = 4096;
@@ -157,14 +162,24 @@ int main(int argc, char** argv) {
         "add %r3, %r1, %r2\n"
         "sts [%r0 + $out], %r3\n"
         "exit\n";
-    if (!declared) {
+    if (decl != Decl::Sliced) {
       for (auto* src : {&fir_src, &scale_src, &mon_src}) {
         std::string stripped;
         std::istringstream lines(*src);
         std::string line;
         while (std::getline(lines, line)) {
-          if (line.rfind(".reads", 0) == 0 || line.rfind(".writes", 0) == 0) {
-            continue;
+          const bool footprint = line.rfind(".reads", 0) == 0 ||
+                                 line.rfind(".writes", 0) == 0;
+          if (footprint && decl == Decl::Conservative) {
+            continue;  // no declarations at all
+          }
+          if (footprint && decl == Decl::Whole) {
+            // Downgrade "x@tid+16" to "x": the whole bound buffer, the
+            // pre-slicing declaration level.
+            const auto at = line.find('@');
+            if (at != std::string::npos) {
+              line.resize(at);
+            }
           }
           stripped += line + "\n";
         }
@@ -210,8 +225,8 @@ int main(int argc, char** argv) {
         skipped += s3.staged_words_skipped;
         for (unsigned i = 0; i < kAblSamples; ++i) {
           if (mon_buf.at(i) != telem[i] + telem[i + kTelemWords / 2]) {
-            std::printf("ABLATION MISMATCH in monitor at %u (declared=%d)\n",
-                        i, declared);
+            std::printf("ABLATION MISMATCH in monitor at %u (decl=%d)\n",
+                        i, static_cast<int>(decl));
             std::exit(1);
           }
         }
@@ -223,7 +238,8 @@ int main(int argc, char** argv) {
         }
         if (y_buf.at(i) != static_cast<std::uint32_t>(acc >> kQ) ||
             out_buf.at(i) != 3 * sin[i] + round) {
-          std::printf("ABLATION MISMATCH at %u (declared=%d)\n", i, declared);
+          std::printf("ABLATION MISMATCH at %u (decl=%d)\n", i,
+                      static_cast<int>(decl));
           std::exit(1);
         }
       }
@@ -231,24 +247,40 @@ int main(int argc, char** argv) {
     return std::pair<std::uint64_t, std::uint64_t>{staged, skipped};
   };
 
-  const auto [decl_staged, decl_skipped] = staging_run(true);
-  const auto [cons_staged, cons_skipped] = staging_run(false);
+  const auto [sliced_staged, sliced_skipped] = staging_run(Decl::Sliced);
+  const auto [whole_staged, whole_skipped] = staging_run(Decl::Whole);
+  const auto [cons_staged, cons_skipped] = staging_run(Decl::Conservative);
   std::printf(
       "\n== Read-set staging ablation: FIR + scale + rare monitor, 3 cores "
       "==\n"
-      "conservative restage: %llu words staged\n"
-      "declared footprints:  %llu words staged (%llu skipped, %.2fx less "
-      "traffic)\n",
+      "conservative restage:   %llu words staged\n"
+      "whole-launch footprints: %llu words staged (%llu skipped, %.2fx less "
+      "traffic)\n"
+      "@tid-sliced footprints:  %llu words staged (%llu skipped, %.2fx less "
+      "traffic; %.2fx over whole-launch)\n",
       static_cast<unsigned long long>(cons_staged),
-      static_cast<unsigned long long>(decl_staged),
-      static_cast<unsigned long long>(decl_skipped),
-      decl_staged > 0
-          ? static_cast<double>(cons_staged) / static_cast<double>(decl_staged)
-          : 0.0);
+      static_cast<unsigned long long>(whole_staged),
+      static_cast<unsigned long long>(whole_skipped),
+      whole_staged > 0 ? static_cast<double>(cons_staged) /
+                             static_cast<double>(whole_staged)
+                       : 0.0,
+      static_cast<unsigned long long>(sliced_staged),
+      static_cast<unsigned long long>(sliced_skipped),
+      sliced_staged > 0 ? static_cast<double>(cons_staged) /
+                              static_cast<double>(sliced_staged)
+                        : 0.0,
+      sliced_staged > 0 ? static_cast<double>(whole_staged) /
+                              static_cast<double>(sliced_staged)
+                        : 0.0);
   (void)cons_skipped;
-  if (decl_staged >= cons_staged || decl_skipped == 0) {
+  if (whole_staged >= cons_staged || whole_skipped == 0) {
     std::puts("FAIL: declared read-sets must stage fewer words than the "
               "conservative path");
+    return 1;
+  }
+  if (sliced_staged >= whole_staged) {
+    std::puts("FAIL: @tid-sliced footprints must stage fewer words than "
+              "whole-launch declarations");
     return 1;
   }
   return 0;

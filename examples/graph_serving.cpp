@@ -1,0 +1,93 @@
+// Execution-graph serving demo: capture a request pipeline once, replay it
+// per request with only the arguments changing.
+//
+// A serving front-end runs the same copy-in / launch / copy-out pipeline
+// for every request; eager streams pay the host dispatch path (submit,
+// validate, bind, patch plan, footprints) per command per request. This
+// example captures the pipeline into a runtime::Graph by running the
+// ordinary stream code once between begin_capture/end_capture,
+// instantiates it (validation and launch plans frozen), and then serves
+// requests as single GraphExec::launch calls, rebinding the copy-in
+// payload and the kernel's scalar per replay. Results are validated
+// against a host model every round; the modeled dispatch overhead of both
+// paths is printed at the end.
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/device.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/stream.hpp"
+
+int main() {
+  using namespace simt;
+
+  constexpr unsigned kN = 256;      // elements per request
+  constexpr unsigned kRequests = 8;
+  constexpr unsigned kMul = 5;
+
+  core::CoreConfig cfg;
+  cfg.max_threads = 128;
+  cfg.shared_mem_words = 2048;
+  runtime::Device dev(runtime::DeviceDescriptor::multi_core(2, cfg));
+  auto in = dev.alloc<std::uint32_t>(kN);
+  auto out = dev.alloc<std::uint32_t>(kN);
+  const auto scale = dev.load_module(kernels::scale_abi()).kernel("scale");
+  auto& stream = dev.stream();
+
+  // Capture the request pipeline once. The payload and the `add` scalar
+  // recorded here are placeholders -- every replay rebinds them.
+  std::vector<std::uint32_t> result(kN);
+  const std::vector<std::uint32_t> placeholder(kN, 0);
+  runtime::Graph graph;
+  stream.begin_capture(graph);
+  stream.copy_in(in, std::span<const std::uint32_t>(placeholder));
+  stream.launch(scale, kN,
+                runtime::KernelArgs().arg(in).arg(out).scalar(kMul).scalar(0));
+  stream.copy_out(out, std::span<std::uint32_t>(result));
+  stream.end_capture();
+  std::printf("captured %zu nodes (%zu launch, %zu copy-in)\n",
+              graph.size(), graph.launch_count(), graph.copy_in_count());
+
+  auto exec = graph.instantiate();  // validate + freeze plans, once
+
+  const double dispatch0 = dev.scheduler().timeline().dispatch_us;
+  for (unsigned r = 0; r < kRequests; ++r) {
+    std::vector<std::uint32_t> request(kN);
+    for (unsigned i = 0; i < kN; ++i) {
+      request[i] = r * 1000 + i;
+    }
+    // One submitted command per request: fresh payload, fresh scalar.
+    auto replay = exec.launch(
+        stream,
+        runtime::GraphUpdates()
+            .copy_in(0, request)
+            .args(0, runtime::KernelArgs().arg(in).arg(out)
+                         .scalar(kMul).scalar(r)));
+    replay.wait();
+    for (unsigned i = 0; i < kN; ++i) {
+      if (result[i] != kMul * request[i] + r) {
+        std::printf("MISMATCH request %u elem %u: %u != %u\n", r, i,
+                    result[i], kMul * request[i] + r);
+        return 1;
+      }
+    }
+    std::printf("request %u served: out[0]=%u  (%u rounds, %llu staged "
+                "words)\n",
+                r, result[0], replay.stats().rounds,
+                static_cast<unsigned long long>(replay.stats().staged_words));
+  }
+
+  const auto t = dev.scheduler().timeline();
+  std::printf("\n%u replays, modeled dispatch %.2f us total "
+              "(%.2f us/request; an eager pipeline pays ~%.2f us/request)\n",
+              t.graph_replays, t.dispatch_us - dispatch0,
+              (t.dispatch_us - dispatch0) / kRequests,
+              3 * runtime::HostCost::kSubmitUs +
+                  2 * runtime::HostCost::kCopyPrepUs +
+                  runtime::launch_prep_us(4, 4, 2));
+  return 0;
+}

@@ -298,11 +298,25 @@ class AsmContext {
     return kernels_.back();
   }
 
-  /// Footprint operand: "name" (whole buffer) or "name+extent".
+  /// Footprint operand: "name" (whole buffer), "name+extent" (leading
+  /// words), or the per-thread forms "name@tid" / "name@tid+window"
+  /// (thread t touches [base + t, base + t + window), default window 1).
   core::Footprint parse_footprint(int line, Lexer& lex, const char* what) {
-    const Token name = lex.next();
+    Token name = lex.next();
     if (name.kind != Token::Kind::Ident) {
       fail(line, std::string(what) + " needs a parameter name");
+    }
+    // The lexer keeps '@' inside identifiers (guard syntax), so "x@tid"
+    // arrives as one token; split the per-thread marker back off.
+    bool per_thread = false;
+    const auto at = name.text.find('@');
+    if (at != std::string::npos) {
+      if (name.text.substr(at) != "@tid") {
+        fail(line, std::string(what) + " footprint modifier must be @tid, "
+                   "got '" + name.text.substr(at) + "'");
+      }
+      per_thread = true;
+      name.text.resize(at);
     }
     auto& k = current_kernel(line, what);
     const int idx = k.param_index(name.text);
@@ -314,7 +328,7 @@ class AsmContext {
       fail(line, std::string(what) + " footprints apply to buffer "
                  "parameters; '" + name.text + "' is a scalar");
     }
-    std::int64_t extent = 0;
+    std::int64_t extent = per_thread ? 1 : 0;
     if (lex.peek().kind != Token::Kind::End) {
       extent = immediate(line, lex.next());
       if (extent <= 0 || extent > 0xffffffffll) {
@@ -323,7 +337,7 @@ class AsmContext {
       }
     }
     return {static_cast<std::uint32_t>(idx),
-            static_cast<std::uint32_t>(extent)};
+            static_cast<std::uint32_t>(extent), per_thread};
   }
 
   void parse_directive(int line, const std::string& s) {

@@ -93,19 +93,26 @@ std::string kernel_metadata_text(const Program& program) {
           << (p.kind == KernelParam::Kind::Buffer ? "buffer" : "scalar")
           << "\n";
     }
-    for (const auto& r : k.reads) {
-      out << "# .reads " << k.params.at(r.param).name;
-      if (r.extent != 0) {
-        out << "+" << r.extent;
+    const auto emit_footprint = [&out, &k](const char* directive,
+                                           const Footprint& fp) {
+      out << "# " << directive << " " << k.params.at(fp.param).name;
+      if (fp.per_thread) {
+        // Per-thread form: "+extent" only when the window is not the
+        // default single word, so the text round-trips exactly.
+        out << "@tid";
+        if (fp.extent != 1) {
+          out << "+" << fp.extent;
+        }
+      } else if (fp.extent != 0) {
+        out << "+" << fp.extent;
       }
       out << "\n";
+    };
+    for (const auto& r : k.reads) {
+      emit_footprint(".reads", r);
     }
     for (const auto& w : k.writes) {
-      out << "# .writes " << k.params.at(w.param).name;
-      if (w.extent != 0) {
-        out << "+" << w.extent;
-      }
-      out << "\n";
+      emit_footprint(".writes", w);
     }
     for (const auto& r : k.refs) {
       out << "# .ref @" << r.pc << " " << k.params.at(r.param).name << "+"
@@ -197,14 +204,26 @@ std::vector<KernelInfo> parse_kernel_metadata(
       if (!(in >> token)) {
         meta_fail(raw, word + " needs a parameter name");
       }
-      const auto [name, extent] = split_extent(token, raw);
+      auto [name, extent] = split_extent(token, raw);
+      // Per-thread footprints carry the "@tid" marker on the name part
+      // ("x@tid" or "x@tid+window"); strip it back off.
+      bool per_thread = false;
+      const auto at = name.find('@');
+      if (at != std::string::npos) {
+        if (name.substr(at) != "@tid") {
+          meta_fail(raw, "footprint modifier must be @tid");
+        }
+        per_thread = true;
+        name.resize(at);
+      }
       const int idx = k.param_index(name);
       if (idx < 0) {
         meta_fail(raw, "unknown parameter " + name);
       }
       // Re-establish what the assembler enforced: footprints apply to
       // buffer parameters, and an explicit extent is a positive word
-      // count (0 is spelled by omitting the extent).
+      // count (0 is spelled by omitting the extent; a per-thread window
+      // defaults to 1).
       if (k.params[idx].kind != KernelParam::Kind::Buffer) {
         meta_fail(raw, "footprint on scalar parameter " + name);
       }
@@ -212,8 +231,11 @@ std::vector<KernelInfo> parse_kernel_metadata(
           (extent <= 0 || extent > 0xffffffffll)) {
         meta_fail(raw, "footprint extent must be a positive word count");
       }
+      if (per_thread && extent == 0) {
+        extent = 1;
+      }
       Footprint fp{static_cast<std::uint32_t>(idx),
-                   static_cast<std::uint32_t>(extent)};
+                   static_cast<std::uint32_t>(extent), per_thread};
       (word == ".reads" ? k.reads : k.writes).push_back(fp);
     } else if (word == ".ref") {
       std::string at, token;

@@ -39,12 +39,22 @@ struct ParamRef {
   friend bool operator==(const ParamRef&, const ParamRef&) = default;
 };
 
-/// Declared data footprint over one buffer parameter: the kernel touches
-/// words [base, base + extent) of the bound buffer (extent 0 = the whole
-/// bound buffer).
+/// Declared data footprint over one buffer parameter.
+///
+/// Whole-launch form (`per_thread` false): the kernel touches words
+/// [base, base + extent) of the bound buffer (extent 0 = the whole bound
+/// buffer), independent of which threads run.
+///
+/// Per-thread form (`per_thread` true, the `@tid` directive suffix): thread
+/// t touches words [base + t, base + t + extent) -- the elementwise access
+/// shape. Here `extent` is the per-thread window (>= 1; the FIR kernel
+/// declares its tap window as `x@tid+taps`). The runtime scales these by
+/// each round's thread slice, so a multi-round or multi-core launch stages
+/// only the slice a core actually covers instead of the whole-launch range.
 struct Footprint {
   std::uint32_t param = 0;
   std::uint32_t extent = 0;
+  bool per_thread = false;
 
   friend bool operator==(const Footprint&, const Footprint&) = default;
 };

@@ -133,9 +133,9 @@ std::string vecadd_abi() {
          ".param a buffer\n"
          ".param b buffer\n"
          ".param c buffer\n"
-         ".reads a\n"
-         ".reads b\n"
-         ".writes c\n"
+         ".reads a@tid\n"
+         ".reads b@tid\n"
+         ".writes c@tid\n"
          "movsr %r0, %tid\n"
          "lds %r1, [%r0 + $a]\n"
          "lds %r2, [%r0 + $b]\n"
@@ -151,9 +151,9 @@ std::string saxpy_abi(unsigned q) {
          ".param y buffer\n"
          ".param out buffer\n"
          ".param alpha scalar\n"
-         ".reads x\n"
-         ".reads y\n"
-         ".writes out\n"
+         ".reads x@tid\n"
+         ".reads y@tid\n"
+         ".writes out@tid\n"
          "movsr %r0, %tid\n"
          "lds %r1, [%r0 + $x]\n"
          "movi %r2, $alpha\n" +
@@ -171,9 +171,12 @@ std::string fir_abi(unsigned taps, unsigned q) {
       ".param x buffer\n"
       ".param coef buffer\n"
       ".param y buffer\n"
-      ".reads x\n"
+      // Thread t reads the tap window x[t, t + taps); declaring it per
+      // thread lets multicore staging ship each core only its slice of the
+      // signal instead of the whole-launch range.
+      ".reads x@tid+" + num(taps) + "\n"
       ".reads coef\n"
-      ".writes y\n"
+      ".writes y@tid\n"
       "movsr %r0, %tid\n"
       "movi %r5, $coef\n"
       "movi %r6, 0\n";
@@ -197,8 +200,8 @@ std::string scale_abi() {
          ".param out buffer\n"
          ".param mul scalar\n"
          ".param add scalar\n"
-         ".reads in\n"
-         ".writes out\n"
+         ".reads in@tid\n"
+         ".writes out@tid\n"
          "movsr %r0, %tid\n"
          "lds %r1, [%r0 + $in]\n"
          "movi %r2, $mul\n"
@@ -206,6 +209,26 @@ std::string scale_abi() {
          "addi %r3, %r3, $add\n"
          "sts [%r0 + $out], %r3\n"
          "exit\n";
+}
+
+std::string reduce_abi(unsigned per_thread) {
+  const unsigned shift = log2_exact(per_thread, "reduce chunk");
+  std::string src =
+      ".kernel reduce\n"
+      ".param in buffer\n"
+      ".param out buffer\n"
+      ".reads in\n"
+      ".writes out@tid\n"
+      "movsr %r0, %tid\n"
+      "shli %r1, %r0, " + num(shift) + "\n"
+      "movi %r2, 0\n";
+  for (unsigned j = 0; j < per_thread; ++j) {
+    src += "lds %r3, [%r1 + $in + " + num(j) + "]\n";
+    src += "add %r2, %r2, %r3\n";
+  }
+  src += "sts [%r0 + $out], %r2\n";
+  src += "exit\n";
+  return src;
 }
 
 std::string histogram(std::uint32_t data_base, std::uint32_t hist_base,

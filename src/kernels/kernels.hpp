@@ -72,4 +72,13 @@ std::string fir_abi(unsigned taps, unsigned q);
 /// expects.
 std::string scale_abi();
 
+/// Chunked partial-sum reduction: thread t writes
+/// out[t] = sum_j in[t * per_thread + j] for j in [0, per_thread)
+/// (per_thread a power of two; launch with n / per_thread threads over n
+/// inputs). Kernel "reduce"; params (in, out: buffer). Unlike
+/// tree_reduce_sum this needs no cross-thread coordination inside the
+/// launch, so it shards safely across multicore private memories; the host
+/// (or a second pass) folds the partials.
+std::string reduce_abi(unsigned per_thread);
+
 }  // namespace simt::kernels

@@ -31,9 +31,15 @@ class KernelArgs {
     return *this;
   }
 
-  /// Bind a Buffer<T> handle (anything with word_base()/size()).
+  /// Bind a Buffer<T> handle (anything with word_base()/size()). Handles
+  /// that track their allocation generation (runtime::Buffer) are checked
+  /// here, so binding a buffer from before Device::mem_reset() throws at
+  /// argument-build time instead of silently aliasing reclaimed words.
   template <typename B>
   KernelArgs& arg(const B& buf) {
+    if constexpr (requires { buf.ensure_current(); }) {
+      buf.ensure_current();
+    }
     return buffer(buf.word_base(), static_cast<std::uint32_t>(buf.size()));
   }
 

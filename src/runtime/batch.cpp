@@ -38,6 +38,29 @@ std::span<const std::uint32_t> BatchQueue::Ticket::result() const {
   return {batch_->host_out.data() + offset_, words_};
 }
 
+std::span<const std::uint32_t> BatchQueue::Ticket::result_after(
+    const Event& replay) const {
+  if (!batch_ || !batch_->flushed) {
+    throw Error("batch not flushed yet; flush() the queue");
+  }
+  if (!batch_->event.captured()) {
+    throw Error("result_after is for graph-captured batches; this batch "
+                "flushed eagerly -- use result()");
+  }
+  // The replay must come from the graph this batch's flush was captured
+  // into; any other completed event says nothing about this batch's
+  // copy-out having run.
+  if (replay.graph_identity() == nullptr ||
+      replay.graph_identity() != batch_->event.graph_identity()) {
+    throw Error("result_after needs the Event of a replay of the graph "
+                "this batch was captured into");
+  }
+  if (!replay.done()) {
+    throw Error("graph replay not complete; wait() on its event first");
+  }
+  return {batch_->host_out.data() + offset_, words_};
+}
+
 BatchQueue::BatchQueue(Stream& stream, Kernel kernel, Buffer<std::uint32_t> in,
                        Buffer<std::uint32_t> out, unsigned request_threads,
                        KernelArgs args)

@@ -19,6 +19,16 @@
 // per-client queues over private buffers) share the same assembled kernel
 // and differ only in the KernelArgs bound at flush time. submit()/flush()
 // are host-thread-safe, so server worker threads can feed a queue directly.
+//
+// Graph capture: a flush() issued while the queue's stream is capturing
+// records the batch pipeline (copy-in, coalesced launch, copy-out) into
+// the graph instead of executing it -- the standard way to freeze the
+// serving fast path. The captured flush's tickets never resolve on their
+// own (their events are graph nodes); each replay refreshes the batch's
+// host output area, and Ticket::result_after(replay_event) reads a
+// request's slice once a replay has completed. The queue must outlive the
+// replays (it owns the output storage the captured copy-out lands in),
+// and per-replay inputs are fed with GraphUpdates::copy_in.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +68,11 @@ class BatchQueue {
     Event event() const;
     /// This request's output slice; throws until done().
     std::span<const std::uint32_t> result() const;
+    /// This request's output slice after a graph replay: a captured
+    /// batch's own events are graph nodes and never resolve, so the
+    /// caller hands in the replay's Event (from GraphExec::launch, which
+    /// must cover this batch's captured flush) once it is done().
+    std::span<const std::uint32_t> result_after(const Event& replay) const;
 
    private:
     friend class BatchQueue;

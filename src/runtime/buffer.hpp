@@ -30,12 +30,28 @@ class Buffer {
 
  public:
   Buffer() = default;
-  Buffer(Device* dev, std::uint32_t base, std::size_t count)
-      : dev_(dev), base_(base), count_(count) {}
+  Buffer(Device* dev, std::uint32_t base, std::size_t count,
+         std::uint64_t generation = 0)
+      : dev_(dev), base_(base), count_(count), generation_(generation) {}
 
   bool valid() const { return dev_ != nullptr; }
   std::uint32_t word_base() const { return base_; }
   std::size_t size() const { return count_; }
+
+  /// Throw if this handle predates a Device::mem_reset(): the arena words
+  /// it names have been reclaimed, and touching them would silently alias
+  /// whatever the allocator handed out since. Called by every access on
+  /// the buffer itself and by Stream::copy_in/copy_out.
+  void ensure_current() const {
+    if (dev_ != nullptr && dev_->allocation_generation() != generation_) {
+      throw Error("use of a buffer handle from before mem_reset(): " +
+                  std::to_string(count_) + " words at word " +
+                  std::to_string(base_) + " were reclaimed (allocation "
+                  "generation " + std::to_string(generation_) + ", device "
+                  "is at " +
+                  std::to_string(dev_->allocation_generation()) + ")");
+    }
+  }
 
   /// Host -> device. `host.size()` must not exceed the buffer size.
   void write(std::span<const T> host) {
@@ -71,6 +87,7 @@ class Buffer {
     if (!dev_) {
       throw Error("use of an invalid buffer handle");
     }
+    ensure_current();
     if (n > count_) {
       throw Error("buffer access of " + std::to_string(n) +
                   " elements exceeds buffer size " + std::to_string(count_));
@@ -87,11 +104,14 @@ class Buffer {
   Device* dev_ = nullptr;
   std::uint32_t base_ = 0;
   std::size_t count_ = 0;
+  /// Device::allocation_generation() at allocation time; a mem_reset()
+  /// since then invalidates the handle (see ensure_current).
+  std::uint64_t generation_ = 0;
 };
 
 template <typename T>
 Buffer<T> Device::alloc(std::size_t count, unsigned align) {
-  return Buffer<T>(this, pool_.allocate(count, align), count);
+  return Buffer<T>(this, pool_.allocate(count, align), count, alloc_gen_);
 }
 
 }  // namespace simt::runtime

@@ -126,7 +126,20 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
   // kernel may actually touch: reads for its inputs, writes so the
   // post-round store-window diff runs against an up-to-date image. The
   // rest stays in the shard map for whichever later launch needs it.
-  const RangeSet touched = union_sets(footprint.reads, footprint.writes);
+  // Thread-independent ranges are shared by every core; per-thread
+  // (`@tid`) declarations are expanded against each core's thread slice
+  // below, so a core ships only the slice it covers.
+  const RangeSet touched_static =
+      union_sets(footprint.reads, footprint.writes);
+  // Expand the sliced footprints over threads [lo, hi) of the grid.
+  const auto slice_ranges = [](const std::vector<SlicedFootprint>& sliced,
+                               unsigned lo, unsigned hi) {
+    RangeSet set;
+    for (const auto& s : sliced) {
+      set.insert(s.base + lo, s.base + hi - 1 + s.window);
+    }
+    return set;
+  };
   // Words skipped versus the conservative restage, deduplicated across
   // rounds (a core dispatched in several rounds skips the same leftover
   // ranges each time, but conservative would have staged them once).
@@ -155,12 +168,20 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
     // copying only its stale ranges from the master (the shard map),
     // then shard the grid by %tid base.
     std::vector<system::Dispatch> dispatches;
+    std::vector<unsigned> slice_lo(num_cores, 0);  ///< per-core %tid base
     unsigned base = done;
     for (unsigned c = 0; c < cores_used; ++c) {
       if (sizes[c] == 0) {
         continue;
       }
       auto& gpu = sys_.core(c);
+      RangeSet touched = touched_static;
+      if (footprint.declared) {
+        const RangeSet sliced = union_sets(
+            slice_ranges(footprint.sliced_reads, base, base + sizes[c]),
+            slice_ranges(footprint.sliced_writes, base, base + sizes[c]));
+        touched = union_sets(touched, sliced);
+      }
       const RangeSet to_stage =
           footprint.declared ? intersect_sets(stale_[c], touched)
                              : std::move(stale_[c]);
@@ -187,6 +208,7 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
       gpu.set_thread_base(base);
       gpu.set_ntid_override(threads);  // %ntid = the logical grid
       dispatches.push_back({c, sizes[c], entry});
+      slice_lo[c] = base;
       base += sizes[c];
     }
 
@@ -234,7 +256,13 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
         windows.insert(lo, hi);
       }
       if (footprint.declared) {
-        windows = intersect_sets(windows, footprint.writes);
+        // Clip to what THIS core may write: the static write ranges plus
+        // its own slice of the per-thread (`@tid`) write declarations.
+        const RangeSet writable = union_sets(
+            footprint.writes,
+            slice_ranges(footprint.sliced_writes, slice_lo[d.core],
+                         slice_lo[d.core] + d.threads));
+        windows = intersect_sets(windows, writable);
       }
       for (const auto& w : windows.ranges()) {
         Shard s;
@@ -460,14 +488,23 @@ LaunchStats Device::launch_sync(const Kernel& kernel, unsigned threads) {
 
 namespace {
 
-/// Absolute footprint ranges of one declared footprint list.
-void add_footprints(RangeSet& set, const std::vector<core::Footprint>& fps,
-                    const KernelArgs& args, unsigned mem_words,
-                    const core::KernelInfo& info) {
+/// Fold one declared footprint list into the plan's absolute footprint:
+/// whole-launch declarations become ranges, per-thread (`@tid`)
+/// declarations become sliced entries the multicore backend expands per
+/// thread slice.
+void add_footprints(RangeSet& set, std::vector<SlicedFootprint>& sliced,
+                    const std::vector<core::Footprint>& fps,
+                    const KernelArgs& args, unsigned threads,
+                    unsigned mem_words, const core::KernelInfo& info) {
   for (const auto& fp : fps) {
     const auto& bound = args.values().at(fp.param);
     const std::uint64_t base = bound.value;
-    const std::uint64_t extent = fp.extent != 0 ? fp.extent : bound.size;
+    // Per-thread: the launch as a whole covers threads [0, threads), so
+    // the widest range any slice can see is [base, base + threads - 1 +
+    // window). Whole-launch: the declared extent (0 = the bound buffer).
+    const std::uint64_t extent =
+        fp.per_thread ? threads - 1 + fp.extent
+                      : (fp.extent != 0 ? fp.extent : bound.size);
     if (base + extent > mem_words) {
       throw Error("kernel '" + info.name + "' footprint on parameter '" +
                   info.params.at(fp.param).name + "' spans [" +
@@ -476,8 +513,12 @@ void add_footprints(RangeSet& set, const std::vector<core::Footprint>& fps,
                   "), beyond device memory (" + std::to_string(mem_words) +
                   " words)");
     }
-    set.insert(static_cast<std::uint32_t>(base),
-               static_cast<std::uint32_t>(base + extent));
+    if (fp.per_thread) {
+      sliced.push_back({static_cast<std::uint32_t>(base), fp.extent});
+    } else {
+      set.insert(static_cast<std::uint32_t>(base),
+                 static_cast<std::uint32_t>(base + extent));
+    }
   }
 }
 
@@ -485,19 +526,29 @@ void add_footprints(RangeSet& set, const std::vector<core::Footprint>& fps,
 
 LaunchStats Device::launch_sync(const Kernel& kernel, unsigned threads,
                                 const KernelArgs& args) {
+  return execute_plan(prepare_launch(kernel, threads, args));
+}
+
+LaunchPlan Device::prepare_launch(const Kernel& kernel, unsigned threads,
+                                  const KernelArgs& args) const {
   if (!kernel.valid()) {
     throw Error("launch of an invalid kernel handle");
   }
+  check_launch_threads(threads);
   validate_kernel_args(kernel, args);
 
-  LaunchFootprint footprint;
+  LaunchPlan plan;
+  plan.kernel = kernel;
+  plan.threads = threads;
+  plan.args = args;
   // The I-MEM image depends on the binding only when this kernel has
   // relocation sites to patch; everything else shares the pristine image
   // (signature 0), so switching entries in one resident module stays free.
-  const bool has_params = kernel.info != nullptr && !args.empty();
-  const bool patches = has_params && !kernel.info->refs.empty();
-  std::uint64_t sig = patches ? kernel.entry ^ args.signature() : 0;
-  if (has_params) {
+  plan.has_params = kernel.info != nullptr && !args.empty();
+  plan.patches = plan.has_params && !kernel.info->refs.empty();
+  plan.sig = plan.patches ? kernel.entry ^ args.signature() : 0;
+  plan.alloc_gen = alloc_gen_;
+  if (plan.has_params) {
     if (mem_words() <= kParamWindowWords) {
       throw Error("device memory too small for the parameter window");
     }
@@ -519,21 +570,48 @@ LaunchStats Device::launch_sync(const Kernel& kernel, unsigned threads,
       }
     }
     if (kernel.info->has_footprints()) {
-      footprint.declared = true;
-      add_footprints(footprint.reads, kernel.info->reads, args, mem_words(),
-                     *kernel.info);
-      add_footprints(footprint.writes, kernel.info->writes, args,
-                     mem_words(), *kernel.info);
+      auto& fp = plan.footprint;
+      fp.declared = true;
+      add_footprints(fp.reads, fp.sliced_reads, kernel.info->reads, args,
+                     threads, mem_words(), *kernel.info);
+      add_footprints(fp.writes, fp.sliced_writes, kernel.info->writes, args,
+                     threads, mem_words(), *kernel.info);
       // The parameter window itself is launch input: keep it in the read
       // set so multicore staging ships the fresh binding to the cores.
-      footprint.reads.insert(window,
-                             window + static_cast<std::uint32_t>(args.size()));
+      fp.reads.insert(window,
+                      window + static_cast<std::uint32_t>(args.size()));
     }
   }
+  return plan;
+}
 
+void Device::rebind(LaunchPlan& plan, KernelArgs args) const {
+  // Everything argument-dependent is re-derived; everything else (kernel,
+  // threads, the patch sites themselves) is frozen in the plan. A full
+  // prepare_launch is the simple way to get exactly that set.
+  plan = prepare_launch(plan.kernel, plan.threads, args);
+}
+
+LaunchStats Device::execute_plan(const LaunchPlan& plan) {
+  const Kernel& kernel = plan.kernel;
+  const KernelArgs& args = plan.args;
+  if (plan.alloc_gen != alloc_gen_) {
+    // A frozen plan holds absolute buffer bases; after a mem_reset()
+    // those words belong to whoever allocated since. Refuse if any
+    // buffer is bound (scalar-only bindings reference no memory).
+    for (const auto& v : args.values()) {
+      if (v.kind == core::KernelParam::Kind::Buffer) {
+        throw Error("launch plan predates mem_reset(): its bound buffer "
+                    "bases were reclaimed (plan generation " +
+                    std::to_string(plan.alloc_gen) + ", device is at " +
+                    std::to_string(alloc_gen_) +
+                    "); rebind with fresh buffers");
+      }
+    }
+  }
   std::lock_guard<std::mutex> lock(exec_mutex_);
-  if (kernel.module != resident_ || sig != resident_sig_) {
-    if (patches) {
+  if (kernel.module != resident_ || plan.sig != resident_sig_) {
+    if (plan.patches) {
       // The loader patch: bind the argument values into the module's
       // $param relocation sites. A copy of the decoded program, a few
       // immediate stores, one I-MEM load -- no re-assembly.
@@ -551,9 +629,9 @@ LaunchStats Device::launch_sync(const Kernel& kernel, unsigned threads,
       backend_->load_program(kernel.module->program());
     }
     resident_ = kernel.module;
-    resident_sig_ = sig;
+    resident_sig_ = plan.sig;
   }
-  if (has_params) {
+  if (plan.has_params) {
     // Record the binding in the parameter window (word i = argument i) --
     // the launch's argument block, visible to host tooling and device
     // code alike.
@@ -564,7 +642,8 @@ LaunchStats Device::launch_sync(const Kernel& kernel, unsigned threads,
     }
     backend_->write_words(param_window_base(), window_words);
   }
-  LaunchStats stats = backend_->launch(kernel.entry, threads, footprint);
+  LaunchStats stats =
+      backend_->launch(kernel.entry, plan.threads, plan.footprint);
   // Single-engine backends stage through the host interface before the
   // launch, so their in-launch staging model is pure execution.
   if (stats.serial_cycles == 0 && stats.overlap_cycles == 0) {

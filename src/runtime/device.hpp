@@ -111,15 +111,29 @@ struct LaunchStats {
   }
 };
 
+/// One per-thread (`@tid`) footprint resolved against its bound buffer:
+/// thread t touches absolute words [base + t, base + t + window). The
+/// multicore backend scales these by each round's thread slice, so a core
+/// dispatched over threads [lo, hi) stages [base + lo, base + hi - 1 +
+/// window) instead of the whole-launch range.
+struct SlicedFootprint {
+  std::uint32_t base = 0;    ///< bound buffer word base
+  std::uint32_t window = 1;  ///< words per thread
+};
+
 /// Absolute device-memory footprint of one launch, derived from the
 /// kernel's declared `.reads`/`.writes` and the bound buffer arguments.
 /// When `declared` is false (legacy kernels, or kernels without footprint
 /// directives), staging falls back to the conservative restage-everything
-/// path.
+/// path. `reads`/`writes` hold the whole-launch (thread-independent)
+/// ranges, including the parameter window; per-thread declarations land in
+/// `sliced_reads`/`sliced_writes` and are expanded per thread slice.
 struct LaunchFootprint {
   bool declared = false;
   RangeSet reads;   ///< words the kernel may load (incl. the param window)
   RangeSet writes;  ///< words the kernel may store
+  std::vector<SlicedFootprint> sliced_reads;
+  std::vector<SlicedFootprint> sliced_writes;
 };
 
 /// The pluggable engine interface. Backends expose a flat word-addressed
@@ -271,6 +285,30 @@ class MemoryPool {
   unsigned next_ = 0;
 };
 
+/// A pre-resolved launch: everything the runtime derives from a (kernel,
+/// threads, args) triple before touching the backend. `Device::
+/// prepare_launch` validates the argument set, resolves the relocation
+/// patch plan (the kernel's `$param` sites against the bound values, keyed
+/// by `sig` so an unchanged binding skips both the patch and the I-MEM
+/// reload), and intersects the declared footprints with the bound buffers
+/// into the absolute staging footprint. `Device::execute_plan` replays a
+/// plan without redoing any of that work -- the execution-graph path
+/// prepares each captured launch once at instantiate time and re-executes
+/// per replay, rebinding arguments with `Device::rebind`.
+struct LaunchPlan {
+  Kernel kernel{};
+  unsigned threads = 0;
+  KernelArgs args{};
+  bool has_params = false;  ///< binds arguments (param window is written)
+  bool patches = false;     ///< kernel has `$param` sites to patch
+  std::uint64_t sig = 0;    ///< resident-binding signature (entry ^ args)
+  LaunchFootprint footprint{};
+  /// Device::allocation_generation() when the plan was prepared: a
+  /// mem_reset() since then invalidates any bound buffer bases, and
+  /// execute_plan refuses to run such a plan (rebind with fresh handles).
+  std::uint64_t alloc_gen = 0;
+};
+
 class Device {
  public:
   explicit Device(DeviceDescriptor desc);
@@ -315,8 +353,16 @@ class Device {
   /// word-aligned (defined in runtime/buffer.hpp).
   template <typename T>
   Buffer<T> alloc(std::size_t count, unsigned align = 1);
-  /// Reclaim the whole allocation arena (buffers become dangling).
-  void mem_reset() { pool_.reset(); }
+  /// Reclaim the whole allocation arena. Outstanding Buffer handles are
+  /// invalidated -- they carry the allocation generation they were created
+  /// in, and using one from before the reset throws instead of silently
+  /// aliasing whatever the arena hands out next.
+  void mem_reset() {
+    pool_.reset();
+    ++alloc_gen_;
+  }
+  /// Bumped by every mem_reset(); Buffer handles stamp it at allocation.
+  std::uint64_t allocation_generation() const { return alloc_gen_; }
   MemoryPool& mem() { return pool_; }
 
   /// Raw word-level staging, bounds-checked against device memory and
@@ -343,6 +389,22 @@ class Device {
   /// does not match the kernel's parameter list.
   LaunchStats launch_sync(const Kernel& kernel, unsigned threads,
                           const KernelArgs& args);
+
+  // ---- pre-resolved launch plans (the execution-graph path) ---------------
+  /// Validate and resolve a launch once: argument checks, the relocation
+  /// patch plan signature, the parameter-window collision check, and the
+  /// absolute staging footprint. Throws simt::Error on anything
+  /// launch_sync would reject.
+  LaunchPlan prepare_launch(const Kernel& kernel, unsigned threads,
+                            const KernelArgs& args) const;
+  /// Re-derive only the argument-dependent pieces of a plan for a new
+  /// binding (signature + footprint); the kernel, thread count, and patch
+  /// sites stay frozen. Throws on an argument set the kernel rejects.
+  void rebind(LaunchPlan& plan, KernelArgs args) const;
+  /// Execute a prepared plan: patch + reload the I-MEM only if the
+  /// resident binding differs, record the parameter window, run the grid,
+  /// and roll wall-clock up -- the body launch_sync runs after preparing.
+  LaunchStats execute_plan(const LaunchPlan& plan);
 
   /// Reserved words at the top of device memory where each param launch's
   /// bound values land (word i = argument i), observable by the host and
@@ -375,6 +437,9 @@ class Device {
   DeviceDescriptor desc_;
   std::unique_ptr<DeviceBackend> backend_;
   MemoryPool pool_;
+  /// Allocation generation: bumped by mem_reset() so stale Buffer handles
+  /// are detected instead of aliasing re-used arena words.
+  std::uint64_t alloc_gen_ = 0;
   /// Guards the module cache (load_module may race from host worker
   /// threads feeding streams concurrently).
   mutable std::mutex module_mutex_;

@@ -27,6 +27,16 @@ using Ticket = std::uint64_t;
 struct EventState {
   std::atomic<bool> complete{false};
   std::atomic<bool> failed{false};
+  /// The event was recorded while its stream was capturing into a Graph:
+  /// it names a graph node, not a scheduled command, and never resolves.
+  /// Waiting on it throws; Stream::wait treats it as already satisfied by
+  /// the capture order. `capture_graph` identifies the owning capture --
+  /// and is also set (with `captured` false) on the Event a graph replay
+  /// returns, naming the Graph the executable came from, so consumers can
+  /// pair captured handles with replays of the same graph (pointer
+  /// identity only; never dereferenced).
+  bool captured = false;
+  const void* capture_graph = nullptr;
   LaunchStats stats{};
   /// Host-side (simulation) time the command took to execute, for
   /// profiling the simulator itself; unrelated to the modeled wall_us.
@@ -62,6 +72,19 @@ class Event {
     return state_ && state_->failed.load(std::memory_order_acquire);
   }
 
+  /// Was this event recorded during graph capture? A captured event names
+  /// a node of the graph, not work in flight: it never completes, and
+  /// wait()/stats() on it throw. Launch the instantiated graph and use
+  /// the Event GraphExec::launch returns instead.
+  bool captured() const { return state_ && state_->captured; }
+
+  /// Identity of the graph this event is tied to: the Graph captured into
+  /// (captured events) or instantiated from (replay events); null for
+  /// ordinary stream events. Pointer identity only -- never dereference.
+  const void* graph_identity() const {
+    return state_ ? state_->capture_graph : nullptr;
+  }
+
   /// Block until the scheduler has executed this launch; rethrows the
   /// command's error if it faulted (every time -- a failed event stays
   /// failed). No-op on a default-constructed event.
@@ -95,6 +118,7 @@ class Event {
  private:
   friend class Scheduler;
   friend class Stream;
+  friend class GraphExec;
   std::shared_ptr<EventState> state_;
 };
 

@@ -1,0 +1,270 @@
+#include "runtime/graph.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/staging.hpp"
+#include "runtime/stream.hpp"
+
+namespace simt::runtime {
+
+namespace {
+
+std::size_t count_kind(const std::vector<StreamOp>& nodes,
+                       StreamOp::Kind kind) {
+  std::size_t n = 0;
+  for (const auto& op : nodes) {
+    if (op.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+/// Fold one replayed launch into the replay's aggregate stats. Clock-side
+/// counters sum (the launches ran back to back on the captured stream);
+/// per-core slices are not aggregated across launches.
+void fold_stats(LaunchStats& agg, const LaunchStats& s) {
+  agg.perf.add_work(s.perf);
+  agg.perf.add_clocks(s.perf);
+  agg.exited = agg.exited && s.exited;
+  agg.rounds += s.rounds;
+  agg.wall_us += s.wall_us;
+  agg.staged_words += s.staged_words;
+  agg.merged_words += s.merged_words;
+  agg.staged_words_skipped += s.staged_words_skipped;
+  agg.serial_cycles += s.serial_cycles;
+  agg.overlap_cycles += s.overlap_cycles;
+  agg.serial_wall_us += s.serial_wall_us;
+  agg.overlap_wall_us += s.overlap_wall_us;
+}
+
+}  // namespace
+
+// ---- Graph -----------------------------------------------------------------
+
+std::size_t Graph::launch_count() const {
+  return count_kind(nodes_, StreamOp::Kind::Launch);
+}
+
+std::size_t Graph::copy_in_count() const {
+  return count_kind(nodes_, StreamOp::Kind::CopyIn);
+}
+
+void Graph::clear() {
+  if (capturing_) {
+    throw Error("clear() of a graph while a stream is capturing into it");
+  }
+  nodes_.clear();
+  dev_ = nullptr;
+}
+
+GraphExec Graph::instantiate() const {
+  if (capturing_) {
+    throw Error("instantiate() before end_capture(): the graph is still "
+                "recording");
+  }
+  if (dev_ == nullptr || nodes_.empty()) {
+    throw Error("instantiate() of an empty graph: capture a command "
+                "sequence first");
+  }
+  auto state = std::make_shared<GraphExec::State>();
+  state->dev = dev_;
+  state->origin = this;
+  state->nodes = nodes_;
+  state->staging_words_per_cycle = dev_->descriptor().staging_words_per_cycle;
+  // Validate once, here, what eager submission re-validates per launch:
+  // prepare_launch resolves each launch node's patch plan, binding
+  // signature, and staging footprint into a frozen LaunchPlan.
+  for (std::size_t i = 0; i < state->nodes.size(); ++i) {
+    const auto& op = state->nodes[i];
+    switch (op.kind) {
+      case StreamOp::Kind::Launch:
+        state->launch_nodes.push_back(i);
+        state->plans.push_back(
+            dev_->prepare_launch(op.kernel, op.threads, op.args));
+        break;
+      case StreamOp::Kind::CopyIn:
+        state->copy_in_nodes.push_back(i);
+        break;
+      case StreamOp::Kind::CopyOut:
+      case StreamOp::Kind::Marker:
+        break;
+    }
+  }
+  GraphExec exec;
+  exec.state_ = std::move(state);
+  return exec;
+}
+
+// ---- GraphExec -------------------------------------------------------------
+
+std::size_t GraphExec::node_count() const {
+  return state_ ? state_->nodes.size() : 0;
+}
+
+std::size_t GraphExec::launch_count() const {
+  return state_ ? state_->launch_nodes.size() : 0;
+}
+
+std::size_t GraphExec::copy_in_count() const {
+  return state_ ? state_->copy_in_nodes.size() : 0;
+}
+
+LaunchPlan GraphExec::plan(std::size_t launch_index) const {
+  if (!state_ || launch_index >= state_->plans.size()) {
+    throw Error("graph launch index out of range");
+  }
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->plans[launch_index];
+}
+
+Event GraphExec::launch(Stream& stream, GraphUpdates updates) {
+  if (!state_) {
+    throw Error("launch of an empty GraphExec; instantiate a graph first");
+  }
+  auto state = state_;
+  if (&stream.device() != state->dev) {
+    throw Error("graph replay on a stream of another device");
+  }
+
+  // Validate the updates now, on the submitting thread, so a bad rebind
+  // throws here instead of surfacing as a sticky stream error. The
+  // mutation itself is deferred to the executor (first sub-command) so an
+  // in-flight earlier replay is never rebound under. State::mutex covers
+  // these reads (and the payload-size reads below) against that earlier
+  // replay's executor-side apply.
+  std::unique_lock<std::mutex> state_lock(state->mutex);
+  double rebind_us = 0.0;
+  for (const auto& [idx, args] : updates.args_) {
+    if (idx >= state->plans.size()) {
+      throw Error("graph argument update names launch " +
+                  std::to_string(idx) + " of a graph with " +
+                  std::to_string(state->plans.size()) + " launches");
+    }
+    validate_kernel_args(state->plans[idx].kernel, args);
+    const auto* info = state->plans[idx].kernel.info;
+    rebind_us += launch_prep_us(
+        args.size(), 0,
+        info != nullptr ? info->reads.size() + info->writes.size() : 0);
+  }
+  for (const auto& [idx, data] : updates.copies_) {
+    if (idx >= state->copy_in_nodes.size()) {
+      throw Error("graph copy update names copy-in " + std::to_string(idx) +
+                  " of a graph with " +
+                  std::to_string(state->copy_in_nodes.size()) + " copy-ins");
+    }
+    const auto& node = state->nodes[state->copy_in_nodes[idx]];
+    if (data.size() != node.data.size()) {
+      throw Error("graph copy update of " + std::to_string(data.size()) +
+                  " words against a captured transfer of " +
+                  std::to_string(node.data.size()) +
+                  " (staging extents are frozen at capture)");
+    }
+    rebind_us += HostCost::kCopyPrepUs;
+  }
+
+  auto event_state = std::make_shared<EventState>();
+  // Replay events carry the source graph's identity (captured stays
+  // false: this event resolves normally) so captured-batch results can
+  // check they are paired with a replay of their own graph.
+  event_state->capture_graph = state->origin;
+  auto agg = std::make_shared<LaunchStats>();
+  agg->exited = true;
+
+  Scheduler::Command cmd;
+  cmd.engine = EngineKind::None;
+  cmd.event = event_state;
+  // One submission for the whole replay: the frozen-plan walk plus the
+  // requested rebinds is all the host-side work left.
+  cmd.prep_us =
+      static_cast<double>(state->nodes.size()) * HostCost::kReplayNodeUs +
+      rebind_us;
+
+  if (!updates.empty()) {
+    Scheduler::Command apply;
+    apply.engine = EngineKind::None;
+    apply.run = [state,
+                 updates = std::move(updates)]() mutable -> std::uint64_t {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      for (const auto& [idx, args] : updates.args_) {
+        state->dev->rebind(state->plans[idx], args);
+      }
+      for (auto& [idx, data] : updates.copies_) {
+        // Safe to steal: the composite runs once, then is destroyed.
+        state->nodes[state->copy_in_nodes[idx]].data = std::move(data);
+      }
+      return 0;
+    };
+    cmd.sub.push_back(std::move(apply));
+  }
+
+  std::size_t plan_index = 0;
+  for (std::size_t i = 0; i < state->nodes.size(); ++i) {
+    Scheduler::Command sub;
+    switch (state->nodes[i].kind) {
+      case StreamOp::Kind::CopyIn: {
+        sub.engine = EngineKind::Copy;
+        sub.words = state->nodes[i].data.size();
+        sub.channel = stream.channel();
+        const std::uint64_t cycles =
+            staging_cycles(sub.words, state->staging_words_per_cycle);
+        sub.run = [state, i, cycles] {
+          const auto& node = state->nodes[i];
+          state->dev->write_words(node.base, node.data);
+          return cycles;
+        };
+        break;
+      }
+      case StreamOp::Kind::CopyOut: {
+        sub.engine = EngineKind::Copy;
+        sub.words = state->nodes[i].count;
+        sub.channel = stream.channel();
+        const std::uint64_t cycles =
+            staging_cycles(sub.words, state->staging_words_per_cycle);
+        sub.run = [state, i, cycles] {
+          const auto& node = state->nodes[i];
+          state->dev->read_words(node.base, {node.dst, node.count});
+          return cycles;
+        };
+        break;
+      }
+      case StreamOp::Kind::Launch: {
+        sub.engine = EngineKind::Exec;
+        const std::size_t p = plan_index++;
+        sub.run = [state, agg, p]() -> std::uint64_t {
+          const LaunchStats s = state->dev->execute_plan(state->plans[p]);
+          fold_stats(*agg, s);
+          // The launch occupies the compute array for its overlap-adjusted
+          // span, exactly like an eager stream launch.
+          return s.overlap_cycles;
+        };
+        break;
+      }
+      case StreamOp::Kind::Marker:
+        sub.engine = EngineKind::None;
+        break;
+    }
+    cmd.sub.push_back(std::move(sub));
+  }
+
+  // Finalize: publish the aggregated stats on the replay's event before
+  // the scheduler marks it complete.
+  Scheduler::Command fin;
+  fin.engine = EngineKind::None;
+  fin.run = [event_state, agg]() -> std::uint64_t {
+    event_state->stats = *agg;
+    return 0;
+  };
+  cmd.sub.push_back(std::move(fin));
+
+  state_lock.unlock();
+  stream.submit_command(std::move(cmd));
+  Event event;
+  event.state_ = std::move(event_state);
+  return event;
+}
+
+}  // namespace simt::runtime

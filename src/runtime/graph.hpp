@@ -1,0 +1,178 @@
+// Execution graphs: capture a stream's command sequence once, instantiate
+// it into a pre-resolved executable, and replay it many times with only the
+// arguments changing -- the CUDA Graphs shape.
+//
+// The eGPU line of work shows that for short kernels the host-side dispatch
+// path (enqueue, validate, bind, patch, footprint intersection) dominates
+// wall clock, not the compute array. Eager streams pay that path per
+// command per iteration; a serving loop that runs the same copy-in /
+// launch / copy-out pipeline every request pays it thousands of times for
+// identical answers. A Graph records the pipeline instead of executing it
+// (Stream::begin_capture / end_capture), Graph::instantiate() does the
+// validation and planning exactly once (every launch becomes a frozen
+// Device::LaunchPlan: patch plan, binding signature, staging footprint),
+// and GraphExec::launch() replays the whole sequence as ONE scheduler
+// command -- the scheduler prices the device engines exactly like the
+// eager expansion, but the modeled host dispatch cost is a single
+// submission plus a cheap frozen-plan walk (TimelineStats::dispatch_us).
+//
+// Per-replay rebinding: GraphUpdates swaps a launch node's KernelArgs
+// (re-deriving its signature and footprint through the PR-3 patch plan; an
+// unchanged binding skips the patch and the I-MEM reload exactly like
+// Device::launch_sync) and/or refreshes a copy-in node's payload, so a
+// serving loop feeds new inputs and scalars through the same frozen
+// pipeline. Everything else -- kernels, thread counts, buffers, the
+// command order -- is frozen at capture time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "runtime/args.hpp"
+#include "runtime/device.hpp"
+#include "runtime/event.hpp"
+#include "runtime/module.hpp"
+
+namespace simt::runtime {
+
+class Stream;
+class GraphExec;
+
+/// One stream command in built (not yet executed) form -- the shared
+/// currency of the eager path (converted into a scheduler command and
+/// submitted) and graph capture (recorded as a node). Stream builds ops
+/// once in Stream::submit_op; capture and eager execution are two sinks
+/// for the same structure.
+struct StreamOp {
+  enum class Kind { CopyIn, CopyOut, Launch, Marker };
+  Kind kind = Kind::Marker;
+  std::uint32_t base = 0;           ///< device word base (copies)
+  std::vector<std::uint32_t> data;  ///< CopyIn payload snapshot
+  std::uint32_t* dst = nullptr;     ///< CopyOut destination (caller-owned)
+  std::size_t count = 0;            ///< CopyOut words
+  Kernel kernel{};                  ///< Launch
+  unsigned threads = 0;             ///< Launch grid size
+  KernelArgs args{};                ///< Launch binding at capture time
+};
+
+/// A captured command sequence. Filled by Stream::begin_capture /
+/// end_capture; immutable afterwards except for clear(). Capture is
+/// single-stream: the recorded order IS the replay's in-stream dependency
+/// chain (cross-stream Event waits cannot be captured).
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  bool empty() const { return nodes_.empty(); }
+  std::size_t size() const { return nodes_.size(); }
+  /// Launch nodes in capture order (the ordinals GraphUpdates::args uses).
+  std::size_t launch_count() const;
+  /// Copy-in nodes in capture order (the ordinals GraphUpdates::copy_in
+  /// uses).
+  std::size_t copy_in_count() const;
+  /// The device the capturing stream belonged to (null before capture).
+  Device* device() const { return dev_; }
+
+  /// Drop every captured node so the graph can be re-captured.
+  void clear();
+
+  /// Validate and pre-resolve the whole sequence into an executable:
+  /// every launch node becomes a frozen Device::LaunchPlan (argument
+  /// validation, relocation patch plan, binding signature, absolute
+  /// staging footprint -- work eager launches redo per submission), and
+  /// copy costs are priced once. Throws simt::Error on an empty or
+  /// still-capturing graph, or on any launch launch_sync would reject.
+  GraphExec instantiate() const;
+
+ private:
+  friend class Stream;
+  Device* dev_ = nullptr;
+  bool capturing_ = false;
+  std::vector<StreamOp> nodes_;
+};
+
+/// Per-replay rebinding set for GraphExec::launch. Ordinals count nodes of
+/// the matching kind in capture order (the 0th launch, the 1st copy-in,
+/// ...). Updates are applied on the executor thread at the start of the
+/// replay, so an in-flight earlier replay is never mutated under.
+class GraphUpdates {
+ public:
+  /// Rebind the `launch_index`-th captured launch to a new argument set.
+  GraphUpdates& args(std::size_t launch_index, KernelArgs args) {
+    args_.emplace_back(launch_index, std::move(args));
+    return *this;
+  }
+
+  /// Replace the `copy_index`-th captured copy-in's payload (must be the
+  /// captured word count -- the graph's staging extents are frozen).
+  GraphUpdates& copy_in(std::size_t copy_index,
+                        std::vector<std::uint32_t> data) {
+    copies_.emplace_back(copy_index, std::move(data));
+    return *this;
+  }
+
+  bool empty() const { return args_.empty() && copies_.empty(); }
+
+ private:
+  friend class GraphExec;
+  std::vector<std::pair<std::size_t, KernelArgs>> args_;
+  std::vector<std::pair<std::size_t, std::vector<std::uint32_t>>> copies_;
+};
+
+/// An instantiated graph: frozen launch plans plus the captured copy/
+/// marker nodes, replayable any number of times. State is shared with
+/// in-flight replays, so a GraphExec may be destroyed (or rebound for the
+/// next replay) while a replay executes.
+class GraphExec {
+ public:
+  GraphExec() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  std::size_t node_count() const;
+  std::size_t launch_count() const;
+  std::size_t copy_in_count() const;
+
+  /// The frozen plan of the `launch_index`-th captured launch (current
+  /// binding, signature, footprint) -- introspection for tests and tools.
+  /// Returns a snapshot: a concurrent replay may be rebinding the live
+  /// plan on the executor thread.
+  LaunchPlan plan(std::size_t launch_index) const;
+
+  /// Replay the captured sequence on `stream` as ONE scheduler command,
+  /// applying `updates` first (executor-side, ordered after earlier
+  /// replays). The returned Event resolves when the whole replay has
+  /// executed; its stats() aggregate the replayed launches. Throws on a
+  /// stream from another device, an out-of-range update ordinal, an
+  /// argument set a launch's kernel rejects, or a copy payload whose size
+  /// differs from the captured transfer.
+  Event launch(Stream& stream, GraphUpdates updates = {});
+
+ private:
+  friend class Graph;
+  struct State {
+    Device* dev = nullptr;
+    /// Identity of the Graph this executable was instantiated from
+    /// (pointer compare only, never dereferenced); stamped onto replay
+    /// events so BatchQueue::Ticket::result_after can check linkage.
+    const void* origin = nullptr;
+    std::vector<StreamOp> nodes;
+    std::vector<LaunchPlan> plans;          ///< one per launch node
+    std::vector<std::size_t> launch_nodes;  ///< node index per launch
+    std::vector<std::size_t> copy_in_nodes;
+    double staging_words_per_cycle = 1.0;
+    /// Guards the rebindable pieces (plans, copy-in payloads) between
+    /// submitting threads (validation reads in launch()) and the executor
+    /// (the apply sub-command's writes). The executor's own reads need no
+    /// lock: it is one thread, so they never overlap its writes.
+    mutable std::mutex mutex;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace simt::runtime

@@ -78,30 +78,25 @@ TimelineStats Scheduler::timeline() const {
   TimelineStats t;
   t.serial_us = serial_us_;
   t.overlap_us = overlap_us_;
+  t.dispatch_us = dispatch_us_;
   t.copied_words = copied_words_;
   t.exec_cycles = exec_cycles_;
   t.commands = commands_;
+  t.graph_replays = graph_replays_;
   return t;
 }
 
-void Scheduler::account(const Node& node, std::uint64_t cycles) {
+double Scheduler::price(const Command& cmd, double ready,
+                        std::uint64_t cycles) {
   const double dur_us = static_cast<double>(cycles) / fmax_mhz_;
   serial_us_ += dur_us;
-
-  double ready = 0.0;
-  for (const Ticket dep : node.deps) {
-    const auto it = finish_us_.find(dep);
-    if (it != finish_us_.end()) {
-      ready = std::max(ready, it->second);
-    }
-  }
   double finish = ready;
-  switch (node.cmd.engine) {
+  switch (cmd.engine) {
     case EngineKind::Copy: {
-      if (copy_free_us_.size() <= node.cmd.channel) {
-        copy_free_us_.resize(node.cmd.channel + 1, 0.0);
+      if (copy_free_us_.size() <= cmd.channel) {
+        copy_free_us_.resize(cmd.channel + 1, 0.0);
       }
-      double& channel_free = copy_free_us_[node.cmd.channel];
+      double& channel_free = copy_free_us_[cmd.channel];
       finish = std::max(channel_free, ready) + dur_us;
       channel_free = finish;
       break;
@@ -113,6 +108,37 @@ void Scheduler::account(const Node& node, std::uint64_t cycles) {
     case EngineKind::None:
       break;
   }
+  copied_words_ += cmd.words;
+  if (cmd.engine == EngineKind::Exec) {
+    exec_cycles_ += cycles;
+  }
+  return finish;
+}
+
+void Scheduler::account(const Node& node, std::uint64_t cycles,
+                        const std::vector<std::uint64_t>& sub_cycles) {
+  double ready = 0.0;
+  for (const Ticket dep : node.deps) {
+    const auto it = finish_us_.find(dep);
+    if (it != finish_us_.end()) {
+      ready = std::max(ready, it->second);
+    }
+  }
+  double finish;
+  if (node.cmd.sub.empty()) {
+    finish = price(node.cmd, ready, cycles);
+  } else {
+    // Composite (graph replay): the sub-commands occupy the device
+    // engines exactly as their eager expansion would -- each chained
+    // behind its predecessor, the captured in-stream order -- but the
+    // host-side dispatch below is charged once for the whole replay.
+    finish = ready;
+    for (std::size_t i = 0; i < node.cmd.sub.size(); ++i) {
+      finish = price(node.cmd.sub[i], finish,
+                     i < sub_cycles.size() ? sub_cycles[i] : 0);
+    }
+    ++graph_replays_;
+  }
   finish_us_[node.ticket] = finish;
   finish_order_.push_back(node.ticket);
   while (finish_order_.size() > kFinishWindow) {
@@ -120,10 +146,7 @@ void Scheduler::account(const Node& node, std::uint64_t cycles) {
     finish_order_.pop_front();
   }
   overlap_us_ = std::max(overlap_us_, finish);
-  copied_words_ += node.cmd.words;
-  if (node.cmd.engine == EngineKind::Exec) {
-    exec_cycles_ += cycles;
-  }
+  dispatch_us_ += HostCost::kSubmitUs + node.cmd.prep_us;
   ++commands_;
 }
 
@@ -141,11 +164,18 @@ void Scheduler::loop() {
     lock.unlock();
 
     std::uint64_t cycles = 0;
+    std::vector<std::uint64_t> sub_cycles;
     std::exception_ptr err;
     const auto t0 = std::chrono::steady_clock::now();
     try {
       if (node.cmd.run) {
         cycles = node.cmd.run();
+      }
+      // Composite command: execute the frozen sub-sequence in order. A
+      // faulting sub-command aborts the rest of the replay (the fault
+      // lands on the parent's event and stream error slot).
+      for (auto& sub : node.cmd.sub) {
+        sub_cycles.push_back(sub.run ? sub.run() : 0);
       }
     } catch (...) {
       err = std::current_exception();
@@ -156,7 +186,7 @@ void Scheduler::loop() {
             .count();
 
     lock.lock();
-    account(node, cycles);
+    account(node, cycles, sub_cycles);
     completed_ = node.ticket;
     if (node.cmd.event) {
       if (err) {
@@ -178,7 +208,15 @@ void Scheduler::loop() {
 }
 
 void Event::wait() const {
-  if (!state_ || !state_->scheduler) {
+  if (!state_) {
+    return;
+  }
+  if (state_->captured) {
+    throw Error("wait on an event recorded during graph capture: it names "
+                "a graph node and never resolves; launch the instantiated "
+                "graph and wait on the Event GraphExec::launch returns");
+  }
+  if (!state_->scheduler) {
     return;
   }
   // Only touch the scheduler while it is alive; a destroyed device already

@@ -37,13 +37,47 @@ class Device;
 /// Which modeled device engine a command occupies.
 enum class EngineKind { Copy, Exec, None };
 
+/// Modeled host-side dispatch costs, in microseconds. The device engines
+/// (staging DMA, compute array) are priced by the timeline below; these
+/// constants price the OTHER half of a launch -- the host work of getting
+/// a command onto the device: queue submission, argument validation and
+/// binding, building the relocation patch plan, and intersecting declared
+/// footprints. For the short kernels the eGPU papers serve, this path
+/// dominates wall clock, and it is exactly what execution-graph replay
+/// amortizes: a captured sequence is validated/planned once at
+/// instantiate time and replays as ONE submitted command whose per-node
+/// cost is a frozen-plan walk.
+struct HostCost {
+  static constexpr double kSubmitUs = 0.40;     ///< enqueue one command
+  static constexpr double kCopyPrepUs = 0.10;   ///< snapshot + bounds check
+  static constexpr double kValidateUs = 0.15;   ///< per-launch arg checks
+  static constexpr double kPerArgUs = 0.03;     ///< binding one argument
+  static constexpr double kPerRelocUs = 0.02;   ///< one patch-plan site
+  static constexpr double kPerFootprintUs = 0.05;  ///< one declared range
+  static constexpr double kReplayNodeUs = 0.02;    ///< walk one frozen node
+};
+
+/// Modeled host cost of preparing one eager launch command (validation,
+/// positional binding, patch-plan resolution, footprint intersection).
+inline double launch_prep_us(std::size_t args, std::size_t relocs,
+                             std::size_t footprints) {
+  return HostCost::kValidateUs +
+         static_cast<double>(args) * HostCost::kPerArgUs +
+         static_cast<double>(relocs) * HostCost::kPerRelocUs +
+         static_cast<double>(footprints) * HostCost::kPerFootprintUs;
+}
+
 /// Modeled timeline roll-up across everything this scheduler has executed.
 struct TimelineStats {
   double serial_us = 0.0;   ///< every command back to back (the PR-1 model)
   double overlap_us = 0.0;  ///< copy/exec engines overlapped
+  /// Modeled host-side dispatch cost (HostCost): submission plus per-
+  /// command preparation. Graph replay's whole point is to shrink this.
+  double dispatch_us = 0.0;
   std::uint64_t copied_words = 0;
   std::uint64_t exec_cycles = 0;
-  unsigned commands = 0;
+  unsigned commands = 0;       ///< scheduler commands (a replay counts once)
+  unsigned graph_replays = 0;  ///< composite (graph-replay) commands
 
   /// Modeled throughput gain of overlapping staging with execution.
   double overlap_speedup() const {
@@ -79,6 +113,17 @@ class Scheduler {
     /// copies within a stream serialize. Launches share the one compute
     /// array regardless.
     unsigned channel = 0;
+    /// Modeled host preparation cost beyond the submission itself
+    /// (HostCost); folded into TimelineStats::dispatch_us.
+    double prep_us = 0.0;
+    /// Composite command (graph replay): a frozen sub-sequence executed in
+    /// order as ONE scheduler command. The parent carries the event, the
+    /// error slot, and the (once-only) dispatch cost; each sub-command is
+    /// priced on its own engine with the captured stream ordering, so the
+    /// replay occupies the device exactly like its eager expansion while
+    /// the host pays for a single submission. Sub-commands must not carry
+    /// events, error slots, or nested sub-sequences of their own.
+    std::vector<Command> sub;
   };
 
   explicit Scheduler(Device& dev);
@@ -116,7 +161,12 @@ class Scheduler {
 
   void loop();
   /// Fold an executed command into the modeled timeline (mutex held).
-  void account(const Node& node, std::uint64_t cycles);
+  /// `sub_cycles` carries the per-sub-command durations of a composite.
+  void account(const Node& node, std::uint64_t cycles,
+               const std::vector<std::uint64_t>& sub_cycles);
+  /// Price one (sub-)command on its engine starting no earlier than
+  /// `ready`; returns its finish time (mutex held).
+  double price(const Command& cmd, double ready, std::uint64_t cycles);
 
   Device& dev_;
   double fmax_mhz_;
@@ -138,9 +188,11 @@ class Scheduler {
   double exec_free_us_ = 0.0;
   double serial_us_ = 0.0;
   double overlap_us_ = 0.0;
+  double dispatch_us_ = 0.0;
   std::uint64_t copied_words_ = 0;
   std::uint64_t exec_cycles_ = 0;
   unsigned commands_ = 0;
+  unsigned graph_replays_ = 0;
   /// Finish times of recent commands, for dependency lookups. Bounded: a
   /// long-lived serving device would otherwise grow one entry per command
   /// forever. A dependency older than the window resolves to "ready at 0",

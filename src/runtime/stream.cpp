@@ -6,6 +6,14 @@ namespace simt::runtime {
 
 Ticket Stream::submit(Scheduler::Command cmd, std::vector<Ticket> extra_deps) {
   std::lock_guard<std::mutex> lock(submit_mutex_);
+  if (capture_ != nullptr) {
+    // Every internal path checks capture mode before building a command,
+    // but those checks release the mutex; re-checking inside the critical
+    // section closes the race against a concurrent begin_capture(), so an
+    // eager command can never slip onto the scheduler mid-capture.
+    throw Error("command submitted while the stream is capturing; eager "
+                "execution and graph replay are not allowed mid-capture");
+  }
   std::vector<Ticket> deps = std::move(extra_deps);
   if (last_ != 0) {
     deps.push_back(last_);
@@ -16,34 +24,93 @@ Ticket Stream::submit(Scheduler::Command cmd, std::vector<Ticket> extra_deps) {
   return last_;
 }
 
-void Stream::enqueue_copy_in(std::uint32_t base,
-                             std::vector<std::uint32_t> data) {
-  Scheduler::Command cmd;
-  cmd.engine = EngineKind::Copy;
-  cmd.words = data.size();
-  cmd.channel = channel_;
-  const std::uint64_t cycles = staging_cycles(
-      data.size(), dev_->descriptor().staging_words_per_cycle);
-  cmd.run = [dev = dev_, base, payload = std::move(data), cycles] {
-    dev->write_words(base, payload);
-    return cycles;
-  };
-  submit(std::move(cmd));
+Ticket Stream::submit_command(Scheduler::Command cmd) {
+  return submit(std::move(cmd));
 }
 
-void Stream::enqueue_copy_out(std::uint32_t base, std::uint32_t* dst,
-                              std::size_t count) {
+Event Stream::submit_op(StreamOp op) {
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    if (capture_ != nullptr) {
+      // Capture sink: record the op as a graph node. Launches and markers
+      // hand back a captured-event handle (it names the node, resolves
+      // never); copies return a default Event like the eager path.
+      Event event;
+      if (op.kind == StreamOp::Kind::Launch ||
+          op.kind == StreamOp::Kind::Marker) {
+        auto state = std::make_shared<EventState>();
+        state->captured = true;
+        state->capture_graph = capture_;
+        event.state_ = std::move(state);
+      }
+      capture_->nodes_.push_back(std::move(op));
+      return event;
+    }
+  }
+
+  // Eager sink: convert the op into a scheduler command.
   Scheduler::Command cmd;
-  cmd.engine = EngineKind::Copy;
-  cmd.words = count;
-  cmd.channel = channel_;
-  const std::uint64_t cycles = staging_cycles(
-      count, dev_->descriptor().staging_words_per_cycle);
-  cmd.run = [dev = dev_, base, dst, count, cycles] {
-    dev->read_words(base, {dst, count});
-    return cycles;
-  };
+  Event event;
+  switch (op.kind) {
+    case StreamOp::Kind::CopyIn: {
+      cmd.engine = EngineKind::Copy;
+      cmd.words = op.data.size();
+      cmd.channel = channel_;
+      cmd.prep_us = HostCost::kCopyPrepUs;
+      const std::uint64_t cycles = staging_cycles(
+          op.data.size(), dev_->descriptor().staging_words_per_cycle);
+      cmd.run = [dev = dev_, base = op.base, payload = std::move(op.data),
+                 cycles] {
+        dev->write_words(base, payload);
+        return cycles;
+      };
+      break;
+    }
+    case StreamOp::Kind::CopyOut: {
+      cmd.engine = EngineKind::Copy;
+      cmd.words = op.count;
+      cmd.channel = channel_;
+      cmd.prep_us = HostCost::kCopyPrepUs;
+      const std::uint64_t cycles = staging_cycles(
+          op.count, dev_->descriptor().staging_words_per_cycle);
+      cmd.run = [dev = dev_, base = op.base, dst = op.dst, count = op.count,
+                 cycles] {
+        dev->read_words(base, {dst, count});
+        return cycles;
+      };
+      break;
+    }
+    case StreamOp::Kind::Launch: {
+      cmd.engine = EngineKind::Exec;
+      auto state = std::make_shared<EventState>();
+      cmd.event = state;
+      // The per-submission host cost an eager launch pays and a graph
+      // replay amortizes: validation, binding, patch-plan resolution,
+      // footprint intersection.
+      const auto* info = op.kernel.info;
+      cmd.prep_us = launch_prep_us(
+          op.args.size(), info != nullptr ? info->refs.size() : 0,
+          info != nullptr ? info->reads.size() + info->writes.size() : 0);
+      cmd.run = [dev = dev_, kernel = op.kernel, threads = op.threads, state,
+                 args = std::move(op.args)] {
+        state->stats = dev->launch_sync(kernel, threads, args);
+        // The launch occupies the compute array for its overlap-adjusted
+        // span (exec critical path plus unhidden in-launch staging).
+        return state->stats.overlap_cycles;
+      };
+      event.state_ = std::move(state);
+      break;
+    }
+    case StreamOp::Kind::Marker: {
+      cmd.engine = EngineKind::None;
+      auto state = std::make_shared<EventState>();
+      cmd.event = state;
+      event.state_ = std::move(state);
+      break;
+    }
+  }
   submit(std::move(cmd));
+  return event;
 }
 
 Event Stream::launch(const Kernel& kernel, unsigned threads,
@@ -55,34 +122,40 @@ Event Stream::launch(const Kernel& kernel, unsigned threads,
     throw Error("launch needs at least one thread");
   }
   validate_kernel_args(kernel, args);  // mismatches fail at enqueue
-  auto state = std::make_shared<EventState>();
-  Scheduler::Command cmd;
-  cmd.engine = EngineKind::Exec;
-  cmd.event = state;
-  cmd.run = [dev = dev_, kernel, threads, state, args = std::move(args)] {
-    state->stats = dev->launch_sync(kernel, threads, args);
-    // The launch occupies the compute array for its overlap-adjusted span
-    // (exec critical path plus unhidden in-launch staging).
-    return state->stats.overlap_cycles;
-  };
-  submit(std::move(cmd));
-  Event event;
-  event.state_ = std::move(state);
-  return event;
+  StreamOp op;
+  op.kind = StreamOp::Kind::Launch;
+  op.kernel = kernel;
+  op.threads = threads;
+  op.args = std::move(args);
+  return submit_op(std::move(op));
 }
 
 Event Stream::record() {
-  auto state = std::make_shared<EventState>();
-  Scheduler::Command cmd;
-  cmd.engine = EngineKind::None;
-  cmd.event = state;
-  submit(std::move(cmd));
-  Event event;
-  event.state_ = std::move(state);
-  return event;
+  StreamOp op;
+  op.kind = StreamOp::Kind::Marker;
+  return submit_op(std::move(op));
 }
 
 Stream& Stream::wait(const Event& event) {
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    if (capture_ != nullptr) {
+      // Within a capture the recorded order already serializes the nodes,
+      // so a wait on this capture's own events is a no-op; depending on
+      // live execution cannot be captured.
+      if (!event.state_ || !event.state_->captured ||
+          event.state_->capture_graph != capture_) {
+        throw Error("graph capture can only wait on events recorded in "
+                    "the same capture");
+      }
+      return *this;
+    }
+  }
+  if (event.state_ && event.state_->captured) {
+    throw Error("wait on an event recorded during graph capture: replay "
+                "ordering comes from the captured sequence, not from "
+                "captured events");
+  }
   if (!event.state_ || event.state_->scheduler != sched_) {
     throw Error("wait on an event from no stream or another device");
   }
@@ -92,6 +165,31 @@ Stream& Stream::wait(const Event& event) {
   cmd.engine = EngineKind::None;
   submit(std::move(cmd), {event.state_->ticket});
   return *this;
+}
+
+void Stream::begin_capture(Graph& graph) {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  if (capture_ != nullptr) {
+    throw Error("begin_capture on a stream that is already capturing");
+  }
+  if (graph.capturing_) {
+    throw Error("begin_capture into a graph another stream is capturing");
+  }
+  if (!graph.nodes_.empty()) {
+    throw Error("begin_capture into a non-empty graph; clear() it first");
+  }
+  graph.dev_ = dev_;
+  graph.capturing_ = true;
+  capture_ = &graph;
+}
+
+void Stream::end_capture() {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  if (capture_ == nullptr) {
+    throw Error("end_capture on a stream that is not capturing");
+  }
+  capture_->capturing_ = false;
+  capture_ = nullptr;
 }
 
 std::size_t Stream::pending() const {
@@ -106,6 +204,11 @@ void Stream::synchronize() {
   Ticket target;
   {
     std::lock_guard<std::mutex> lock(submit_mutex_);
+    if (capture_ != nullptr) {
+      throw Error("synchronize() during graph capture: captured commands "
+                  "do not execute; end_capture() and launch the "
+                  "instantiated graph");
+    }
     target = last_;
   }
   sched_->wait(target);  // join outside the lock: submitters keep going

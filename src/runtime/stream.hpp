@@ -16,6 +16,15 @@
 // guarded by a mutex, so any number of host worker threads can enqueue on
 // one stream (a server front-end feeding a BatchQueue). Commands still
 // execute in submission order; which thread wins a race decides that order.
+//
+// Capture mode (begin_capture / end_capture): between the two calls the
+// stream records its commands into a runtime::Graph instead of executing
+// them -- both modes build the same StreamOp and diverge only at the sink
+// (see submit_op), so a serving pipeline is captured by running its
+// ordinary stream code once. During capture, synchronize() and waits on
+// live events throw, and the Events returned by launch()/record() are
+// graph-node handles that never resolve (Event::captured()). Capture is a
+// single-host-thread affair; concurrent submitters belong to eager mode.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +39,7 @@
 #include "runtime/buffer.hpp"
 #include "runtime/device.hpp"
 #include "runtime/event.hpp"
+#include "runtime/graph.hpp"
 #include "runtime/module.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/staging.hpp"
@@ -50,25 +60,34 @@ class Stream {
   /// source may be freed immediately.
   template <typename T>
   Stream& copy_in(Buffer<T>& dst, std::span<const T> host) {
+    dst.ensure_current();
     if (host.size() > dst.size()) {
       throw Error("copy_in larger than destination buffer");
     }
     const auto* words = reinterpret_cast<const std::uint32_t*>(host.data());
-    enqueue_copy_in(dst.word_base(),
-                    std::vector<std::uint32_t>(words, words + host.size()));
+    StreamOp op;
+    op.kind = StreamOp::Kind::CopyIn;
+    op.base = dst.word_base();
+    op.data.assign(words, words + host.size());
+    submit_op(std::move(op));
     return *this;
   }
 
   /// Enqueue device -> host copy into caller storage, filled by the time
-  /// synchronize() returns; `out` must stay alive until then.
+  /// synchronize() returns; `out` must stay alive until then (for a
+  /// captured copy, for as long as the graph replays).
   template <typename T>
   Stream& copy_out(const Buffer<T>& src, std::span<T> out) {
+    src.ensure_current();
     if (out.size() > src.size()) {
       throw Error("copy_out larger than source buffer");
     }
-    enqueue_copy_out(src.word_base(),
-                     reinterpret_cast<std::uint32_t*>(out.data()),
-                     out.size());
+    StreamOp op;
+    op.kind = StreamOp::Kind::CopyOut;
+    op.base = src.word_base();
+    op.dst = reinterpret_cast<std::uint32_t*>(out.data());
+    op.count = out.size();
+    submit_op(std::move(op));
     return *this;
   }
 
@@ -89,6 +108,18 @@ class Stream {
   /// ordering the stream already has).
   Stream& wait(const Event& event);
 
+  // ---- graph capture -------------------------------------------------------
+  /// Record subsequent commands into `graph` instead of executing them,
+  /// until end_capture(). The graph must be empty (clear() a used one) and
+  /// not already capturing; the stream must not be capturing either.
+  void begin_capture(Graph& graph);
+  /// Stop recording; the graph is ready for Graph::instantiate().
+  void end_capture();
+  bool capturing() const {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    return capture_ != nullptr;
+  }
+
   /// Commands enqueued on this stream the scheduler has not executed yet.
   std::size_t pending() const;
 
@@ -99,17 +130,29 @@ class Stream {
   void synchronize();
 
   Device& device() { return *dev_; }
+  /// The modeled staging channel this stream's copies occupy.
+  unsigned channel() const { return channel_; }
 
  private:
-  void enqueue_copy_in(std::uint32_t base, std::vector<std::uint32_t> data);
-  void enqueue_copy_out(std::uint32_t base, std::uint32_t* dst,
-                        std::size_t count);
+  friend class GraphExec;  ///< replays submit through submit_command
+
+  /// The one sink every command goes through: capture mode records the op
+  /// as a graph node (returning a captured-event handle for launches and
+  /// markers), eager mode converts it into a scheduler command and
+  /// submits. Keeping both modes behind one builder is what guarantees a
+  /// captured pipeline is the pipeline that would have executed.
+  Event submit_op(StreamOp op);
+  /// Submit a prebuilt scheduler command (graph replays) with this
+  /// stream's ordering and error slot.
+  Ticket submit_command(Scheduler::Command cmd);
   /// Submit with this stream's ordering dependency and track the ticket.
   Ticket submit(Scheduler::Command cmd, std::vector<Ticket> extra_deps = {});
 
   Device* dev_;
   Scheduler* sched_;
   unsigned channel_;
+  /// Capture sink: non-null between begin_capture and end_capture.
+  Graph* capture_ = nullptr;
   /// Guards the submission bookkeeping (last_, live_) so host worker
   /// threads can enqueue concurrently.
   mutable std::mutex submit_mutex_;

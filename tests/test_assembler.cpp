@@ -299,6 +299,30 @@ TEST(AssemblerAbi, FootprintsParseWholeAndExtent) {
   EXPECT_EQ(k.writes[0], (core::Footprint{1, 8}));
 }
 
+TEST(AssemblerAbi, PerThreadFootprintsParseWindowAndDefault) {
+  const auto p = assemble(
+      ".kernel k\n"
+      ".param x buffer\n"
+      ".param y buffer\n"
+      ".reads x@tid+16\n"   // FIR-style tap window
+      ".writes y@tid\n"     // elementwise, default 1-word window
+      "exit\n");
+  const auto& k = p.kernels().at(0);
+  ASSERT_EQ(k.reads.size(), 1u);
+  EXPECT_EQ(k.reads[0], (core::Footprint{0, 16, true}));
+  ASSERT_EQ(k.writes.size(), 1u);
+  EXPECT_EQ(k.writes[0], (core::Footprint{1, 1, true}));
+}
+
+TEST(AssemblerAbi, PerThreadFootprintDiagnostics) {
+  expect_error(".kernel k\n.param a buffer\n.reads a@warp\nexit\n",
+               "must be @tid");
+  expect_error(".kernel k\n.param n scalar\n.reads n@tid\nexit\n",
+               "is a scalar");
+  expect_error(".kernel k\n.param a buffer\n.reads a@tid+0\nexit\n",
+               "positive word count");
+}
+
 TEST(AssemblerAbi, DirectiveDiagnostics) {
   expect_error(".param a buffer\nexit\n", "before any .kernel");
   expect_error(".reads a\nexit\n", "before any .kernel");

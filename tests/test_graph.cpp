@@ -1,0 +1,466 @@
+// Tests for execution graphs: stream capture, instantiate-time validation,
+// composite replay (one scheduler command per replay), per-replay argument
+// and payload rebinding, capture-mode error cases, BatchQueue flushes into
+// a capture, and the buffer use-after-reset hardening the graph refactor
+// rides along with.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/device.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/module.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/stream.hpp"
+
+namespace simt::runtime {
+namespace {
+
+core::CoreConfig small_cfg(unsigned threads = 64,
+                           unsigned mem_words = 2048) {
+  core::CoreConfig c;
+  c.max_threads = threads;
+  c.shared_mem_words = mem_words;
+  c.predicates_enabled = true;
+  return c;
+}
+
+baseline::ScalarCpuConfig scalar_cfg(unsigned mem_words = 2048) {
+  baseline::ScalarCpuConfig c;
+  c.shared_mem_words = mem_words;
+  return c;
+}
+
+// ---- capture ----------------------------------------------------------------
+
+TEST(GraphCapture, RecordsWithoutExecuting) {
+  constexpr unsigned kN = 32;
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  auto in = dev.alloc<std::uint32_t>(kN);
+  auto out = dev.alloc<std::uint32_t>(kN);
+  const auto scale = dev.load_module(kernels::scale_abi()).kernel("scale");
+  auto& stream = dev.stream();
+
+  std::vector<std::uint32_t> host(kN, 7), result(kN, 99);
+  Graph graph;
+  stream.begin_capture(graph);
+  EXPECT_TRUE(stream.capturing());
+  stream.copy_in(in, std::span<const std::uint32_t>(host));
+  Event captured = stream.launch(
+      scale, kN, KernelArgs().arg(in).arg(out).scalar(2).scalar(1));
+  stream.copy_out(out, std::span<std::uint32_t>(result));
+  stream.end_capture();
+  EXPECT_FALSE(stream.capturing());
+
+  // Nothing executed: device memory untouched, the host result area
+  // untouched, and the launch's event is a graph-node handle.
+  EXPECT_EQ(graph.size(), 3u);
+  EXPECT_EQ(graph.launch_count(), 1u);
+  EXPECT_EQ(graph.copy_in_count(), 1u);
+  EXPECT_EQ(in.at(0), 0u);
+  EXPECT_EQ(result[0], 99u);
+  EXPECT_TRUE(captured.captured());
+  EXPECT_FALSE(captured.done());
+
+  // The stream itself stays usable for eager work after end_capture.
+  stream.copy_in(in, std::span<const std::uint32_t>(host));
+  stream.synchronize();
+  EXPECT_EQ(in.at(0), 7u);
+}
+
+TEST(GraphCapture, ErrorCases) {
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  auto in = dev.alloc<std::uint32_t>(16);
+  const auto scale = dev.load_module(kernels::scale_abi()).kernel("scale");
+  auto& stream = dev.stream();
+  auto& other = dev.create_stream();
+
+  Graph graph;
+  EXPECT_THROW(graph.instantiate(), Error);  // empty graph
+
+  std::vector<std::uint32_t> host(16, 1);
+  Event live = stream.launch(
+      scale, 16, KernelArgs().arg(in).arg(in).scalar(1).scalar(0));
+  stream.synchronize();
+
+  stream.begin_capture(graph);
+  EXPECT_THROW(stream.begin_capture(graph), Error);  // already capturing
+  Graph second;
+  EXPECT_THROW(stream.begin_capture(second), Error);
+  EXPECT_THROW(other.begin_capture(graph), Error);   // graph in use
+  EXPECT_THROW(stream.synchronize(), Error);         // join during capture
+  EXPECT_THROW(stream.wait(live), Error);            // live dependency
+  EXPECT_THROW(graph.instantiate(), Error);          // still recording
+  Event captured = stream.record();
+  stream.wait(captured);  // same-capture event: ordering no-op
+  EXPECT_THROW(captured.wait(), Error);              // never resolves
+  EXPECT_THROW(captured.stats(), Error);
+  stream.end_capture();
+  EXPECT_THROW(stream.end_capture(), Error);         // not capturing
+  EXPECT_THROW(stream.wait(captured), Error);        // captured, eager mode
+  EXPECT_THROW(stream.begin_capture(graph), Error);  // non-empty graph
+
+  graph.clear();
+  stream.begin_capture(graph);  // clear() makes it capturable again
+  stream.end_capture();
+}
+
+// ---- replay correctness -----------------------------------------------------
+
+/// Run copy-in + vecadd + scale + copy-out on `dev`, eagerly or as a
+/// captured graph replayed `iters` times with rebinding, returning the
+/// final outputs.
+std::vector<std::uint32_t> run_pipeline(Device& dev, unsigned iters,
+                                        bool graphed) {
+  constexpr unsigned kN = 48;
+  auto a = dev.alloc<std::uint32_t>(kN);
+  auto b = dev.alloc<std::uint32_t>(kN);
+  auto c = dev.alloc<std::uint32_t>(kN);
+  auto out = dev.alloc<std::uint32_t>(kN);
+  const auto vecadd = dev.load_module(kernels::vecadd_abi()).kernel("vecadd");
+  const auto scale = dev.load_module(kernels::scale_abi()).kernel("scale");
+  auto& stream = dev.stream();
+
+  std::vector<std::uint32_t> hb(kN);
+  std::iota(hb.begin(), hb.end(), 100u);
+  stream.copy_in(b, std::span<const std::uint32_t>(hb));
+  stream.synchronize();
+
+  const auto input = [kN](unsigned iter) {
+    std::vector<std::uint32_t> h(kN);
+    for (unsigned i = 0; i < kN; ++i) {
+      h[i] = iter * 17 + i;
+    }
+    return h;
+  };
+  const auto scale_args = [&](unsigned iter) {
+    return KernelArgs().arg(c).arg(out).scalar(3).scalar(iter);
+  };
+
+  std::vector<std::uint32_t> result(kN);
+  if (!graphed) {
+    for (unsigned iter = 0; iter < iters; ++iter) {
+      const auto h = input(iter);
+      stream.copy_in(a, std::span<const std::uint32_t>(h));
+      stream.launch(vecadd, kN, KernelArgs().arg(a).arg(b).arg(c));
+      stream.launch(scale, kN, scale_args(iter));
+      stream.copy_out(out, std::span<std::uint32_t>(result));
+      stream.synchronize();
+    }
+    return result;
+  }
+
+  Graph graph;
+  stream.begin_capture(graph);
+  stream.copy_in(a, std::span<const std::uint32_t>(input(0)));
+  stream.launch(vecadd, kN, KernelArgs().arg(a).arg(b).arg(c));
+  stream.launch(scale, kN, scale_args(0));
+  stream.copy_out(out, std::span<std::uint32_t>(result));
+  stream.end_capture();
+  auto exec = graph.instantiate();
+  EXPECT_EQ(exec.node_count(), 4u);
+  EXPECT_EQ(exec.launch_count(), 2u);
+
+  Event last;
+  for (unsigned iter = 0; iter < iters; ++iter) {
+    last = exec.launch(stream, GraphUpdates()
+                                   .copy_in(0, input(iter))
+                                   .args(1, scale_args(iter)));
+  }
+  last.wait();
+  EXPECT_TRUE(last.stats().exited);
+  EXPECT_GT(last.stats().perf.cycles, 0u);
+  return result;
+}
+
+TEST(GraphReplay, MatchesEagerOnEveryBackend) {
+  constexpr unsigned kIters = 3;
+  const auto golden = [](unsigned iter) {
+    std::vector<std::uint32_t> want(48);
+    for (unsigned i = 0; i < 48; ++i) {
+      want[i] = 3 * ((iter * 17 + i) + (100 + i)) + iter;
+    }
+    return want;
+  }(kIters - 1);
+
+  const auto run_both = [&](DeviceDescriptor desc) {
+    Device eager_dev(desc);
+    Device graph_dev(std::move(desc));
+    const auto eager = run_pipeline(eager_dev, kIters, false);
+    const auto graphed = run_pipeline(graph_dev, kIters, true);
+    EXPECT_EQ(eager, golden);
+    EXPECT_EQ(graphed, eager);
+  };
+  run_both(DeviceDescriptor::simt_core(small_cfg()));
+  // 2 cores x 16 threads against a 48-thread grid: the captured launches
+  // split into rounds and shard across cores inside the replay.
+  run_both(DeviceDescriptor::multi_core(2, small_cfg(16, 2048)));
+  run_both(DeviceDescriptor::scalar_cpu(scalar_cfg()));
+}
+
+TEST(GraphReplay, RebindSkipsNothingSemantically) {
+  // Replaying with unchanged args, then rebound args, then the original
+  // again: the resident-binding skip must never change results.
+  constexpr unsigned kN = 16;
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  auto in = dev.alloc<std::uint32_t>(kN);
+  auto out = dev.alloc<std::uint32_t>(kN);
+  const auto scale = dev.load_module(kernels::scale_abi()).kernel("scale");
+  auto& stream = dev.stream();
+
+  std::vector<std::uint32_t> host(kN);
+  std::iota(host.begin(), host.end(), 1u);
+  std::vector<std::uint32_t> result(kN);
+  Graph graph;
+  stream.begin_capture(graph);
+  stream.copy_in(in, std::span<const std::uint32_t>(host));
+  stream.launch(scale, kN,
+                KernelArgs().arg(in).arg(out).scalar(2).scalar(0));
+  stream.copy_out(out, std::span<std::uint32_t>(result));
+  stream.end_capture();
+  auto exec = graph.instantiate();
+  const std::uint64_t sig0 = exec.plan(0).sig;
+
+  exec.launch(stream).wait();
+  for (unsigned i = 0; i < kN; ++i) {
+    ASSERT_EQ(result[i], 2 * host[i]);
+  }
+  exec.launch(stream, GraphUpdates().args(
+                          0, KernelArgs().arg(in).arg(out)
+                                 .scalar(5).scalar(7)))
+      .wait();
+  for (unsigned i = 0; i < kN; ++i) {
+    ASSERT_EQ(result[i], 5 * host[i] + 7);
+  }
+  EXPECT_NE(exec.plan(0).sig, sig0);  // the rebind re-derived the signature
+  exec.launch(stream, GraphUpdates().args(
+                          0, KernelArgs().arg(in).arg(out)
+                                 .scalar(2).scalar(0)))
+      .wait();
+  for (unsigned i = 0; i < kN; ++i) {
+    ASSERT_EQ(result[i], 2 * host[i]);
+  }
+  EXPECT_EQ(exec.plan(0).sig, sig0);
+}
+
+TEST(GraphReplay, UpdateValidationThrowsAtSubmit) {
+  constexpr unsigned kN = 16;
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  auto in = dev.alloc<std::uint32_t>(kN);
+  auto out = dev.alloc<std::uint32_t>(kN);
+  const auto scale = dev.load_module(kernels::scale_abi()).kernel("scale");
+  auto& stream = dev.stream();
+
+  std::vector<std::uint32_t> host(kN, 3), result(kN);
+  Graph graph;
+  stream.begin_capture(graph);
+  stream.copy_in(in, std::span<const std::uint32_t>(host));
+  stream.launch(scale, kN,
+                KernelArgs().arg(in).arg(out).scalar(1).scalar(0));
+  stream.copy_out(out, std::span<std::uint32_t>(result));
+  stream.end_capture();
+  auto exec = graph.instantiate();
+
+  // Out-of-range ordinals, a mismatched argument set, and a payload of
+  // the wrong size all throw on the submitting thread.
+  EXPECT_THROW(exec.launch(stream, GraphUpdates().args(1, KernelArgs())),
+               Error);
+  EXPECT_THROW(
+      exec.launch(stream, GraphUpdates().args(0, KernelArgs().arg(in))),
+      Error);
+  EXPECT_THROW(exec.launch(stream, GraphUpdates().copy_in(
+                               0, std::vector<std::uint32_t>(kN + 1))),
+               Error);
+  EXPECT_THROW(exec.launch(stream, GraphUpdates().copy_in(
+                               1, std::vector<std::uint32_t>(kN))),
+               Error);
+
+  // A replay on another device's stream is refused.
+  Device other(DeviceDescriptor::simt_core(small_cfg()));
+  EXPECT_THROW(exec.launch(other.stream()), Error);
+
+  // The failed submissions must not have poisoned the stream.
+  exec.launch(stream).wait();
+  EXPECT_EQ(result[0], 3u);
+}
+
+// ---- scheduler integration --------------------------------------------------
+
+TEST(GraphReplay, ReplaysAsOneSchedulerCommand) {
+  constexpr unsigned kN = 16;
+  constexpr unsigned kIters = 4;
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  auto in = dev.alloc<std::uint32_t>(kN);
+  auto out = dev.alloc<std::uint32_t>(kN);
+  const auto scale = dev.load_module(kernels::scale_abi()).kernel("scale");
+  auto& stream = dev.stream();
+
+  std::vector<std::uint32_t> host(kN, 1), result(kN);
+  Graph graph;
+  stream.begin_capture(graph);
+  stream.copy_in(in, std::span<const std::uint32_t>(host));
+  stream.launch(scale, kN,
+                KernelArgs().arg(in).arg(out).scalar(2).scalar(0));
+  stream.copy_out(out, std::span<std::uint32_t>(result));
+  stream.end_capture();
+  auto exec = graph.instantiate();
+
+  const auto before = dev.scheduler().timeline();
+  for (unsigned i = 0; i < kIters; ++i) {
+    exec.launch(stream);
+  }
+  stream.synchronize();
+  const auto after = dev.scheduler().timeline();
+
+  // One scheduler command and one submit-cost per replay -- versus three
+  // commands each for the eager expansion -- but the device engines see
+  // the same traffic (copies + exec) as eager submission would price.
+  EXPECT_EQ(after.commands - before.commands, kIters);
+  EXPECT_EQ(after.graph_replays - before.graph_replays, kIters);
+  EXPECT_EQ(after.copied_words - before.copied_words, 2u * kN * kIters);
+  EXPECT_GT(after.exec_cycles, before.exec_cycles);
+
+  // Dispatch cost per replay must undercut the eager pipeline's.
+  const double replay_us =
+      (after.dispatch_us - before.dispatch_us) / kIters;
+  const double eager_us = 3 * HostCost::kSubmitUs +
+                          2 * HostCost::kCopyPrepUs +
+                          launch_prep_us(4, 4, 2);
+  EXPECT_LT(replay_us, eager_us);
+}
+
+// ---- batch queue capture ----------------------------------------------------
+
+TEST(GraphReplay, BatchQueueFlushCapturesIntoGraph) {
+  constexpr unsigned kReqWords = 8;
+  constexpr unsigned kRequests = 3;
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  auto in = dev.alloc<std::uint32_t>(kReqWords * 4);
+  auto out = dev.alloc<std::uint32_t>(kReqWords * 4);
+  const auto scale = dev.load_module(kernels::scale_abi()).kernel("scale");
+  auto& stream = dev.stream();
+  BatchQueue queue(stream, scale, in, out, kReqWords,
+                   KernelArgs().arg(in).arg(out).scalar(2).scalar(1));
+
+  std::vector<BatchQueue::Ticket> tickets;
+  for (unsigned r = 0; r < kRequests; ++r) {
+    std::vector<std::uint32_t> request(kReqWords);
+    for (unsigned i = 0; i < kReqWords; ++i) {
+      request[i] = r * 100 + i;
+    }
+    tickets.push_back(queue.submit(std::span<const std::uint32_t>(request)));
+  }
+
+  // The flush records the whole batch pipeline as graph nodes.
+  Graph graph;
+  stream.begin_capture(graph);
+  Event flushed = queue.flush();
+  stream.end_capture();
+  EXPECT_TRUE(flushed.captured());
+  EXPECT_EQ(graph.launch_count(), 1u);
+  EXPECT_EQ(graph.copy_in_count(), 1u);
+  EXPECT_FALSE(tickets[0].done());  // captured: never resolves on its own
+
+  auto exec = graph.instantiate();
+  Event replay = exec.launch(stream);
+  replay.wait();
+  for (unsigned r = 0; r < kRequests; ++r) {
+    const auto result = tickets[r].result_after(replay);
+    for (unsigned i = 0; i < kReqWords; ++i) {
+      ASSERT_EQ(result[i], 2 * (r * 100 + i) + 1) << r << " " << i;
+    }
+  }
+
+  // Replay the captured batch against fresh inputs (the serving shape).
+  std::vector<std::uint32_t> fresh(kRequests * kReqWords);
+  std::iota(fresh.begin(), fresh.end(), 1000u);
+  Event replay2 =
+      exec.launch(stream, GraphUpdates().copy_in(0, fresh));
+  replay2.wait();
+  const auto result = tickets[0].result_after(replay2);
+  for (unsigned i = 0; i < kReqWords; ++i) {
+    ASSERT_EQ(result[i], 2 * fresh[i] + 1) << i;
+  }
+
+  // result_after refuses events that are not replays of THIS capture's
+  // graph: an ordinary stream event, and a replay of some other graph.
+  Event marker = stream.record();
+  stream.synchronize();
+  EXPECT_THROW(tickets[0].result_after(marker), Error);
+  Graph other_graph;
+  stream.begin_capture(other_graph);
+  stream.record();
+  stream.end_capture();
+  Event other_replay = other_graph.instantiate().launch(stream);
+  other_replay.wait();
+  EXPECT_THROW(tickets[0].result_after(other_replay), Error);
+}
+
+// ---- buffer use-after-reset hardening ---------------------------------------
+
+TEST(BufferGeneration, UseAfterResetThrows) {
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  auto buf = dev.alloc<std::uint32_t>(16);
+  std::vector<std::uint32_t> host(16, 5);
+  buf.write(host);
+  EXPECT_EQ(buf.at(0), 5u);
+
+  dev.mem_reset();
+  EXPECT_EQ(dev.allocation_generation(), 1u);
+  // The stale handle would now alias whatever the arena hands out next;
+  // every access path throws instead.
+  EXPECT_THROW(buf.write(host), Error);
+  EXPECT_THROW(buf.read(), Error);
+  EXPECT_THROW(buf.at(0), Error);
+  EXPECT_THROW(
+      dev.stream().copy_in(buf, std::span<const std::uint32_t>(host)),
+      Error);
+  std::vector<std::uint32_t> out(16);
+  EXPECT_THROW(dev.stream().copy_out(buf, std::span<std::uint32_t>(out)),
+               Error);
+
+  // Binding the stale handle into an argument set throws too.
+  EXPECT_THROW(KernelArgs().arg(buf), Error);
+
+  // A fresh handle from the new generation works.
+  auto fresh = dev.alloc<std::uint32_t>(16);
+  fresh.write(host);
+  EXPECT_EQ(fresh.at(3), 5u);
+}
+
+TEST(BufferGeneration, FrozenGraphReplayAfterResetThrows) {
+  // A graph holds buffer bases frozen in its launch plans; replaying it
+  // after mem_reset() must fault instead of aliasing the new arena.
+  constexpr unsigned kN = 16;
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  auto in = dev.alloc<std::uint32_t>(kN);
+  auto out = dev.alloc<std::uint32_t>(kN);
+  const auto scale = dev.load_module(kernels::scale_abi()).kernel("scale");
+  auto& stream = dev.stream();
+
+  std::vector<std::uint32_t> host(kN, 2), result(kN);
+  Graph graph;
+  stream.begin_capture(graph);
+  stream.copy_in(in, std::span<const std::uint32_t>(host));
+  stream.launch(scale, kN,
+                KernelArgs().arg(in).arg(out).scalar(3).scalar(0));
+  stream.copy_out(out, std::span<std::uint32_t>(result));
+  stream.end_capture();
+  auto exec = graph.instantiate();
+  exec.launch(stream).wait();
+  EXPECT_EQ(result[0], 6u);
+
+  dev.mem_reset();
+  dev.alloc<std::uint32_t>(2 * kN);  // someone else owns the words now
+  Event stale_replay = exec.launch(stream);
+  EXPECT_THROW(stale_replay.wait(), Error);  // execute_plan refused
+  EXPECT_THROW(stream.synchronize(), Error);  // sticky stream error too
+}
+
+}  // namespace
+}  // namespace simt::runtime

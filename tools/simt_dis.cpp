@@ -29,23 +29,23 @@ void print_kernel_table(const std::vector<simt::core::KernelInfo>& kernels) {
       std::printf("  param %zu: %s %s\n", i, k.params[i].name.c_str(),
                   kind_name(k.params[i].kind));
     }
-    for (const auto& r : k.reads) {
-      if (r.extent != 0) {
-        std::printf("  reads  %s (first %u words)\n",
-                    k.params.at(r.param).name.c_str(), r.extent);
+    const auto print_footprint = [&k](const char* label,
+                                      const simt::core::Footprint& fp) {
+      const char* name = k.params.at(fp.param).name.c_str();
+      if (fp.per_thread) {
+        std::printf("  %s %s (%u word%s per thread)\n", label, name,
+                    fp.extent, fp.extent == 1 ? "" : "s");
+      } else if (fp.extent != 0) {
+        std::printf("  %s %s (first %u words)\n", label, name, fp.extent);
       } else {
-        std::printf("  reads  %s (whole buffer)\n",
-                    k.params.at(r.param).name.c_str());
+        std::printf("  %s %s (whole buffer)\n", label, name);
       }
+    };
+    for (const auto& r : k.reads) {
+      print_footprint("reads ", r);
     }
     for (const auto& w : k.writes) {
-      if (w.extent != 0) {
-        std::printf("  writes %s (first %u words)\n",
-                    k.params.at(w.param).name.c_str(), w.extent);
-      } else {
-        std::printf("  writes %s (whole buffer)\n",
-                    k.params.at(w.param).name.c_str());
-      }
+      print_footprint("writes", w);
     }
     std::printf("  %zu relocation site(s)\n", k.refs.size());
   }

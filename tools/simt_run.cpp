@@ -5,7 +5,7 @@
 // usage: simt-run <kernel.s> [--backend {core,multicore,scalar}]
 //                 [--cores N] [--threads N] [--fmax MHZ]
 //                 [--mem file.txt] [--dump base count]
-//                 [--batch M] [--streams N]
+//                 [--batch M] [--streams N] [--graph-repeat N]
 //                 [--kernel NAME] [--arg base:size | --arg value]...
 //
 // --kernel starts execution at a `.kernel` (or label) entry instead of
@@ -20,6 +20,9 @@
 // scheduler, --streams spreads the repeats round-robin over N independent
 // streams; both print the scheduler's modeled timeline (serial vs
 // overlapped) and, on the multicore backend, per-core occupancy.
+// --graph-repeat N runs the launch N times eagerly, then captures it into
+// an execution graph and replays the instantiated graph N times,
+// reporting the modeled host-dispatch overhead of both paths.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +32,7 @@
 
 #include "common/error.hpp"
 #include "runtime/device.hpp"
+#include "runtime/graph.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/stream.hpp"
 
@@ -45,6 +49,7 @@ int main(int argc, char** argv) {
   unsigned cores = 1;
   unsigned batch = 1;
   unsigned streams = 1;
+  unsigned graph_repeat = 0;
   double fmax = 0.0;
   std::string backend = "core";
   std::string mem_file;
@@ -62,6 +67,8 @@ int main(int argc, char** argv) {
       batch = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (!std::strcmp(argv[i], "--streams") && i + 1 < argc) {
       streams = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--graph-repeat") && i + 1 < argc) {
+      graph_repeat = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (!std::strcmp(argv[i], "--fmax") && i + 1 < argc) {
       fmax = std::stod(argv[++i]);
     } else if (!std::strcmp(argv[i], "--kernel") && i + 1 < argc) {
@@ -139,7 +146,37 @@ int main(int argc, char** argv) {
     }
 
     simt::runtime::LaunchStats stats;
-    if (batch == 1 && streams == 1) {
+    if (graph_repeat > 0) {
+      // Eager baseline: the launch re-submitted N times through the
+      // stream, each paying the full dispatch path.
+      auto& stream = dev.stream();
+      for (unsigned r = 0; r < graph_repeat; ++r) {
+        stream.launch(kernel, threads, args);
+      }
+      stream.synchronize();
+      const double eager_us = dev.scheduler().timeline().dispatch_us;
+
+      // Graph path: capture the launch once, instantiate, replay N times
+      // as single composite commands.
+      simt::runtime::Graph graph;
+      stream.begin_capture(graph);
+      stream.launch(kernel, threads, args);
+      stream.end_capture();
+      auto exec = graph.instantiate();
+      simt::runtime::Event last;
+      for (unsigned r = 0; r < graph_repeat; ++r) {
+        last = exec.launch(stream);
+      }
+      stream.synchronize();
+      stats = last.stats();
+      const auto t = dev.scheduler().timeline();
+      const double graph_us = t.dispatch_us - eager_us;
+      std::printf("graph-repeat=%u  modeled dispatch: eager=%.3f us  "
+                  "graph=%.3f us  overhead ratio=%.2fx  (%u replays)\n",
+                  graph_repeat, eager_us, graph_us,
+                  graph_us > 0.0 ? eager_us / graph_us : 0.0,
+                  t.graph_replays);
+    } else if (batch == 1 && streams == 1) {
       stats = dev.launch_sync(kernel, threads, args);
     } else {
       // Repeat the launch through the asynchronous scheduler, round-robin
