@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_json.hpp"
 #include "common/table.hpp"
 #include "runtime/batch.hpp"
 #include "runtime/buffer.hpp"
@@ -181,6 +182,16 @@ int main(int argc, char** argv) {
   const double speedup = serial_us / async_us;
   std::printf("\nmodeled speedup vs the serial PR-1 path: %.2fx "
               "(threshold 1.30x)\n", speedup);
+  if (!BenchReport("async_overlap")
+           .metric("requests", requests)
+           .metric("serial_us", serial_us)
+           .metric("batched_serial_us", async_serial_us)
+           .metric("batched_overlap_us", async_us)
+           .metric("overlap_speedup", speedup)
+           .metric("threshold", 1.3)
+           .write()) {
+    return 1;
+  }
   if (speedup < 1.3) {
     std::puts("FAIL: overlap speedup below threshold");
     return 1;

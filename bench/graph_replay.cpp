@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_json.hpp"
 #include "common/table.hpp"
 #include "kernels/kernels.hpp"
 #include "runtime/buffer.hpp"
@@ -215,6 +216,16 @@ int main(int argc, char** argv) {
   const double ratio = eager_dispatch / graph_dispatch;
   std::printf("\nmodeled host/dispatch overhead: eager / graph = %.2fx "
               "(threshold 1.50x)\n", ratio);
+  if (!BenchReport("graph_replay")
+           .metric("iters", iters)
+           .metric("eager_dispatch_us", eager_dispatch)
+           .metric("graph_dispatch_us", graph_dispatch)
+           .metric("dispatch_overhead_ratio", ratio)
+           .metric("graph_replays", graph_timeline.graph_replays)
+           .metric("threshold", 1.5)
+           .write()) {
+    return 1;
+  }
   if (graph_timeline.graph_replays != iters) {
     std::puts("FAIL: every iteration must replay as one composite command");
     return 1;

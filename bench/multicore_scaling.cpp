@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_json.hpp"
 #include "common/table.hpp"
 #include "kernels/kernels.hpp"
 #include "runtime/buffer.hpp"
@@ -60,6 +61,8 @@ int main(int argc, char** argv) {
   Table t({"Cores", "clock", "rounds", "wall cycles", "wall us", "speedup",
            "ideal"});
   double base_us = 0;
+  BenchReport report("multicore_scaling");
+  report.metric("samples", samples);
 
   for (const unsigned cores : {1u, 2u, 3u}) {
     core::CoreConfig ccfg;
@@ -105,6 +108,9 @@ int main(int argc, char** argv) {
                fmt_ratio(base_us / stats.wall_us),
                fmt_ratio(static_cast<double>(cores) * dev.fmax_mhz() /
                          927.0)});
+    const std::string key = "cores" + std::to_string(cores);
+    report.metric(key + "_wall_us", stats.wall_us);
+    report.metric(key + "_speedup", base_us / stats.wall_us);
   }
   t.print();
 
@@ -273,6 +279,20 @@ int main(int argc, char** argv) {
                               static_cast<double>(sliced_staged)
                         : 0.0);
   (void)cons_skipped;
+  report.metric("staged_words_conservative", cons_staged);
+  report.metric("staged_words_whole_launch", whole_staged);
+  report.metric("staged_words_sliced", sliced_staged);
+  report.metric("staging_ratio_whole_vs_conservative",
+                whole_staged > 0 ? static_cast<double>(cons_staged) /
+                                       static_cast<double>(whole_staged)
+                                 : 0.0);
+  report.metric("staging_ratio_sliced_vs_conservative",
+                sliced_staged > 0 ? static_cast<double>(cons_staged) /
+                                        static_cast<double>(sliced_staged)
+                                  : 0.0);
+  if (!report.write()) {
+    return 1;
+  }
   if (whole_staged >= cons_staged || whole_skipped == 0) {
     std::puts("FAIL: declared read-sets must stage fewer words than the "
               "conservative path");

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_json.hpp"
 #include "common/table.hpp"
 #include "runtime/device.hpp"
 #include "runtime/stream.hpp"
@@ -211,15 +212,17 @@ int main(int argc, char** argv) {
 
   Table t({"Workload", "SIMT cycles", "SIMT us", "scalar cycles", "scalar us",
            "speedup"});
-  struct Row {
-    std::string name;
-    WorkloadResult r;
-  };
   const std::string n = std::to_string(kN);
-  const Row rows[] = {{"vecadd " + n, vecadd()},
-                      {"fir " + n + "x16 (Q24.8)", fir()},
-                      {"matmul 16x16", matmul()},
-                      {"reduction " + n, reduction()}};
+  BenchReport report("throughput");
+  report.metric("n", kN);
+  const struct {
+    std::string name;
+    std::string key;
+    WorkloadResult r;
+  } rows[] = {{"vecadd " + n, "vecadd", vecadd()},
+              {"fir " + n + "x16 (Q24.8)", "fir", fir()},
+              {"matmul 16x16", "matmul", matmul()},
+              {"reduction " + n, "reduction", reduction()}};
   for (const auto& row : rows) {
     const double simt_us = static_cast<double>(row.r.simt_cycles) / 950.0;
     const double scalar_us =
@@ -229,8 +232,14 @@ int main(int argc, char** argv) {
                fmt_int(static_cast<long long>(row.r.scalar_cycles)),
                std::to_string(scalar_us).substr(0, 6),
                fmt_ratio(scalar_us / simt_us)});
+    report.metric(row.key + "_simt_cycles", row.r.simt_cycles);
+    report.metric(row.key + "_scalar_cycles", row.r.scalar_cycles);
+    report.metric(row.key + "_speedup", scalar_us / simt_us);
   }
   t.print();
+  if (!report.write()) {
+    return 1;
+  }
 
   std::puts(
       "\nthe SIMT core wins on both clock rate (950 vs ~300 MHz) and\n"

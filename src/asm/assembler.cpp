@@ -88,7 +88,7 @@ class Lexer {
         c == '@' || c == '!') {
       return lex_ident();
     }
-    if (c == ',' || c == '[' || c == ']' || c == ':') {
+    if (c == ',' || c == '[' || c == ']' || c == ':' || c == '*') {
       ++pos_;
       return {Token::Kind::Punct, std::string(1, c)};
     }
@@ -299,8 +299,10 @@ class AsmContext {
   }
 
   /// Footprint operand: "name" (whole buffer), "name+extent" (leading
-  /// words), or the per-thread forms "name@tid" / "name@tid+window"
-  /// (thread t touches [base + t, base + t + window), default window 1).
+  /// words), or the per-thread forms "name@tid" / "name@tid+window" /
+  /// "name@tid*stride[+window]" (thread t touches [base + t*stride,
+  /// base + t*stride + window), default stride 1, default window 1 --
+  /// "in@tid*4+4" is the chunked [t*4, (t+1)*4) shape).
   core::Footprint parse_footprint(int line, Lexer& lex, const char* what) {
     Token name = lex.next();
     if (name.kind != Token::Kind::Ident) {
@@ -328,6 +330,18 @@ class AsmContext {
       fail(line, std::string(what) + " footprints apply to buffer "
                  "parameters; '" + name.text + "' is a scalar");
     }
+    std::int64_t stride = 1;
+    if (lex.peek().kind == Token::Kind::Punct && lex.peek().text == "*") {
+      if (!per_thread) {
+        fail(line, std::string(what) + " stride needs the @tid modifier");
+      }
+      lex.next();  // '*'
+      stride = immediate(line, lex.next());
+      if (stride <= 0 || stride > 0xffffffffll) {
+        fail(line, std::string(what) + " stride must be a positive word "
+                   "count");
+      }
+    }
     std::int64_t extent = per_thread ? 1 : 0;
     if (lex.peek().kind != Token::Kind::End) {
       extent = immediate(line, lex.next());
@@ -337,7 +351,8 @@ class AsmContext {
       }
     }
     return {static_cast<std::uint32_t>(idx),
-            static_cast<std::uint32_t>(extent), per_thread};
+            static_cast<std::uint32_t>(extent), per_thread,
+            static_cast<std::uint32_t>(stride)};
   }
 
   void parse_directive(int line, const std::string& s) {

@@ -31,8 +31,15 @@ ScalarSoftCpu::ScalarSoftCpu(ScalarCpuConfig cfg)
       interp_(core_cfg_) {}
 
 void ScalarSoftCpu::load_program(const core::Program& program) {
-  program_ = program;
-  interp_.load_program(program);
+  image_ = core::DecodedImage::build(program);
+}
+
+void ScalarSoftCpu::load_image(
+    std::shared_ptr<const core::DecodedImage> image) {
+  if (!image) {
+    throw Error("scalar baseline: null decoded image");
+  }
+  image_ = std::move(image);
 }
 
 std::uint32_t ScalarSoftCpu::read_mem(std::uint32_t addr) const {
@@ -69,13 +76,15 @@ void ScalarSoftCpu::write_reg(unsigned reg, std::uint32_t value) {
 
 ScalarRunStats ScalarSoftCpu::run(std::uint32_t entry,
                                   std::uint64_t max_instructions) {
-  // Functional execution walks the same path as the reference interpreter;
-  // the cycle model classifies each dynamic instruction with the classic
-  // soft-RISC CPI figures. We re-execute instruction by instruction here so
-  // branch taken/not-taken can be charged correctly.
-  if (entry >= program_.size()) {
+  // Functional execution shares the predecoded image (cached op metadata
+  // and ALU thunks) with the other engines; the cycle model classifies
+  // each dynamic instruction with the classic soft-RISC CPI figures. We
+  // re-execute instruction by instruction here so branch taken/not-taken
+  // can be charged correctly.
+  const std::size_t program_size = image_ ? image_->size() : 0;
+  if (entry >= program_size) {
     throw Error("scalar baseline: entry point " + std::to_string(entry) +
-                " outside the " + std::to_string(program_.size()) +
+                " outside the " + std::to_string(program_size) +
                 "-instruction program");
   }
   ScalarRunStats stats;
@@ -89,10 +98,11 @@ ScalarRunStats ScalarSoftCpu::run(std::uint32_t entry,
   auto reg = [&](unsigned r) { return interp_.read_reg(0, r); };
 
   while (stats.instructions < max_instructions) {
-    if (pc >= program_.size()) {
+    if (pc >= program_size) {
       throw Error("scalar baseline: PC out of program");
     }
-    const Instr& in = program_.at(pc);
+    const core::DecodedOp& d = image_->at(pc);
+    const Instr& in = d.instr;
     ++stats.instructions;
     bool redirected = false;
 
@@ -184,28 +194,25 @@ ScalarRunStats ScalarSoftCpu::run(std::uint32_t entry,
         break;
       }
       default: {
-        const auto& info = isa::op_info(in.op);
+        const auto& info = *d.info;
         const bool is_mul = in.op == Opcode::MULLO || in.op == Opcode::MULHI ||
                             in.op == Opcode::MULHIU || in.op == Opcode::MULI;
         stats.cycles += is_mul ? cfg_.cpi_mul : cfg_.cpi_alu;
         switch (info.format) {
           case Format::RRR:
-            interp_.write_reg(0, in.rd,
-                              core::ref::alu(in, reg(in.ra), reg(in.rb)));
+            interp_.write_reg(0, in.rd, d.alu(reg(in.ra), reg(in.rb)));
             break;
           case Format::RRI:
             interp_.write_reg(
                 0, in.rd,
-                core::ref::alu(in, reg(in.ra),
-                               static_cast<std::uint32_t>(in.imm)));
+                d.alu(reg(in.ra), static_cast<std::uint32_t>(in.imm)));
             break;
           case Format::RR:
-            interp_.write_reg(0, in.rd, core::ref::alu(in, reg(in.ra), 0));
+            interp_.write_reg(0, in.rd, d.alu(reg(in.ra), 0));
             break;
           case Format::RI:
             interp_.write_reg(
-                0, in.rd,
-                core::ref::alu(in, 0, static_cast<std::uint32_t>(in.imm)));
+                0, in.rd, d.alu(0, static_cast<std::uint32_t>(in.imm)));
             break;
           case Format::RS: {
             // Scalar core sweeping an emulated SIMT launch: one lane, so
@@ -223,7 +230,7 @@ ScalarRunStats ScalarSoftCpu::run(std::uint32_t entry,
             break;
           }
           case Format::PRR:
-            preds_[in.pd] = core::ref::compare(in.op, reg(in.ra), reg(in.rb));
+            preds_[in.pd] = d.cmp(reg(in.ra), reg(in.rb));
             break;
           case Format::PPP:
           case Format::PP:

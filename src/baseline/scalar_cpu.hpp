@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "core/config.hpp"
+#include "core/decoded_image.hpp"
 #include "core/perf.hpp"
 #include "core/program.hpp"
 #include "core/ref_interp.hpp"
@@ -43,6 +45,10 @@ class ScalarSoftCpu {
   explicit ScalarSoftCpu(ScalarCpuConfig cfg = {});
 
   void load_program(const core::Program& program);
+  /// Share a predecoded image (the decode-once path; a runtime that built
+  /// the image for another engine reuses it here -- the scalar sweep is
+  /// purely functional, so no core-configuration validation applies).
+  void load_image(std::shared_ptr<const core::DecodedImage> image);
 
   std::uint32_t read_mem(std::uint32_t addr) const;
   void write_mem(std::uint32_t addr, std::uint32_t value);
@@ -67,8 +73,8 @@ class ScalarSoftCpu {
  private:
   ScalarCpuConfig cfg_;
   core::CoreConfig core_cfg_;
-  core::ReferenceInterpreter interp_;
-  core::Program program_;
+  core::ReferenceInterpreter interp_;  ///< register/memory state container
+  std::shared_ptr<const core::DecodedImage> image_;
   bool preds_[isa::kNumPredRegs] = {};  ///< scalar condition flags
   std::uint32_t tid_ = 0;               ///< emulated-launch thread id
   std::uint32_t ntid_ = 1;              ///< emulated-launch thread count

@@ -23,6 +23,21 @@ struct CoreConfig {
   bool dynamic_thread_scaling = true;
   hw::ShifterImpl shifter = hw::ShifterImpl::Integrated;
 
+  /// Host-simulation engine choice. False (the default) evaluates lanes
+  /// with the functional fast path: direct C++ arithmetic through the
+  /// per-opcode thunks a DecodedImage caches. True walks the bit-accurate
+  /// structural datapaths (Mul33 / shifter / LogicUnit) instead. The two
+  /// engines are differentially enforced bit-identical (tests/
+  /// test_fast_path.cpp); cycle accounting is independent of the choice,
+  /// so perf counters and the runtime timeline model never change.
+  /// Building with -DSIMT_BIT_ACCURATE_DEFAULT (the CI sanitizer job)
+  /// flips the default so the whole suite exercises the structural engine.
+#ifdef SIMT_BIT_ACCURATE_DEFAULT
+  bool bit_accurate = true;
+#else
+  bool bit_accurate = false;
+#endif
+
   // ---- shared memory porting (Section 2: multi-port, 4R-1W) ----
   unsigned shared_read_ports = 4;
   unsigned shared_write_ports = 1;

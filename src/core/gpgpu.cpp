@@ -1,6 +1,7 @@
 #include "core/gpgpu.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
@@ -22,6 +23,8 @@ Gpgpu::Gpgpu(CoreConfig cfg)
       launch_threads_(cfg_.max_threads),
       active_threads_(cfg_.max_threads) {
   cfg_.validate();
+  sp_mask_ = cfg_.num_sps - 1;
+  sp_shift_ = static_cast<unsigned>(std::countr_zero(cfg_.num_sps));
   const unsigned rows = cfg_.max_threads / cfg_.num_sps;
   rf_.reserve(cfg_.num_sps);
   alus_.reserve(cfg_.num_sps);
@@ -34,96 +37,20 @@ Gpgpu::Gpgpu(CoreConfig cfg)
 }
 
 void Gpgpu::load_program(const Program& program) {
-  const auto n = static_cast<std::uint32_t>(program.size());
-  for (std::uint32_t pc = 0; pc < n; ++pc) {
-    const Instr& in = program.at(pc);
-    const auto& info = isa::op_info(in.op);
-    auto fail = [&](const std::string& why) {
-      throw Error("program validation failed at pc " + std::to_string(pc) +
-                  " (" + isa::disassemble(in) + "): " + why);
-    };
-    auto check_reg = [&](std::uint8_t r, const char* name) {
-      if (r >= cfg_.regs_per_thread) {
-        fail(std::string(name) + " register out of range (" +
-             std::to_string(r) + " >= " +
-             std::to_string(cfg_.regs_per_thread) + ")");
-      }
-    };
-    if (!cfg_.predicates_enabled) {
-      const bool pred_use =
-          in.guard != Guard::None || info.writes_pd ||
-          info.format == Format::SELP || in.op == Opcode::BRP ||
-          in.op == Opcode::BRN;
-      if (pred_use) {
-        fail("predicates are disabled in this configuration");
-      }
-    }
-    switch (info.format) {
-      case Format::RRR:
-        check_reg(in.rd, "rd");
-        check_reg(in.ra, "ra");
-        check_reg(in.rb, "rb");
-        break;
-      case Format::RRI:
-        check_reg(in.rd, "rd");
-        check_reg(in.ra, "ra");
-        break;
-      case Format::RR:
-        check_reg(in.rd, "rd");
-        check_reg(in.ra, "ra");
-        break;
-      case Format::RI:
-      case Format::RS:
-        check_reg(in.rd, "rd");
-        break;
-      case Format::PRR:
-        check_reg(in.ra, "ra");
-        check_reg(in.rb, "rb");
-        break;
-      case Format::PPP:
-      case Format::PP:
-        break;
-      case Format::SELP:
-        check_reg(in.rd, "rd");
-        check_reg(in.ra, "ra");
-        check_reg(in.rb, "rb");
-        break;
-      case Format::MEM:
-        check_reg(in.rd, "rd");
-        check_reg(in.ra, "ra");
-        break;
-      case Format::B:
-      case Format::PB:
-        if (in.imm < 0 || static_cast<std::uint32_t>(in.imm) >= n) {
-          fail("branch target out of range");
-        }
-        break;
-      case Format::LOOPR:
-        check_reg(in.ra, "ra");
-        [[fallthrough]];
-      case Format::LOOPI: {
-        const std::uint32_t end =
-            in.op == Opcode::LOOPI
-                ? static_cast<std::uint32_t>(in.imm & 0xffff)
-                : static_cast<std::uint32_t>(in.imm);
-        if (end <= pc + 1 || end > n) {
-          fail("loop end must lie after the loop instruction");
-        }
-        break;
-      }
-      case Format::TR:
-        check_reg(in.ra, "ra");
-        break;
-      case Format::TI:
-        if (in.imm < 1 || static_cast<unsigned>(in.imm) > cfg_.max_threads) {
-          fail("setti thread count out of range");
-        }
-        break;
-      case Format::NONE:
-        break;
-    }
+  load_image(DecodedImage::build(program, cfg_));
+}
+
+void Gpgpu::load_image(std::shared_ptr<const DecodedImage> image) {
+  if (!image) {
+    throw Error("load_image needs a non-null decoded image");
   }
-  imem_.load(program);
+  if (!image->validated_for(cfg_)) {
+    throw Error("decoded image was built for a different core "
+                "configuration; rebuild it with DecodedImage::build("
+                "program, cfg)");
+  }
+  imem_.load(image->words());
+  decoded_ = std::move(image);
 }
 
 void Gpgpu::set_thread_count(unsigned threads) {
@@ -134,11 +61,11 @@ void Gpgpu::set_thread_count(unsigned threads) {
 }
 
 std::uint32_t Gpgpu::rf_read(unsigned thread, unsigned reg) const {
-  return rf_[thread % cfg_.num_sps].read(thread / cfg_.num_sps, reg);
+  return rf_[thread & sp_mask_].read(thread >> sp_shift_, reg);
 }
 
 void Gpgpu::rf_write(unsigned thread, unsigned reg, std::uint32_t value) {
-  rf_[thread % cfg_.num_sps].write(thread / cfg_.num_sps, reg, value);
+  rf_[thread & sp_mask_].write(thread >> sp_shift_, reg, value);
 }
 
 std::uint32_t Gpgpu::read_shared(std::uint32_t addr) const {
@@ -230,102 +157,211 @@ std::uint32_t Gpgpu::special_value(isa::SpecialReg sr, unsigned thread,
   return 0;
 }
 
-void Gpgpu::exec_operation(const Instr& instr, unsigned active) {
-  const auto& info = isa::op_info(instr.op);
-  for (unsigned t = 0; t < active; ++t) {
-    if (!guard_passes(instr, t)) {
-      continue;
-    }
-    const hw::Alu& alu = alus_[t % cfg_.num_sps];
-    switch (info.format) {
-      case Format::RRR:
-        rf_write(t, instr.rd,
-                 alu.execute(instr.op, rf_read(t, instr.ra),
-                             rf_read(t, instr.rb)));
-        break;
-      case Format::RRI:
-        rf_write(t, instr.rd,
-                 alu.execute(instr.op, rf_read(t, instr.ra),
-                             static_cast<std::uint32_t>(instr.imm)));
-        break;
-      case Format::RR:
-        rf_write(t, instr.rd, alu.execute(instr.op, rf_read(t, instr.ra), 0));
-        break;
-      case Format::RI:
-        rf_write(t, instr.rd,
-                 alu.execute(instr.op, 0,
-                             static_cast<std::uint32_t>(instr.imm)));
-        break;
-      case Format::RS:
-        rf_write(t, instr.rd,
-                 special_value(static_cast<isa::SpecialReg>(instr.imm), t,
-                               active));
-        break;
-      case Format::PRR: {
-        const bool bit = alu.compare(instr.op, rf_read(t, instr.ra),
-                                     rf_read(t, instr.rb));
-        write_pred(t, instr.pd, bit);
-        break;
-      }
-      case Format::PPP: {
-        const bool a = (preds_[t] >> instr.pa) & 1u;
-        const bool b = (preds_[t] >> instr.pb) & 1u;
-        bool r = false;
-        if (instr.op == Opcode::PAND) {
-          r = a && b;
-        } else if (instr.op == Opcode::POR) {
-          r = a || b;
-        } else {
-          r = a != b;  // PXOR
+namespace {
+
+/// Per-lane ALU evaluated with the functional thunks cached in the
+/// DecodedOp: one direct-call arithmetic function, no per-lane dispatch.
+struct FunctionalAlu {
+  AluFn alu;
+  CmpFn cmp;
+  std::uint32_t exec(unsigned, std::uint32_t a, std::uint32_t b) const {
+    return alu(a, b);
+  }
+  bool compare(unsigned, std::uint32_t a, std::uint32_t b) const {
+    return cmp(a, b);
+  }
+};
+
+/// Precomputed guard polarity: a lane passes iff (preds & bit) == want.
+/// The default (bit = want = 0) passes every lane -- what the unguarded
+/// loop bodies instantiate.
+struct GuardMask {
+  std::uint8_t bit = 0;
+  std::uint8_t want = 0;
+  static GuardMask of(const Instr& in) {
+    const auto b = static_cast<std::uint8_t>(1u << in.gpred);
+    return {b, in.guard == Guard::IfTrue ? b : std::uint8_t{0}};
+  }
+  bool passes(std::uint8_t preds) const { return (preds & bit) == want; }
+};
+
+/// Per-lane ALU walking the bit-accurate structural models (Mul33,
+/// shifter, LogicUnit) of the lane's SP -- the CoreConfig::bit_accurate
+/// engine.
+struct StructuralAlu {
+  const std::vector<hw::Alu>* alus;
+  unsigned sp_mask;
+  isa::Opcode op;
+  std::uint32_t exec(unsigned t, std::uint32_t a, std::uint32_t b) const {
+    return (*alus)[t & sp_mask].execute(op, a, b);
+  }
+  bool compare(unsigned t, std::uint32_t a, std::uint32_t b) const {
+    return (*alus)[t & sp_mask].compare(op, a, b);
+  }
+};
+
+}  // namespace
+
+template <bool kGuarded, typename AluPolicy>
+void Gpgpu::exec_operation_body(const DecodedOp& d, unsigned active,
+                                const AluPolicy& alu) {
+  const Instr& instr = d.instr;
+  // Guard test hoisted to a mask-and-compare against the precomputed
+  // polarity; compiled out entirely on the all-lanes-active fast path.
+  const GuardMask g = kGuarded ? GuardMask::of(instr) : GuardMask{};
+  const auto passes = [&](unsigned t) {
+    return !kGuarded || g.passes(preds_[t]);
+  };
+  switch (d.info->format) {
+    case Format::RRR:
+      for (unsigned t = 0; t < active; ++t) {
+        if (passes(t)) {
+          rf_write(t, instr.rd,
+                   alu.exec(t, rf_read(t, instr.ra), rf_read(t, instr.rb)));
         }
-        write_pred(t, instr.pd, r);
-        break;
       }
-      case Format::PP:
-        write_pred(t, instr.pd, !((preds_[t] >> instr.pa) & 1u));
-        break;
-      case Format::SELP: {
-        const bool sel = (preds_[t] >> instr.pa) & 1u;
-        rf_write(t, instr.rd,
-                 sel ? rf_read(t, instr.ra) : rf_read(t, instr.rb));
-        break;
+      break;
+    case Format::RRI: {
+      const auto imm = static_cast<std::uint32_t>(instr.imm);
+      for (unsigned t = 0; t < active; ++t) {
+        if (passes(t)) {
+          rf_write(t, instr.rd, alu.exec(t, rf_read(t, instr.ra), imm));
+        }
       }
-      default:
-        SIMT_CHECK(false && "unexpected format in operation class");
+      break;
+    }
+    case Format::RR:
+      for (unsigned t = 0; t < active; ++t) {
+        if (passes(t)) {
+          rf_write(t, instr.rd, alu.exec(t, rf_read(t, instr.ra), 0));
+        }
+      }
+      break;
+    case Format::RI: {
+      const auto imm = static_cast<std::uint32_t>(instr.imm);
+      for (unsigned t = 0; t < active; ++t) {
+        if (passes(t)) {
+          rf_write(t, instr.rd, alu.exec(t, 0, imm));
+        }
+      }
+      break;
+    }
+    case Format::RS: {
+      const auto sr = static_cast<isa::SpecialReg>(instr.imm);
+      for (unsigned t = 0; t < active; ++t) {
+        if (passes(t)) {
+          rf_write(t, instr.rd, special_value(sr, t, active));
+        }
+      }
+      break;
+    }
+    case Format::PRR:
+      for (unsigned t = 0; t < active; ++t) {
+        if (passes(t)) {
+          write_pred(t, instr.pd,
+                     alu.compare(t, rf_read(t, instr.ra),
+                                 rf_read(t, instr.rb)));
+        }
+      }
+      break;
+    case Format::PPP:
+      for (unsigned t = 0; t < active; ++t) {
+        if (passes(t)) {
+          const bool a = (preds_[t] >> instr.pa) & 1u;
+          const bool b = (preds_[t] >> instr.pb) & 1u;
+          bool r = false;
+          if (instr.op == Opcode::PAND) {
+            r = a && b;
+          } else if (instr.op == Opcode::POR) {
+            r = a || b;
+          } else {
+            r = a != b;  // PXOR
+          }
+          write_pred(t, instr.pd, r);
+        }
+      }
+      break;
+    case Format::PP:
+      for (unsigned t = 0; t < active; ++t) {
+        if (passes(t)) {
+          write_pred(t, instr.pd, !((preds_[t] >> instr.pa) & 1u));
+        }
+      }
+      break;
+    case Format::SELP:
+      for (unsigned t = 0; t < active; ++t) {
+        if (passes(t)) {
+          const bool sel = (preds_[t] >> instr.pa) & 1u;
+          rf_write(t, instr.rd,
+                   sel ? rf_read(t, instr.ra) : rf_read(t, instr.rb));
+        }
+      }
+      break;
+    default:
+      SIMT_CHECK(false && "unexpected format in operation class");
+  }
+}
+
+void Gpgpu::exec_operation(const DecodedOp& d, unsigned active) {
+  const bool guarded = d.instr.guard != Guard::None;
+  if (!cfg_.bit_accurate) {
+    const FunctionalAlu alu{d.alu, d.cmp};
+    if (guarded) {
+      exec_operation_body<true>(d, active, alu);
+    } else {
+      exec_operation_body<false>(d, active, alu);
+    }
+  } else {
+    const StructuralAlu alu{&alus_, sp_mask_, d.instr.op};
+    if (guarded) {
+      exec_operation_body<true>(d, active, alu);
+    } else {
+      exec_operation_body<false>(d, active, alu);
     }
   }
 }
 
-unsigned Gpgpu::exec_load(const Instr& instr, unsigned active) {
+template <bool kGuarded>
+unsigned Gpgpu::exec_load_body(const Instr& instr, unsigned active) {
+  const GuardMask g = kGuarded ? GuardMask::of(instr) : GuardMask{};
+  const auto imm = static_cast<std::uint32_t>(instr.imm);
+  const unsigned words = shared_.words();
+  const unsigned ports = shared_.read_ports();
   unsigned lanes = 0;
   for (unsigned t = 0; t < active; ++t) {
-    if (!guard_passes(instr, t)) {
+    if (kGuarded && !g.passes(preds_[t])) {
       continue;
     }
-    const std::uint32_t addr =
-        rf_read(t, instr.ra) + static_cast<std::uint32_t>(instr.imm);
-    if (addr >= shared_.words()) {
+    const std::uint32_t addr = rf_read(t, instr.ra) + imm;
+    if (addr >= words) {
       throw Error("LDS address out of bounds: thread " + std::to_string(t) +
                   " addr " + std::to_string(addr));
     }
-    rf_write(t, instr.rd,
-             shared_.read(t % shared_.read_ports(), addr));
+    rf_write(t, instr.rd, shared_.read(t % ports, addr));
     ++lanes;
   }
   return lanes;
 }
 
-unsigned Gpgpu::exec_store(const Instr& instr, unsigned active) {
+unsigned Gpgpu::exec_load(const Instr& instr, unsigned active) {
+  return instr.guard != Guard::None ? exec_load_body<true>(instr, active)
+                                    : exec_load_body<false>(instr, active);
+}
+
+template <bool kGuarded>
+unsigned Gpgpu::exec_store_body(const Instr& instr, unsigned active) {
   // The 16:1 write mux serializes the lanes in thread order within each
   // row, so on an address conflict the highest thread id wins.
+  const GuardMask g = kGuarded ? GuardMask::of(instr) : GuardMask{};
+  const auto imm = static_cast<std::uint32_t>(instr.imm);
+  const unsigned words = shared_.words();
   unsigned lanes = 0;
   for (unsigned t = 0; t < active; ++t) {
-    if (!guard_passes(instr, t)) {
+    if (kGuarded && !g.passes(preds_[t])) {
       continue;
     }
-    const std::uint32_t addr =
-        rf_read(t, instr.ra) + static_cast<std::uint32_t>(instr.imm);
-    if (addr >= shared_.words()) {
+    const std::uint32_t addr = rf_read(t, instr.ra) + imm;
+    if (addr >= words) {
       throw Error("STS address out of bounds: thread " + std::to_string(t) +
                   " addr " + std::to_string(addr));
     }
@@ -335,6 +371,11 @@ unsigned Gpgpu::exec_store(const Instr& instr, unsigned active) {
   }
   shared_.commit();
   return lanes;
+}
+
+unsigned Gpgpu::exec_store(const Instr& instr, unsigned active) {
+  return instr.guard != Guard::None ? exec_store_body<true>(instr, active)
+                                    : exec_store_body<false>(instr, active);
 }
 
 void Gpgpu::note_store(std::uint32_t addr) {
@@ -503,30 +544,33 @@ RunResult Gpgpu::run(std::uint32_t entry, std::uint64_t max_instructions) {
   std::uint64_t cycle = cfg_.decode_depth;
   perf.fill_cycles = cfg_.decode_depth;
 
+  // The I-MEM image was decoded (and the program validated) once at load;
+  // the loop executes the cached records. Thread-block geometry is
+  // recomputed only when SETT/SETTI rescales the thread space.
+  const DecodedImage* image = decoded_.get();
+  unsigned cached_active = active_threads_;
+  unsigned cached_rows = cfg_.rows_for(cached_active);
+
   for (std::uint64_t executed = 0; executed < max_instructions; ++executed) {
     const std::uint32_t pc = fetch_.pc();
-    if (pc >= imem_.valid_words()) {
+    if (image == nullptr || pc >= image->size()) {
       throw Error("PC ran past the end of the program: " + std::to_string(pc));
     }
-    const auto decoded = isa::decode(imem_.fetch(pc));
-    if (!decoded) {
-      throw Error("malformed instruction at pc " + std::to_string(pc));
-    }
-    const Instr& instr = *decoded;
-    const auto& info = isa::op_info(instr.op);
+    const DecodedOp& d = image->at(pc);
+    const Instr& instr = d.instr;
+    const auto& info = *d.info;
 
     const unsigned active = active_threads_;
-    const unsigned rows = cfg_.rows_for(active);
-    const unsigned width =
-        width_factor_for(info.timing, cfg_.num_sps, cfg_.shared_read_ports,
-                         cfg_.shared_write_ports);
-    const unsigned duration =
-        clocks_for(info.timing, rows, cfg_.num_sps, cfg_.shared_read_ports,
-                   cfg_.shared_write_ports);
+    if (active != cached_active) {
+      cached_active = active;
+      cached_rows = cfg_.rows_for(active);
+    }
+    const unsigned rows = cached_rows;
+    const unsigned width = d.width;
+    const unsigned duration = d.single ? 1 : rows * width;
 
     // Register/memory interlocks (deep pipeline, row-aligned lockstep).
-    const unsigned hazard_rows =
-        info.timing == TimingClass::Single ? 1 : rows;
+    const unsigned hazard_rows = d.single ? 1 : rows;
     const std::uint64_t start =
         earliest_start(instr, width, hazard_rows, cycle);
     perf.stall_cycles += start - cycle;
@@ -535,7 +579,7 @@ RunResult Gpgpu::run(std::uint32_t entry, std::uint64_t max_instructions) {
     // Functional execution of the whole thread block.
     switch (info.timing) {
       case TimingClass::Operation:
-        exec_operation(instr, active);
+        exec_operation(d, active);
         perf.operation_instrs++;
         perf.thread_rows += rows;
         perf.thread_ops += active;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/decoded_image.hpp"
 #include "core/fetch_decode.hpp"
 #include "core/imem.hpp"
 #include "core/perf.hpp"
@@ -45,8 +46,21 @@ class Gpgpu {
   /// Load a program into the (externally re-loadable) I-MEM. Validates the
   /// program against the configuration: predicate use requires
   /// predicates_enabled, register indices must fit, branch targets must be
-  /// in range. Throws simt::Error on violations.
+  /// in range. Throws simt::Error on violations. Decode + validation run
+  /// once, into a DecodedImage the interpreter loop executes from.
   void load_program(const Program& program);
+
+  /// Load a prebuilt predecoded image (the decode-once path: a multi-core
+  /// system builds one image and shares it across every core; the runtime
+  /// shares it across rounds and graph replays). The image must have been
+  /// built and validated for a matching configuration
+  /// (DecodedImage::validated_for), else simt::Error.
+  void load_image(std::shared_ptr<const DecodedImage> image);
+
+  /// The predecoded image currently loaded (null before any load).
+  const std::shared_ptr<const DecodedImage>& image() const {
+    return decoded_;
+  }
 
   /// Set the launch thread count (the "number of threads" input of Fig. 3;
   /// programs may rescale it with SETT/SETTI when dynamic scaling is on).
@@ -120,9 +134,21 @@ class Gpgpu {
   // Functional execution helpers (operate on the full active thread block).
   // Load/store return the number of guard-passing lanes (actual memory
   // operations; lockstep issue cost is independent of the guard mask).
-  void exec_operation(const isa::Instr& instr, unsigned active);
+  // The per-lane format/guard dispatch is hoisted out of the thread loop:
+  // exec_operation selects a per-(format, guard-class) loop body once per
+  // instruction, with an all-lanes-active fast path for unguarded
+  // instructions and either the functional ALU thunks or the bit-accurate
+  // structural models (CoreConfig::bit_accurate) inside the loop.
+  void exec_operation(const DecodedOp& d, unsigned active);
+  template <bool kGuarded, typename AluPolicy>
+  void exec_operation_body(const DecodedOp& d, unsigned active,
+                           const AluPolicy& alu);
   unsigned exec_load(const isa::Instr& instr, unsigned active);
   unsigned exec_store(const isa::Instr& instr, unsigned active);
+  template <bool kGuarded>
+  unsigned exec_load_body(const isa::Instr& instr, unsigned active);
+  template <bool kGuarded>
+  unsigned exec_store_body(const isa::Instr& instr, unsigned active);
   bool guard_passes(const isa::Instr& instr, unsigned thread) const;
   std::uint32_t special_value(isa::SpecialReg sr, unsigned thread,
                               unsigned active) const;
@@ -140,6 +166,12 @@ class Gpgpu {
 
   CoreConfig cfg_;
   InstructionMemory imem_;
+  /// Predecoded I-MEM contents, rebuilt/replaced on every load (the only
+  /// I-MEM write path) and executed directly by run().
+  std::shared_ptr<const DecodedImage> decoded_;
+  /// num_sps is a power of two: lane = tid & mask, row = tid >> shift.
+  unsigned sp_mask_ = 0;
+  unsigned sp_shift_ = 0;
   hw::MultiPortMemory shared_;
   std::vector<RegisterFile> rf_;        ///< one per SP
   std::vector<hw::Alu> alus_;           ///< one per SP

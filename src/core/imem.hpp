@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
@@ -21,8 +22,11 @@ class InstructionMemory {
   }
 
   /// External reload (the host interface). Throws if the program is too big.
-  void load(const Program& program) {
-    const auto image = program.encode();
+  void load(const Program& program) { load(program.encode()); }
+
+  /// Reload from an already-encoded image (the predecoded-image path:
+  /// DecodedImage encodes once and every core load reuses the words).
+  void load(std::span<const std::uint64_t> image) {
     if (image.size() > depth_) {
       throw Error("program does not fit in I-MEM (" +
                   std::to_string(image.size()) + " > " +

@@ -97,9 +97,12 @@ std::string kernel_metadata_text(const Program& program) {
                                            const Footprint& fp) {
       out << "# " << directive << " " << k.params.at(fp.param).name;
       if (fp.per_thread) {
-        // Per-thread form: "+extent" only when the window is not the
-        // default single word, so the text round-trips exactly.
+        // Per-thread form: "*stride" / "+extent" only when they differ
+        // from the defaults, so the text round-trips exactly.
         out << "@tid";
+        if (fp.stride != 1) {
+          out << "*" << fp.stride;
+        }
         if (fp.extent != 1) {
           out << "+" << fp.extent;
         }
@@ -205,12 +208,33 @@ std::vector<KernelInfo> parse_kernel_metadata(
         meta_fail(raw, word + " needs a parameter name");
       }
       auto [name, extent] = split_extent(token, raw);
-      // Per-thread footprints carry the "@tid" marker on the name part
-      // ("x@tid" or "x@tid+window"); strip it back off.
+      // Per-thread footprints carry the "@tid" marker (optionally
+      // "@tid*stride") on the name part, e.g. "x@tid", "x@tid+window",
+      // "in@tid*4+4"; strip the modifier back off.
       bool per_thread = false;
+      std::int64_t stride = 1;
       const auto at = name.find('@');
       if (at != std::string::npos) {
-        if (name.substr(at) != "@tid") {
+        std::string modifier = name.substr(at);
+        const auto star = modifier.find('*');
+        if (star != std::string::npos) {
+          try {
+            std::size_t consumed = 0;
+            stride = std::stoll(modifier.substr(star + 1), &consumed);
+            if (consumed != modifier.size() - star - 1) {
+              meta_fail(raw, "malformed footprint stride");
+            }
+          } catch (const Error&) {
+            throw;
+          } catch (const std::exception&) {
+            meta_fail(raw, "malformed footprint stride");
+          }
+          if (stride <= 0 || stride > 0xffffffffll) {
+            meta_fail(raw, "footprint stride must be a positive word count");
+          }
+          modifier.resize(star);
+        }
+        if (modifier != "@tid") {
           meta_fail(raw, "footprint modifier must be @tid");
         }
         per_thread = true;
@@ -235,7 +259,8 @@ std::vector<KernelInfo> parse_kernel_metadata(
         extent = 1;
       }
       Footprint fp{static_cast<std::uint32_t>(idx),
-                   static_cast<std::uint32_t>(extent), per_thread};
+                   static_cast<std::uint32_t>(extent), per_thread,
+                   static_cast<std::uint32_t>(stride)};
       (word == ".reads" ? k.reads : k.writes).push_back(fp);
     } else if (word == ".ref") {
       std::string at, token;

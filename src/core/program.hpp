@@ -46,15 +46,18 @@ struct ParamRef {
 /// buffer), independent of which threads run.
 ///
 /// Per-thread form (`per_thread` true, the `@tid` directive suffix): thread
-/// t touches words [base + t, base + t + extent) -- the elementwise access
-/// shape. Here `extent` is the per-thread window (>= 1; the FIR kernel
-/// declares its tap window as `x@tid+taps`). The runtime scales these by
-/// each round's thread slice, so a multi-round or multi-core launch stages
-/// only the slice a core actually covers instead of the whole-launch range.
+/// t touches words [base + t*stride, base + t*stride + extent). Here
+/// `extent` is the per-thread window (>= 1) and `stride` the per-thread
+/// step (>= 1; 1 is the plain elementwise `@tid[+window]` shape, the FIR
+/// tap window is `x@tid+taps`, and a chunked kernel reading
+/// [t*P, (t+1)*P) declares `in@tid*P+P`). The runtime scales these by each
+/// round's thread slice, so a multi-round or multi-core launch stages only
+/// the slice a core actually covers instead of the whole-launch range.
 struct Footprint {
   std::uint32_t param = 0;
   std::uint32_t extent = 0;
   bool per_thread = false;
+  std::uint32_t stride = 1;
 
   friend bool operator==(const Footprint&, const Footprint&) = default;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "core/decoded_image.hpp"
 
 namespace simt::core {
 
@@ -19,6 +20,18 @@ ReferenceInterpreter::ReferenceInterpreter(CoreConfig cfg)
                0);
   preds_.assign(cfg_.max_threads, 0);
   shared_.assign(cfg_.shared_mem_words, 0);
+}
+
+void ReferenceInterpreter::load_program(const Program& program) {
+  image_ = DecodedImage::build(program);
+}
+
+void ReferenceInterpreter::load_image(
+    std::shared_ptr<const DecodedImage> image) {
+  if (!image) {
+    throw Error("reference: null decoded image");
+  }
+  image_ = std::move(image);
 }
 
 void ReferenceInterpreter::set_thread_count(unsigned threads) {
@@ -38,10 +51,10 @@ bool ReferenceInterpreter::guard_passes(const Instr& in, unsigned t) const {
 
 namespace ref {
 
-std::uint32_t alu(const isa::Instr& in, std::uint32_t a, std::uint32_t b) {
+std::uint32_t alu(isa::Opcode op, std::uint32_t a, std::uint32_t b) {
   const auto sa = static_cast<std::int32_t>(a);
   const auto sb = static_cast<std::int32_t>(b);
-  switch (in.op) {
+  switch (op) {
     case Opcode::ADD:
     case Opcode::ADDI:
       return a + b;
@@ -164,12 +177,13 @@ std::uint64_t ReferenceInterpreter::run(std::uint32_t entry,
   };
 
   while (executed < max_instructions) {
-    if (pc >= program_.size()) {
+    if (!image_ || pc >= image_->size()) {
       throw Error("reference: PC out of program");
     }
-    const Instr& in = program_.at(pc);
+    const DecodedOp& d = image_->at(pc);
+    const Instr& in = d.instr;
     ++executed;
-    const auto& info = isa::op_info(in.op);
+    const auto& info = *d.info;
     bool redirected = false;
 
     switch (in.op) {

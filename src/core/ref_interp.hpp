@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/config.hpp"
@@ -17,9 +18,16 @@
 
 namespace simt::core {
 
+class DecodedImage;
+
 namespace ref {
-/// Golden ALU semantics in plain C++ (shared with the scalar baseline).
-std::uint32_t alu(const isa::Instr& in, std::uint32_t a, std::uint32_t b);
+/// Golden ALU semantics in plain C++ (shared with the scalar baseline and
+/// the functional fast path's per-opcode thunks).
+std::uint32_t alu(isa::Opcode op, std::uint32_t a, std::uint32_t b);
+inline std::uint32_t alu(const isa::Instr& in, std::uint32_t a,
+                         std::uint32_t b) {
+  return alu(in.op, a, b);
+}
 /// Golden compare semantics for the SETP family.
 bool compare(isa::Opcode op, std::uint32_t a, std::uint32_t b);
 }  // namespace ref
@@ -28,7 +36,10 @@ class ReferenceInterpreter {
  public:
   explicit ReferenceInterpreter(CoreConfig cfg);
 
-  void load_program(const Program& program) { program_ = program; }
+  void load_program(const Program& program);
+  /// Share a predecoded image (the decode-once path; the interpreter uses
+  /// the cached per-pc records instead of a private decode loop).
+  void load_image(std::shared_ptr<const DecodedImage> image);
   void set_thread_count(unsigned threads);
 
   /// Run to EXIT (or the instruction budget). Returns the number of
@@ -63,7 +74,7 @@ class ReferenceInterpreter {
   bool guard_passes(const isa::Instr& in, unsigned t) const;
 
   CoreConfig cfg_;
-  Program program_;
+  std::shared_ptr<const DecodedImage> image_;
   unsigned threads_;
   std::vector<std::uint32_t> regs_;
   std::vector<std::uint8_t> preds_;

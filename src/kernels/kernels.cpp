@@ -217,7 +217,10 @@ std::string reduce_abi(unsigned per_thread) {
       ".kernel reduce\n"
       ".param in buffer\n"
       ".param out buffer\n"
-      ".reads in\n"
+      // Thread t reads the chunk [t*P, (t+1)*P): the strided per-thread
+      // form lets multicore staging ship each core only its chunk slice
+      // instead of the whole input buffer.
+      ".reads in@tid*" + num(per_thread) + "+" + num(per_thread) + "\n"
       ".writes out@tid\n"
       "movsr %r0, %tid\n"
       "shli %r1, %r0, " + num(shift) + "\n"

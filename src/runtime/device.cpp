@@ -57,8 +57,14 @@ DeviceDescriptor DeviceDescriptor::scalar_cpu(baseline::ScalarCpuConfig cfg) {
 
 // ---- SimtCoreBackend -------------------------------------------------------
 
-void SimtCoreBackend::load_program(const core::Program& program) {
-  gpu_.load_program(program);
+std::shared_ptr<const core::DecodedImage> SimtCoreBackend::build_image(
+    const core::Program& program) const {
+  return core::DecodedImage::build(program, gpu_.config());
+}
+
+void SimtCoreBackend::load_image(
+    std::shared_ptr<const core::DecodedImage> image) {
+  gpu_.load_image(std::move(image));
 }
 
 LaunchStats SimtCoreBackend::launch(std::uint32_t entry, unsigned threads,
@@ -111,8 +117,15 @@ MultiCoreBackend::MultiCoreBackend(const system::SystemConfig& cfg,
   // cores' merged output shards.
 }
 
-void MultiCoreBackend::load_program(const core::Program& program) {
-  sys_.load_program_all(program);
+std::shared_ptr<const core::DecodedImage> MultiCoreBackend::build_image(
+    const core::Program& program) const {
+  return core::DecodedImage::build(program, sys_.config().core);
+}
+
+void MultiCoreBackend::load_image(
+    std::shared_ptr<const core::DecodedImage> image) {
+  // One shared image stamps into every core -- the decode ran once.
+  sys_.load_image_all(std::move(image));
 }
 
 LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
@@ -136,7 +149,8 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
                                unsigned lo, unsigned hi) {
     RangeSet set;
     for (const auto& s : sliced) {
-      set.insert(s.base + lo, s.base + hi - 1 + s.window);
+      set.insert(s.base + lo * s.stride,
+                 s.base + (hi - 1) * s.stride + s.window);
     }
     return set;
   };
@@ -358,8 +372,16 @@ void MultiCoreBackend::write_words(std::uint32_t base,
 
 // ---- ScalarBackend ---------------------------------------------------------
 
-void ScalarBackend::load_program(const core::Program& program) {
-  cpu_.load_program(program);
+std::shared_ptr<const core::DecodedImage> ScalarBackend::build_image(
+    const core::Program& program) const {
+  // The scalar sweep is purely functional: no core-shape validation, the
+  // engine traps bad programs at runtime exactly as it always did.
+  return core::DecodedImage::build(program);
+}
+
+void ScalarBackend::load_image(
+    std::shared_ptr<const core::DecodedImage> image) {
+  cpu_.load_image(std::move(image));
 }
 
 LaunchStats ScalarBackend::launch(std::uint32_t entry, unsigned threads,
@@ -500,11 +522,13 @@ void add_footprints(RangeSet& set, std::vector<SlicedFootprint>& sliced,
     const auto& bound = args.values().at(fp.param);
     const std::uint64_t base = bound.value;
     // Per-thread: the launch as a whole covers threads [0, threads), so
-    // the widest range any slice can see is [base, base + threads - 1 +
-    // window). Whole-launch: the declared extent (0 = the bound buffer).
+    // the widest range any slice can see is [base, base + (threads-1) *
+    // stride + window). Whole-launch: the declared extent (0 = the bound
+    // buffer).
     const std::uint64_t extent =
-        fp.per_thread ? threads - 1 + fp.extent
-                      : (fp.extent != 0 ? fp.extent : bound.size);
+        fp.per_thread
+            ? static_cast<std::uint64_t>(threads - 1) * fp.stride + fp.extent
+            : (fp.extent != 0 ? fp.extent : bound.size);
     if (base + extent > mem_words) {
       throw Error("kernel '" + info.name + "' footprint on parameter '" +
                   info.params.at(fp.param).name + "' spans [" +
@@ -514,7 +538,8 @@ void add_footprints(RangeSet& set, std::vector<SlicedFootprint>& sliced,
                   " words)");
     }
     if (fp.per_thread) {
-      sliced.push_back({static_cast<std::uint32_t>(base), fp.extent});
+      sliced.push_back(
+          {static_cast<std::uint32_t>(base), fp.extent, fp.stride});
     } else {
       set.insert(static_cast<std::uint32_t>(base),
                  static_cast<std::uint32_t>(base + extent));
@@ -611,23 +636,27 @@ LaunchStats Device::execute_plan(const LaunchPlan& plan) {
   }
   std::lock_guard<std::mutex> lock(exec_mutex_);
   if (kernel.module != resident_ || plan.sig != resident_sig_) {
+    // The module's program was decoded and validated into a DecodedImage
+    // exactly once (the per-module cache); every reload from here on is a
+    // cache hit, shared across rounds, cores, and graph replays.
+    auto image = image_for(kernel.module);
     if (plan.patches) {
       // The loader patch: bind the argument values into the module's
-      // $param relocation sites. A copy of the decoded program, a few
-      // immediate stores, one I-MEM load -- no re-assembly.
-      core::Program bound = kernel.module->program();
+      // $param relocation sites. A copy of the predecoded image with a
+      // few immediates rewritten -- no re-assembly, no re-decode.
+      std::vector<std::pair<std::uint32_t, std::int32_t>> patches;
+      patches.reserve(kernel.info->refs.size());
       for (const auto& ref : kernel.info->refs) {
         const auto& v = args.values().at(ref.param);
         // Unsigned arithmetic: the intended mod-2^32 wrap without the UB
         // of signed overflow (e.g. scalar 0x7fffffff with a +1 addend).
-        bound.set_imm(ref.pc,
-                      static_cast<std::int32_t>(
-                          v.value + static_cast<std::uint32_t>(ref.addend)));
+        patches.emplace_back(
+            ref.pc, static_cast<std::int32_t>(
+                        v.value + static_cast<std::uint32_t>(ref.addend)));
       }
-      backend_->load_program(bound);
-    } else {
-      backend_->load_program(kernel.module->program());
+      image = core::DecodedImage::patched(*image, patches);
     }
+    backend_->load_image(std::move(image));
     resident_ = kernel.module;
     resident_sig_ = plan.sig;
   }
@@ -661,6 +690,19 @@ LaunchStats Device::execute_plan(const LaunchPlan& plan) {
   stats.serial_wall_us = static_cast<double>(stats.serial_cycles) / fmax;
   stats.overlap_wall_us = static_cast<double>(stats.overlap_cycles) / fmax;
   return stats;
+}
+
+std::shared_ptr<const core::DecodedImage> Device::image_for(
+    const Module* module) {
+  const auto it = images_.find(module);
+  if (it != images_.end()) {
+    ++decode_hits_;
+    return it->second;
+  }
+  ++decode_misses_;
+  auto image = backend_->build_image(module->program());
+  images_.emplace(module, image);
+  return image;
 }
 
 Stream& Device::stream() {

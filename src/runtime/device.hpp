@@ -111,14 +111,17 @@ struct LaunchStats {
   }
 };
 
-/// One per-thread (`@tid`) footprint resolved against its bound buffer:
-/// thread t touches absolute words [base + t, base + t + window). The
-/// multicore backend scales these by each round's thread slice, so a core
-/// dispatched over threads [lo, hi) stages [base + lo, base + hi - 1 +
-/// window) instead of the whole-launch range.
+/// One per-thread (`@tid*stride[+window]`) footprint resolved against its
+/// bound buffer: thread t touches absolute words [base + t*stride,
+/// base + t*stride + window). The multicore backend scales these by each
+/// round's thread slice, so a core dispatched over threads [lo, hi) stages
+/// [base + lo*stride, base + (hi-1)*stride + window) instead of the
+/// whole-launch range. Stride 1 is the plain elementwise shape; a chunked
+/// kernel reading [t*P, (t+1)*P) declares stride = window = P.
 struct SlicedFootprint {
   std::uint32_t base = 0;    ///< bound buffer word base
   std::uint32_t window = 1;  ///< words per thread
+  std::uint32_t stride = 1;  ///< words between consecutive threads' bases
 };
 
 /// Absolute device-memory footprint of one launch, derived from the
@@ -137,7 +140,11 @@ struct LaunchFootprint {
 };
 
 /// The pluggable engine interface. Backends expose a flat word-addressed
-/// device memory, a loadable program store, and a grid launch.
+/// device memory, a loadable program store, and a grid launch. Programs
+/// load as predecoded images: build_image decodes (and, for the
+/// cycle-accurate engines, validates) once, and load_image stamps the
+/// shared image into the engine -- the Device caches images per module so
+/// rounds, rebinding launches, and graph replays never re-decode.
 class DeviceBackend {
  public:
   virtual ~DeviceBackend() = default;
@@ -149,7 +156,17 @@ class DeviceBackend {
   virtual unsigned max_concurrent_threads() const = 0;
   virtual double default_fmax_mhz() const = 0;
 
-  virtual void load_program(const core::Program& program) = 0;
+  /// Decode a program into an image this backend can load.
+  virtual std::shared_ptr<const core::DecodedImage> build_image(
+      const core::Program& program) const = 0;
+  /// Load a (possibly shared) predecoded image into the engine.
+  virtual void load_image(
+      std::shared_ptr<const core::DecodedImage> image) = 0;
+  /// Decode-and-load in one step (no cache involved).
+  void load_program(const core::Program& program) {
+    load_image(build_image(program));
+  }
+
   virtual LaunchStats launch(std::uint32_t entry, unsigned threads,
                              const LaunchFootprint& footprint) = 0;
 
@@ -173,7 +190,9 @@ class SimtCoreBackend final : public DeviceBackend {
   }
   double default_fmax_mhz() const override { return 950.0; }
 
-  void load_program(const core::Program& program) override;
+  std::shared_ptr<const core::DecodedImage> build_image(
+      const core::Program& program) const override;
+  void load_image(std::shared_ptr<const core::DecodedImage> image) override;
   LaunchStats launch(std::uint32_t entry, unsigned threads,
                      const LaunchFootprint& footprint) override;
   void read_words(std::uint32_t base,
@@ -215,7 +234,9 @@ class MultiCoreBackend final : public DeviceBackend {
     return sys_.config().clock_mhz();
   }
 
-  void load_program(const core::Program& program) override;
+  std::shared_ptr<const core::DecodedImage> build_image(
+      const core::Program& program) const override;
+  void load_image(std::shared_ptr<const core::DecodedImage> image) override;
   LaunchStats launch(std::uint32_t entry, unsigned threads,
                      const LaunchFootprint& footprint) override;
   void read_words(std::uint32_t base,
@@ -248,7 +269,9 @@ class ScalarBackend final : public DeviceBackend {
   unsigned max_concurrent_threads() const override { return 1; }
   double default_fmax_mhz() const override { return cpu_.config().fmax_mhz; }
 
-  void load_program(const core::Program& program) override;
+  std::shared_ptr<const core::DecodedImage> build_image(
+      const core::Program& program) const override;
+  void load_image(std::shared_ptr<const core::DecodedImage> image) override;
   LaunchStats launch(std::uint32_t entry, unsigned threads,
                      const LaunchFootprint& footprint) override;
   void read_words(std::uint32_t base,
@@ -348,6 +371,30 @@ class Device {
     return cache_misses_;
   }
 
+  /// Decode-cache counters. A miss is a full decode+validate of a module's
+  /// program into a DecodedImage (once per module per device); a hit is an
+  /// I-MEM load served from the cached image -- rounds, argument-rebinding
+  /// launches (the loader patches immediates into a copy of the cached
+  /// image; no re-decode), and graph replays all hit.
+  std::uint64_t decode_cache_hits() const {
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    return decode_hits_;
+  }
+  std::uint64_t decode_cache_misses() const {
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    return decode_misses_;
+  }
+
+  /// The lane-evaluation engine this device simulates with: the functional
+  /// fast path (default) or the bit-accurate structural datapaths
+  /// (CoreConfig::bit_accurate; the scalar baseline is always functional).
+  bool bit_accurate() const {
+    return desc_.backend != BackendKind::Scalar && desc_.core.bit_accurate;
+  }
+  std::string_view engine_name() const {
+    return bit_accurate() ? "bit-accurate" : "fast";
+  }
+
   // ---- memory ------------------------------------------------------------
   /// Allocate a typed buffer of `count` 32-bit elements, optionally
   /// word-aligned (defined in runtime/buffer.hpp).
@@ -434,6 +481,10 @@ class Device {
   }
 
  private:
+  /// Cached predecoded image for a module's pristine program (decode and
+  /// validate once per module). Caller must hold exec_mutex_.
+  std::shared_ptr<const core::DecodedImage> image_for(const Module* module);
+
   DeviceDescriptor desc_;
   std::unique_ptr<DeviceBackend> backend_;
   MemoryPool pool_;
@@ -446,6 +497,13 @@ class Device {
   std::unordered_map<std::uint64_t, std::unique_ptr<Module>> modules_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  /// Per-module predecoded images (decode + validate once per module;
+  /// guarded by exec_mutex_ -- only the launch path touches it).
+  std::unordered_map<const Module*,
+                     std::shared_ptr<const core::DecodedImage>>
+      images_;
+  std::uint64_t decode_hits_ = 0;
+  std::uint64_t decode_misses_ = 0;
   const Module* resident_ = nullptr;  ///< module currently in the I-MEM
   /// Binding signature of the resident image (entry + argument values):
   /// relaunching the same kernel with the same arguments skips both the

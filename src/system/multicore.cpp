@@ -26,8 +26,15 @@ void MultiCoreSystem::load_kernel_all(std::string_view source) {
 }
 
 void MultiCoreSystem::load_program_all(const core::Program& program) {
+  // Decode + validate exactly once; every core loads the shared image
+  // (the seed model re-ran the decode once per core per load).
+  load_image_all(core::DecodedImage::build(program, cfg_.core));
+}
+
+void MultiCoreSystem::load_image_all(
+    std::shared_ptr<const core::DecodedImage> image) {
   for (auto& c : cores_) {
-    c.load_program(program);
+    c.load_image(image);
   }
 }
 

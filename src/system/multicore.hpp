@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -74,8 +75,13 @@ class MultiCoreSystem {
   /// Load a kernel into one core.
   void load_kernel(unsigned core, std::string_view source);
   /// Load an already-assembled program into every core's I-MEM (the module
-  /// cache path: assemble once, stamp everywhere).
+  /// cache path: assemble once, stamp everywhere). Decodes and validates
+  /// once into a shared DecodedImage -- the cores stamp the same image
+  /// instead of each re-decoding the program.
   void load_program_all(const core::Program& program);
+  /// Load a prebuilt predecoded image into every core (the runtime's
+  /// decode-cache path; the image must match the core configuration).
+  void load_image_all(std::shared_ptr<const core::DecodedImage> image);
 
   /// Launch the given dispatches concurrently (each core at most once) and
   /// account wall-clock at the realized system clock. Each core has a

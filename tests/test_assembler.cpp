@@ -323,6 +323,31 @@ TEST(AssemblerAbi, PerThreadFootprintDiagnostics) {
                "positive word count");
 }
 
+TEST(AssemblerAbi, StridedPerThreadFootprintsParse) {
+  const auto p = assemble(
+      ".equ CHUNK 4\n"
+      ".kernel k\n"
+      ".param in buffer\n"
+      ".param out buffer\n"
+      ".reads in@tid*CHUNK+4\n"  // chunked [t*4, (t+1)*4)
+      ".reads in@tid*8\n"        // stride 8, default 1-word window
+      ".writes out@tid\n"        // stride defaults to 1
+      "exit\n");
+  const auto& k = p.kernels().at(0);
+  ASSERT_EQ(k.reads.size(), 2u);
+  EXPECT_EQ(k.reads[0], (core::Footprint{0, 4, true, 4}));
+  EXPECT_EQ(k.reads[1], (core::Footprint{0, 1, true, 8}));
+  ASSERT_EQ(k.writes.size(), 1u);
+  EXPECT_EQ(k.writes[0], (core::Footprint{1, 1, true, 1}));
+}
+
+TEST(AssemblerAbi, StridedFootprintDiagnostics) {
+  expect_error(".kernel k\n.param a buffer\n.reads a@tid*0\nexit\n",
+               "positive word count");
+  expect_error(".kernel k\n.param a buffer\n.reads a*4\nexit\n",
+               "stride needs the @tid modifier");
+}
+
 TEST(AssemblerAbi, DirectiveDiagnostics) {
   expect_error(".param a buffer\nexit\n", "before any .kernel");
   expect_error(".reads a\nexit\n", "before any .kernel");

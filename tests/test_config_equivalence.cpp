@@ -18,6 +18,9 @@ CoreConfig base_cfg(hw::ShifterImpl shifter) {
   cfg.shared_mem_words = 2048;
   cfg.predicates_enabled = true;
   cfg.shifter = shifter;
+  // The shifter choice only matters on the structural engine; pin it so
+  // the equivalence stays meaningful under any build default.
+  cfg.bit_accurate = true;
   return cfg;
 }
 

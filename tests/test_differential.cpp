@@ -25,6 +25,10 @@ CoreConfig diff_cfg() {
   cfg.regs_per_thread = kRegs;
   cfg.shared_mem_words = kSharedWords;
   cfg.predicates_enabled = true;
+  // This suite exists to validate the structural datapaths against the
+  // independent reference; pin the bit-accurate engine regardless of the
+  // build's default (tests/test_fast_path.cpp covers the fast engine).
+  cfg.bit_accurate = true;
   return cfg;
 }
 

@@ -26,6 +26,9 @@ CoreConfig cf_cfg() {
   cfg.regs_per_thread = kRegs;
   cfg.shared_mem_words = kSharedWords;
   cfg.predicates_enabled = true;
+  // Validate the structural engine against the reference regardless of
+  // the build default (the fast engine has its own suite).
+  cfg.bit_accurate = true;
   return cfg;
 }
 

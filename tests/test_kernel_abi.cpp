@@ -434,6 +434,66 @@ TEST(FootprintStaging, PerThreadSlicesStagePerCoreSlices) {
   EXPECT_GE(whole, 2u * kN);
 }
 
+TEST(FootprintStaging, StridedChunksStagePerCoreChunks) {
+  // The chunked reduce kernel: thread t reads in[t*P, (t+1)*P). With the
+  // strided declaration (`in@tid*P+P`) a 2-core launch stages each core
+  // only its chunk slice; with the whole-buffer downgrade both cores ship
+  // the entire input.
+  constexpr unsigned kChunk = 4;
+  constexpr unsigned kN = 512;
+  constexpr unsigned kPartials = kN / kChunk;
+  const auto run = [](bool strided) {
+    Device dev(DeviceDescriptor::multi_core(2, small_cfg(64, 2048)));
+    auto in = dev.alloc<std::uint32_t>(kN);
+    auto out = dev.alloc<std::uint32_t>(kPartials);
+    std::string src = kernels::reduce_abi(kChunk);
+    if (!strided) {
+      // ".reads in@tid*4+4" -> ".reads in": the pre-stride declaration.
+      const auto pos = src.find("in@tid*");
+      EXPECT_NE(pos, std::string::npos) << src;
+      const auto eol = src.find('\n', pos);
+      src = src.substr(0, pos) + "in" + src.substr(eol);
+    }
+    Module& mod = dev.load_module(src);
+    std::vector<std::uint32_t> host(kN);
+    std::iota(host.begin(), host.end(), 1u);
+    in.write(host);  // the whole input goes stale on both cores
+    const auto stats = dev.launch_sync(mod.kernel("reduce"), kPartials,
+                                       KernelArgs().arg(in).arg(out));
+    for (unsigned t = 0; t < kPartials; ++t) {
+      std::uint32_t want = 0;
+      for (unsigned j = 0; j < kChunk; ++j) {
+        want += host[t * kChunk + j];
+      }
+      EXPECT_EQ(out.at(t), want) << t << " strided=" << strided;
+    }
+    return stats.staged_words;
+  };
+  const std::uint64_t strided_words = run(true);
+  const std::uint64_t whole_words = run(false);
+  // Whole-buffer ships ~kN input words to each of the 2 cores; the strided
+  // declaration ships each core ~its half of the chunks.
+  EXPECT_LT(strided_words, whole_words);
+  EXPECT_GE(whole_words, 2u * kN);
+  EXPECT_LT(strided_words, kN + kN / 2 + 64);
+}
+
+TEST(KernelMetadata, StridedSidecarRoundTrips) {
+  // reduce_abi declares the chunked `in@tid*P+P` form; the sidecar text
+  // must carry the stride through emit -> parse unchanged.
+  const auto program = assembler::assemble(kernels::reduce_abi(4));
+  const auto text = core::kernel_metadata_text(program);
+  EXPECT_NE(text.find(".reads in@tid*4+4"), std::string::npos) << text;
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  const auto parsed = core::parse_kernel_metadata(lines);
+  EXPECT_EQ(parsed, program.kernels());
+}
+
 // ---- host-thread-safe submission -------------------------------------------
 
 TEST(ConcurrentSubmit, WorkerThreadsShareOneStream) {

@@ -32,7 +32,10 @@ void print_kernel_table(const std::vector<simt::core::KernelInfo>& kernels) {
     const auto print_footprint = [&k](const char* label,
                                       const simt::core::Footprint& fp) {
       const char* name = k.params.at(fp.param).name.c_str();
-      if (fp.per_thread) {
+      if (fp.per_thread && fp.stride != 1) {
+        std::printf("  %s %s (%u word%s per thread, stride %u)\n", label,
+                    name, fp.extent, fp.extent == 1 ? "" : "s", fp.stride);
+      } else if (fp.per_thread) {
         std::printf("  %s %s (%u word%s per thread)\n", label, name,
                     fp.extent, fp.extent == 1 ? "" : "s");
       } else if (fp.extent != 0) {

@@ -7,6 +7,11 @@
 //                 [--mem file.txt] [--dump base count]
 //                 [--batch M] [--streams N] [--graph-repeat N]
 //                 [--kernel NAME] [--arg base:size | --arg value]...
+//                 [--bit-accurate]
+//
+// --bit-accurate simulates lanes through the structural datapath models
+// (Mul33/shifter/LogicUnit) instead of the functional fast path; results
+// are bit-identical, only host simulation speed differs.
 //
 // --kernel starts execution at a `.kernel` (or label) entry instead of
 // address 0 (this works on every backend, including scalar). Each --arg
@@ -54,6 +59,7 @@ int main(int argc, char** argv) {
   std::string backend = "core";
   std::string mem_file;
   unsigned dump_base = 0, dump_count = 0;
+  bool bit_accurate = false;
   std::string kernel_name;
   simt::runtime::KernelArgs args;
   for (int i = 2; i < argc; ++i) {
@@ -83,6 +89,8 @@ int main(int argc, char** argv) {
             static_cast<std::uint32_t>(std::stoul(spec.substr(0, colon))),
             static_cast<std::uint32_t>(std::stoul(spec.substr(colon + 1))));
       }
+    } else if (!std::strcmp(argv[i], "--bit-accurate")) {
+      bit_accurate = true;
     } else if (!std::strcmp(argv[i], "--mem") && i + 1 < argc) {
       mem_file = argv[++i];
     } else if (!std::strcmp(argv[i], "--dump") && i + 2 < argc) {
@@ -112,6 +120,7 @@ int main(int argc, char** argv) {
     cfg.max_threads = std::min(4096u, std::max(16u, (threads + 15u) / 16u * 16u));
     cfg.shared_mem_words = 4096;
     cfg.predicates_enabled = true;
+    cfg.bit_accurate = bit_accurate;
 
     simt::runtime::DeviceDescriptor desc;
     if (backend == "core") {
@@ -200,8 +209,9 @@ int main(int argc, char** argv) {
                   batch, streams, t.serial_us, t.overlap_us,
                   t.overlap_speedup());
     }
-    std::printf("backend=%s  threads=%u  rounds=%u\n",
-                std::string(dev.backend_name()).c_str(), threads,
+    std::printf("backend=%s  engine=%s  threads=%u  rounds=%u\n",
+                std::string(dev.backend_name()).c_str(),
+                std::string(dev.engine_name()).c_str(), threads,
                 stats.rounds);
     if (kernel.info != nullptr) {
       std::printf("kernel=%s  params=%zu  bound=%zu  staged-words-skipped="
