@@ -1,0 +1,832 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "runtime/stream.hpp"
+
+namespace simt::cluster {
+
+namespace rt = simt::runtime;
+using Clock = std::chrono::steady_clock;
+
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::Pending:
+      return "pending";
+    case RequestStatus::Ok:
+      return "ok";
+    case RequestStatus::Rejected:
+      return "rejected";
+    case RequestStatus::Shed:
+      return "shed";
+    case RequestStatus::Failed:
+      return "failed";
+  }
+  return "?";
+}
+
+// ---- ClusterTicket ----------------------------------------------------------
+
+struct ClusterTicket::State {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  RequestStatus status = RequestStatus::Pending;
+  std::vector<std::uint32_t> output;
+  std::string error;
+  double latency_us = 0.0;
+  int device = -1;
+  unsigned retries = 0;
+  std::uint64_t seq = 0;
+};
+
+bool ClusterTicket::done() const {
+  if (!state_) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->status != RequestStatus::Pending;
+}
+
+void ClusterTicket::wait() const {
+  if (!state_) {
+    throw Error("wait() on an invalid ClusterTicket");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock,
+                  [&] { return state_->status != RequestStatus::Pending; });
+}
+
+RequestStatus ClusterTicket::status() const {
+  if (!state_) {
+    throw Error("status() on an invalid ClusterTicket");
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->status;
+}
+
+std::span<const std::uint32_t> ClusterTicket::result() const {
+  if (!state_) {
+    throw Error("result() on an invalid ClusterTicket");
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->status == RequestStatus::Ok) {
+    return state_->output;
+  }
+  std::string why = to_string(state_->status);
+  if (!state_->error.empty()) {
+    why += ": " + state_->error;
+  }
+  throw Error("request has no result (" + why + ")");
+}
+
+double ClusterTicket::latency_us() const {
+  if (!state_) {
+    throw Error("latency_us() on an invalid ClusterTicket");
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->status == RequestStatus::Pending) {
+    throw Error("request is still pending; wait() first");
+  }
+  return state_->latency_us;
+}
+
+int ClusterTicket::device() const {
+  if (!state_) {
+    return -1;
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->device;
+}
+
+std::uint64_t ClusterTicket::completion_seq() const {
+  if (!state_) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->seq;
+}
+
+unsigned ClusterTicket::retries() const {
+  if (!state_) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->retries;
+}
+
+// ---- internal structures ----------------------------------------------------
+
+/// One accepted request moving through the cluster.
+struct DeviceCluster::Request {
+  std::string tenant;
+  std::string plan;
+  std::vector<std::uint32_t> payload;
+  std::vector<ScalarOverride> scalars;
+  std::shared_ptr<ClusterTicket::State> ticket;
+  Clock::time_point submitted{};
+  unsigned retries = 0;
+  std::uint64_t admit_seq = 0;   ///< admission order (shed-oldest key)
+  double routed_est = 0.0;       ///< est_us charged to the routed device
+};
+
+/// One plan pre-instantiated on one device: buffers, the canonical binding
+/// recipe, and replay_depth capture slots (each slot owns its GraphExec and
+/// the stable host storage its copy-out was frozen against).
+struct DeviceCluster::PlanEntry {
+  struct Slot {
+    rt::GraphExec exec;
+    std::vector<std::uint32_t> host_out;  ///< frozen copy-out destination
+    rt::Event event;                      ///< in-flight replay
+    Request req;                          ///< request the replay serves
+    bool busy = false;
+  };
+
+  std::uint32_t in_words = 0;
+  std::uint32_t out_words = 0;
+  /// The capture-time binding; per-request rebinds clone it and patch the
+  /// overridden Scalar positions (KernelArgs itself is immutable).
+  std::vector<rt::KernelArgs::Value> recipe;
+  double est_us = 1.0;  ///< modeled cost of one replay (routing weight)
+  std::vector<Slot> slots;
+  std::size_t next_slot = 0;
+};
+
+struct DeviceCluster::DeviceState {
+  explicit DeviceState(rt::DeviceDescriptor desc) : dev(std::move(desc)) {}
+
+  rt::Device dev;
+  std::thread worker;
+  std::condition_variable cv;  ///< paired with DeviceCluster::mu_
+  std::deque<Request> queue;   ///< routed, not yet issued
+  bool alive = true;
+  std::uint64_t inflight = 0;  ///< busy replay slots
+  double outstanding_us = 0.0; ///< modeled work routed but not completed
+  double busy_us = 0.0;        ///< modeled time spent on completed replays
+  std::unordered_map<std::string, PlanEntry> plans;
+  /// Lazily created per-tenant streams (worker thread only); raw pointers
+  /// into the device's stream table, which lives as long as the device.
+  std::unordered_map<std::string, rt::Stream*> tenant_streams;
+};
+
+namespace {
+
+rt::KernelArgs build_args(const std::vector<rt::KernelArgs::Value>& recipe,
+                          const std::vector<ScalarOverride>& scalars) {
+  rt::KernelArgs args;
+  for (std::size_t i = 0; i < recipe.size(); ++i) {
+    const auto& v = recipe[i];
+    std::uint32_t value = v.value;
+    for (const auto& s : scalars) {
+      if (s.param == i) {
+        value = s.value;
+      }
+    }
+    if (v.kind == core::KernelParam::Kind::Buffer) {
+      args.buffer(v.value, v.size);
+    } else {
+      args.scalar(value);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+// ---- DeviceCluster ----------------------------------------------------------
+
+DeviceCluster::DeviceCluster(std::vector<rt::DeviceDescriptor> descs,
+                             ClusterConfig cfg)
+    : cfg_(cfg) {
+  if (descs.empty()) {
+    throw Error("DeviceCluster needs at least one device");
+  }
+  if (cfg_.replay_depth == 0) {
+    cfg_.replay_depth = 1;
+  }
+  devices_.reserve(descs.size());
+  for (auto& d : descs) {
+    devices_.push_back(std::make_unique<DeviceState>(std::move(d)));
+  }
+  stats_.per_device_completed.assign(devices_.size(), 0);
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    devices_[i]->worker = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+DeviceCluster::~DeviceCluster() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  admit_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& d : devices_) {
+    d->cv.notify_all();
+  }
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+  for (auto& d : devices_) {
+    if (d->worker.joinable()) {
+      d->worker.join();
+    }
+  }
+  // Whatever is still queued after the workers drained their in-flight
+  // replays resolves Failed -- a ticket must never dangle.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& d : devices_) {
+    for (auto& req : d->queue) {
+      finish_locked(req, RequestStatus::Failed, {}, "cluster shut down", -1);
+    }
+    d->queue.clear();
+  }
+  for (auto& [tenant, q] : tenants_) {
+    for (auto& req : q) {
+      finish_locked(req, RequestStatus::Failed, {}, "cluster shut down", -1);
+    }
+    q.clear();
+  }
+  tenant_ring_.clear();
+  queued_ = 0;
+}
+
+void DeviceCluster::register_plan(const PlanSpec& spec) {
+  if (spec.name.empty()) {
+    throw Error("plan needs a name");
+  }
+  if (spec.threads == 0) {
+    throw Error("plan '" + spec.name + "' needs a thread count");
+  }
+  std::size_t inputs = 0, outputs = 0;
+  for (const auto& a : spec.args) {
+    inputs += a.kind == PlanArg::Kind::Input;
+    outputs += a.kind == PlanArg::Kind::Output;
+    if ((a.kind == PlanArg::Kind::Input || a.kind == PlanArg::Kind::Output) &&
+        a.words == 0) {
+      throw Error("plan '" + spec.name + "': zero-word request buffer");
+    }
+  }
+  if (inputs != 1 || outputs != 1) {
+    throw Error("plan '" + spec.name +
+                "' needs exactly one Input and one Output argument");
+  }
+
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    auto& d = *devices_[i];
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!d.alive) {
+        continue;  // quarantined / unplugged devices take no plans
+      }
+    }
+    PlanEntry entry;
+    entry.slots.resize(cfg_.replay_depth);
+
+    // Load + bind on this device. The module cache absorbs duplicate
+    // sources across plans and re-registrations.
+    auto& module = d.dev.load_module(spec.source);
+    const auto kernel = module.kernel(spec.kernel);
+    rt::KernelArgs canonical;
+    rt::Buffer<std::uint32_t> in_buf;
+    rt::Buffer<std::uint32_t> out_buf;
+    for (const auto& a : spec.args) {
+      switch (a.kind) {
+        case PlanArg::Kind::Input: {
+          in_buf = d.dev.alloc<std::uint32_t>(a.words);
+          entry.in_words = a.words;
+          canonical.arg(in_buf);
+          break;
+        }
+        case PlanArg::Kind::Output: {
+          out_buf = d.dev.alloc<std::uint32_t>(a.words);
+          entry.out_words = a.words;
+          canonical.arg(out_buf);
+          break;
+        }
+        case PlanArg::Kind::Const: {
+          auto buf = d.dev.alloc<std::uint32_t>(a.words);
+          d.dev.write_words(buf.word_base(), a.data);
+          canonical.arg(buf);
+          break;
+        }
+        case PlanArg::Kind::Scalar:
+          canonical.scalar(a.scalar);
+          break;
+      }
+    }
+    entry.recipe = canonical.values();
+
+    // Capture the request pipeline once per slot on the device's default
+    // stream (workers only ever touch their per-tenant streams, so capture
+    // cannot interleave with traffic). Each slot's copy-out freezes that
+    // slot's own host_out storage.
+    const std::vector<std::uint32_t> placeholder(entry.in_words, 0);
+    auto& capture_stream = d.dev.stream();
+    for (auto& slot : entry.slots) {
+      slot.host_out.assign(entry.out_words, 0);
+      rt::Graph graph;
+      capture_stream.begin_capture(graph);
+      capture_stream.copy_in(in_buf,
+                             std::span<const std::uint32_t>(placeholder));
+      capture_stream.launch(kernel, spec.threads, canonical);
+      capture_stream.copy_out(out_buf, std::span<std::uint32_t>(slot.host_out));
+      capture_stream.end_capture();
+      slot.exec = graph.instantiate();
+    }
+
+    // Warmup replay: primes the resident image (a prologue kernel never
+    // touches I-MEM again) and measures the routing cost estimate.
+    auto warm = entry.slots[0].exec.launch(capture_stream);
+    warm.wait();
+    const auto& stats = warm.stats();
+    entry.est_us = std::max(
+        stats.overlap_wall_us > 0.0 ? stats.overlap_wall_us : stats.wall_us,
+        1e-3);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    d.plans[spec.name] = std::move(entry);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_[spec.name] = spec;
+}
+
+ClusterTicket DeviceCluster::submit(std::string_view tenant,
+                                    std::string_view plan,
+                                    std::span<const std::uint32_t> payload,
+                                    std::vector<ScalarOverride> scalars) {
+  ClusterTicket ticket;
+  ticket.state_ = std::make_shared<ClusterTicket::State>();
+
+  Request req;
+  req.tenant = std::string(tenant);
+  req.plan = std::string(plan);
+  req.payload.assign(payload.begin(), payload.end());
+  req.scalars = std::move(scalars);
+  req.ticket = ticket.state_;
+  req.submitted = Clock::now();
+
+  std::unique_lock<std::mutex> lock(mu_);
+
+  const auto it = specs_.find(req.plan);
+  if (it == specs_.end()) {
+    throw Error("unknown plan '" + req.plan + "'");
+  }
+  const auto& spec = it->second;
+  for (const auto& a : spec.args) {
+    if (a.kind == PlanArg::Kind::Input && payload.size() != a.words) {
+      throw Error("plan '" + req.plan + "' takes " + std::to_string(a.words) +
+                  " payload words, got " + std::to_string(payload.size()));
+    }
+  }
+  for (const auto& s : req.scalars) {
+    if (s.param >= spec.args.size() ||
+        spec.args[s.param].kind != PlanArg::Kind::Scalar) {
+      throw Error("plan '" + req.plan + "': override position " +
+                  std::to_string(s.param) + " is not a Scalar parameter");
+    }
+  }
+  ++stats_.submitted;
+
+  if (stopping_ || alive_count_locked() == 0) {
+    finish_locked(req, RequestStatus::Rejected, {},
+                  stopping_ ? "cluster shut down" : "no alive devices", -1);
+    return ticket;
+  }
+
+  if (queued_ >= cfg_.queue_capacity) {
+    switch (cfg_.policy) {
+      case OverloadPolicy::Reject:
+        finish_locked(req, RequestStatus::Rejected, {}, "admission queue full",
+                      -1);
+        return ticket;
+      case OverloadPolicy::ShedOldest:
+        shed_oldest_locked();
+        break;
+      case OverloadPolicy::Block:
+        space_cv_.wait(lock, [&] {
+          return stopping_ || alive_count_locked() == 0 ||
+                 queued_ < cfg_.queue_capacity;
+        });
+        if (stopping_ || alive_count_locked() == 0) {
+          finish_locked(req, RequestStatus::Rejected, {},
+                        stopping_ ? "cluster shut down" : "no alive devices",
+                        -1);
+          return ticket;
+        }
+        break;
+    }
+  }
+
+  ++stats_.accepted;
+  ++in_system_;
+  req.admit_seq = admit_seq_++;
+  enqueue_locked(std::move(req), /*front=*/false);
+  admit_cv_.notify_one();
+  return ticket;
+}
+
+void DeviceCluster::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return in_system_ == 0; });
+}
+
+void DeviceCluster::unplug(std::size_t i) {
+  if (i >= devices_.size()) {
+    throw Error("unplug: no device " + std::to_string(i));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!devices_[i]->alive) {
+      return;
+    }
+    retire_device_locked(i, /*fault=*/false);
+  }
+  admit_cv_.notify_all();
+  space_cv_.notify_all();
+  devices_[i]->cv.notify_all();
+}
+
+bool DeviceCluster::alive(std::size_t i) const {
+  if (i >= devices_.size()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return devices_[i]->alive;
+}
+
+std::size_t DeviceCluster::alive_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alive_count_locked();
+}
+
+void DeviceCluster::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void DeviceCluster::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  admit_cv_.notify_all();
+}
+
+ClusterStats DeviceCluster::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClusterStats out = stats_;
+  out.queued = queued_;
+  out.per_device_busy_us.reserve(devices_.size());
+  for (const auto& d : devices_) {
+    out.per_device_busy_us.push_back(d->busy_us);
+  }
+  return out;
+}
+
+rt::Device& DeviceCluster::device(std::size_t i) {
+  if (i >= devices_.size()) {
+    throw Error("no device " + std::to_string(i));
+  }
+  return devices_[i]->dev;
+}
+
+// ---- admission internals (mu_ held) -----------------------------------------
+
+std::size_t DeviceCluster::alive_count_locked() const {
+  std::size_t n = 0;
+  for (const auto& d : devices_) {
+    n += d->alive;
+  }
+  return n;
+}
+
+void DeviceCluster::enqueue_locked(Request req, bool front) {
+  auto& q = tenants_[req.tenant];
+  const bool was_empty = q.empty();
+  const std::string tenant = req.tenant;
+  if (front) {
+    q.push_front(std::move(req));
+  } else {
+    q.push_back(std::move(req));
+  }
+  ++queued_;
+  if (was_empty) {
+    if (front) {
+      tenant_ring_.push_front(tenant);
+    } else {
+      tenant_ring_.push_back(tenant);
+    }
+  }
+}
+
+void DeviceCluster::shed_oldest_locked() {
+  // The oldest queued request is the earliest admit_seq among the tenant
+  // queue fronts (each per-tenant FIFO is age-ordered).
+  const std::string* victim_tenant = nullptr;
+  std::uint64_t oldest = ~0ull;
+  for (const auto& tenant : tenant_ring_) {
+    const auto& q = tenants_[tenant];
+    if (!q.empty() && q.front().admit_seq < oldest) {
+      oldest = q.front().admit_seq;
+      victim_tenant = &tenant;
+    }
+  }
+  if (!victim_tenant) {
+    return;
+  }
+  auto& q = tenants_[*victim_tenant];
+  Request victim = std::move(q.front());
+  q.pop_front();
+  --queued_;
+  if (q.empty()) {
+    tenant_ring_.erase(
+        std::find(tenant_ring_.begin(), tenant_ring_.end(), *victim_tenant));
+  }
+  ++stats_.shed;
+  finish_locked(victim, RequestStatus::Shed, {}, "shed by a newer request",
+                -1);
+}
+
+void DeviceCluster::finish_locked(Request& req, RequestStatus status,
+                                  std::vector<std::uint32_t> output,
+                                  std::string error, int device) {
+  {
+    auto& st = *req.ticket;
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.status = status;
+    st.output = std::move(output);
+    st.error = std::move(error);
+    st.latency_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - req.submitted)
+            .count();
+    st.device = device;
+    st.retries = req.retries;
+    st.seq = ++completion_seq_;
+    st.cv.notify_all();
+  }
+  switch (status) {
+    case RequestStatus::Ok:
+      ++stats_.completed;
+      if (device >= 0) {
+        ++stats_.per_device_completed[static_cast<std::size_t>(device)];
+      }
+      break;
+    case RequestStatus::Rejected:
+      ++stats_.rejected;
+      break;
+    case RequestStatus::Shed:
+      break;  // counted at the shed site (stats_.shed)
+    case RequestStatus::Failed:
+      ++stats_.failed;
+      break;
+    case RequestStatus::Pending:
+      break;
+  }
+  // Rejected requests were never accepted, so they are not in the system.
+  if (status != RequestStatus::Rejected && status != RequestStatus::Pending) {
+    if (in_system_ > 0) {
+      --in_system_;
+    }
+    if (in_system_ == 0) {
+      drain_cv_.notify_all();
+    }
+  }
+}
+
+void DeviceCluster::retire_device_locked(std::size_t device, bool fault) {
+  auto& d = *devices_[device];
+  d.alive = false;
+  if (fault) {
+    ++stats_.quarantined;
+  }
+  // Fail queued-but-unissued work over to the survivors: back to the front
+  // of the admission queue (oldest last, so order is preserved), above the
+  // capacity bound -- accepted work is never shed by its own fail-over.
+  while (!d.queue.empty()) {
+    Request req = std::move(d.queue.back());
+    d.queue.pop_back();
+    d.outstanding_us -= req.routed_est;
+    req.routed_est = 0.0;
+    enqueue_locked(std::move(req), /*front=*/true);
+  }
+  admit_cv_.notify_all();
+}
+
+// ---- dispatcher -------------------------------------------------------------
+
+void DeviceCluster::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    admit_cv_.wait(lock,
+                   [&] { return stopping_ || (!paused_ && queued_ > 0); });
+    if (stopping_) {
+      return;
+    }
+
+    // Round-robin across tenants with queued work: take the front tenant's
+    // oldest request, rotate the tenant to the back.
+    if (tenant_ring_.empty()) {
+      continue;  // stale wakeup
+    }
+    const std::string tenant = std::move(tenant_ring_.front());
+    tenant_ring_.pop_front();
+    auto& q = tenants_[tenant];
+    if (q.empty()) {
+      continue;
+    }
+    Request req = std::move(q.front());
+    q.pop_front();
+    --queued_;
+    if (!q.empty()) {
+      tenant_ring_.push_back(tenant);
+    }
+    space_cv_.notify_one();
+
+    // Route to the alive device with the least outstanding modeled work
+    // including this request's own cost there (devices with cheaper
+    // backends bid lower and absorb proportionally more traffic).
+    int best = -1;
+    double best_score = 0.0;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      auto& d = *devices_[i];
+      if (!d.alive) {
+        continue;
+      }
+      const auto plan = d.plans.find(req.plan);
+      if (plan == d.plans.end()) {
+        continue;
+      }
+      const double score = d.outstanding_us + plan->second.est_us;
+      if (best < 0 || score < best_score) {
+        best = static_cast<int>(i);
+        best_score = score;
+      }
+    }
+    if (best < 0) {
+      finish_locked(req, RequestStatus::Failed, {}, "no alive devices", -1);
+      continue;
+    }
+    auto& d = *devices_[static_cast<std::size_t>(best)];
+    req.routed_est = d.plans.find(req.plan)->second.est_us;
+    d.outstanding_us += req.routed_est;
+    d.queue.push_back(std::move(req));
+    d.cv.notify_one();
+  }
+}
+
+// ---- per-device workers -----------------------------------------------------
+
+void DeviceCluster::worker_loop(std::size_t device) {
+  auto& d = *devices_[device];
+  while (true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    d.cv.wait(lock, [&] {
+      return stopping_ || d.inflight > 0 || (d.alive && !d.queue.empty());
+    });
+
+    if (d.alive && !d.queue.empty() && !stopping_) {
+      Request req = std::move(d.queue.front());
+      d.queue.pop_front();
+      lock.unlock();
+      issue(device, std::move(req));
+      continue;
+    }
+
+    if (d.inflight > 0) {
+      // Nothing to issue (or shutting down): resolve the oldest in-flight
+      // replay so its ticket does not wait for more traffic.
+      PlanEntry* entry = nullptr;
+      std::size_t slot = 0;
+      std::uint64_t oldest = ~0ull;
+      for (auto& [name, e] : d.plans) {
+        for (std::size_t s = 0; s < e.slots.size(); ++s) {
+          if (e.slots[s].busy && e.slots[s].req.admit_seq <= oldest) {
+            oldest = e.slots[s].req.admit_seq;
+            entry = &e;
+            slot = s;
+          }
+        }
+      }
+      lock.unlock();
+      if (entry) {
+        complete_slot(device, *entry, slot);
+      }
+      continue;
+    }
+
+    if (stopping_) {
+      return;
+    }
+    // !alive with an empty local queue: unplug already failed the queued
+    // work over; sleep until shutdown (or a straggler completion).
+  }
+}
+
+void DeviceCluster::issue(std::size_t device, Request req) {
+  auto& d = *devices_[device];
+  PlanEntry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry = &d.plans.find(req.plan)->second;
+  }
+  auto& slot = entry->slots[entry->next_slot];
+  entry->next_slot = (entry->next_slot + 1) % entry->slots.size();
+  if (slot.busy) {
+    complete_slot(device, *entry,
+                  static_cast<std::size_t>(&slot - entry->slots.data()));
+  }
+
+  // Per-tenant stream, created on first use (worker thread only).
+  rt::Stream* stream;
+  {
+    const auto it = d.tenant_streams.find(req.tenant);
+    if (it != d.tenant_streams.end()) {
+      stream = it->second;
+    } else {
+      stream = &d.dev.create_stream();
+      d.tenant_streams.emplace(req.tenant, stream);
+    }
+  }
+
+  rt::GraphUpdates updates;
+  updates.copy_in(0, req.payload);
+  if (!req.scalars.empty()) {
+    updates.args(0, build_args(entry->recipe, req.scalars));
+  }
+
+  try {
+    slot.event = slot.exec.launch(*stream, std::move(updates));
+  } catch (const Error& e) {
+    // Submission-side validation failure (should not happen for a request
+    // submit() accepted) -- resolve the ticket rather than wedge the slot.
+    std::lock_guard<std::mutex> lock(mu_);
+    d.outstanding_us -= req.routed_est;
+    finish_locked(req, RequestStatus::Failed, {}, e.what(),
+                  static_cast<int>(device));
+    return;
+  }
+  slot.req = std::move(req);
+  slot.busy = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++d.inflight;
+  }
+}
+
+void DeviceCluster::complete_slot(std::size_t device, PlanEntry& entry,
+                                  std::size_t slot_index) {
+  auto& d = *devices_[device];
+  auto& slot = entry.slots[slot_index];
+
+  std::string fault;
+  double modeled_us = 0.0;
+  try {
+    slot.event.wait();
+    const auto& stats = slot.event.stats();
+    modeled_us =
+        stats.overlap_wall_us > 0.0 ? stats.overlap_wall_us : stats.wall_us;
+  } catch (const std::exception& e) {
+    fault = e.what();
+    if (fault.empty()) {
+      fault = "device fault";
+    }
+  }
+
+  Request req = std::move(slot.req);
+  slot.req = Request{};
+  slot.busy = false;
+  slot.event = rt::Event{};
+
+  std::lock_guard<std::mutex> lock(mu_);
+  --d.inflight;
+  d.outstanding_us -= req.routed_est;
+  req.routed_est = 0.0;
+
+  if (fault.empty()) {
+    d.busy_us += modeled_us;
+    finish_locked(req, RequestStatus::Ok, slot.host_out, "",
+                  static_cast<int>(device));
+    return;
+  }
+
+  // Sticky fault: quarantine the device (its queued work fails over) and
+  // retry the faulted request elsewhere.
+  if (d.alive) {
+    retire_device_locked(device, /*fault=*/true);
+  }
+  if (req.retries < cfg_.max_retries && alive_count_locked() > 0) {
+    ++req.retries;
+    ++stats_.retried;
+    enqueue_locked(std::move(req), /*front=*/true);
+    admit_cv_.notify_all();
+    return;
+  }
+  finish_locked(req, RequestStatus::Failed, {}, fault,
+                static_cast<int>(device));
+}
+
+}  // namespace simt::cluster

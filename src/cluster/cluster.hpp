@@ -1,0 +1,295 @@
+// DeviceCluster: the serving tier. One front-end owns N runtime::Devices
+// (mixed backends and core shapes allowed) and turns a firehose of small
+// requests into steady-state graph replays:
+//
+//   submit(tenant, plan, payload)
+//     -> bounded admission queue (reject / shed-oldest / block on overload,
+//        round-robin fairness across tenants)
+//     -> dispatcher routes to the alive device with the least outstanding
+//        modeled work (per-plan cost estimates measured at registration,
+//        so a scalar soft-CPU device naturally takes less traffic than a
+//        950 MHz multicore device)
+//     -> per-device worker replays the plan's pre-instantiated GraphExec
+//        on a per-tenant stream -- the per-request hot path is ONE
+//        copy-in rebind + composite replay, no re-validation, no
+//        re-assembly, and (for prologue kernels) no I-MEM touch at all
+//     -> the request's ClusterTicket resolves with the output slice,
+//        host latency, and the serving device.
+//
+// Failure semantics: a device fault during a replay quarantines the device
+// (no new routes; its queued work fails over to the survivors) and retries
+// the faulted request elsewhere, up to ClusterConfig::max_retries.
+// DeviceCluster::unplug(i) is the administrative version of the same path:
+// in-flight work drains, queued work fails over, nothing accepted is lost.
+// With every device gone, new submissions are rejected at admission.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/buffer.hpp"
+#include "runtime/device.hpp"
+#include "runtime/graph.hpp"
+
+namespace simt::runtime {
+class Stream;
+}
+
+namespace simt::cluster {
+
+/// What admission does when the bounded queue is full.
+enum class OverloadPolicy {
+  Reject,     ///< refuse the new request (ticket resolves Rejected)
+  ShedOldest, ///< evict the oldest queued request (it resolves Shed), admit
+  Block,      ///< block the submitter until space frees up
+};
+
+struct ClusterConfig {
+  /// Admission-queue bound across all tenants (requests queued but not yet
+  /// routed to a device). Fail-overs re-enter above the bound: accepted
+  /// work is never shed by its own retry.
+  std::size_t queue_capacity = 64;
+  OverloadPolicy policy = OverloadPolicy::Reject;
+  /// Pre-instantiated GraphExec copies per (device, plan): how many
+  /// replays a device worker keeps in flight before waiting, overlapping
+  /// host-side rebind with executor-side simulation.
+  unsigned replay_depth = 2;
+  /// Fail-over attempts per request before it resolves Failed.
+  unsigned max_retries = 3;
+};
+
+/// One positional kernel argument of a serving plan.
+struct PlanArg {
+  enum class Kind {
+    Input,   ///< per-request payload buffer (exactly one per plan)
+    Output,  ///< per-request result buffer (exactly one per plan)
+    Const,   ///< buffer preloaded once at registration (e.g. FIR taps)
+    Scalar,  ///< 32-bit immediate (overridable per request)
+  };
+  Kind kind = Kind::Scalar;
+  std::uint32_t words = 0;              ///< buffer size (Input/Output/Const)
+  std::vector<std::uint32_t> data;      ///< Const preload (sizes the buffer)
+  std::uint32_t scalar = 0;             ///< Scalar default value
+
+  static PlanArg input(std::uint32_t words) {
+    PlanArg a;
+    a.kind = Kind::Input;
+    a.words = words;
+    return a;
+  }
+  static PlanArg output(std::uint32_t words) {
+    PlanArg a;
+    a.kind = Kind::Output;
+    a.words = words;
+    return a;
+  }
+  static PlanArg constant(std::vector<std::uint32_t> data) {
+    PlanArg a;
+    a.kind = Kind::Const;
+    a.words = static_cast<std::uint32_t>(data.size());
+    a.data = std::move(data);
+    return a;
+  }
+  static PlanArg immediate(std::uint32_t value) {
+    PlanArg a;
+    a.kind = Kind::Scalar;
+    a.scalar = value;
+    return a;
+  }
+};
+
+/// A serving plan: one (module, kernel, shape) pre-instantiated on every
+/// device at registration. Requests against the plan carry an input-buffer
+/// payload (input words, frozen) and receive the output buffer back.
+struct PlanSpec {
+  std::string name;     ///< plan id requests refer to
+  std::string source;   ///< kernel-ABI assembly source
+  std::string kernel;   ///< `.kernel` entry name
+  unsigned threads = 0; ///< grid size per request (the frozen shape)
+  std::vector<PlanArg> args;  ///< positional binding recipe
+};
+
+/// Terminal state of a request.
+enum class RequestStatus : std::uint8_t {
+  Pending,   ///< queued or in flight
+  Ok,        ///< served; result() is readable
+  Rejected,  ///< refused at admission (queue full / no devices)
+  Shed,      ///< admitted, then evicted by a ShedOldest overload
+  Failed,    ///< faulted on-device past the retry budget, or shutdown
+};
+
+const char* to_string(RequestStatus s);
+
+/// Per-request scalar override: (parameter position, value). The position
+/// indexes the plan's args and must name a Scalar entry.
+struct ScalarOverride {
+  std::size_t param = 0;
+  std::uint32_t value = 0;
+};
+
+/// Completion handle for one submitted request (shared-state value type).
+class ClusterTicket {
+ public:
+  ClusterTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// Has the request reached a terminal state (any RequestStatus but
+  /// Pending)? Non-blocking.
+  bool done() const;
+  /// Block until terminal.
+  void wait() const;
+  RequestStatus status() const;
+  /// The request's output words; throws unless status() is Ok (with the
+  /// device fault's message for Failed requests).
+  std::span<const std::uint32_t> result() const;
+  /// Host wall-clock from submit() to the terminal state, microseconds.
+  /// Throws while Pending.
+  double latency_us() const;
+  /// Index of the device that served the request; -1 if none did.
+  int device() const;
+  /// Cluster-wide completion ordinal (1, 2, ... in the order requests
+  /// reached a terminal state); 0 while Pending. Lets tests assert
+  /// fairness without timing.
+  std::uint64_t completion_seq() const;
+  /// Fail-over attempts this request took.
+  unsigned retries() const;
+
+ private:
+  friend class DeviceCluster;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Aggregate serving counters (snapshot).
+struct ClusterStats {
+  std::uint64_t submitted = 0;  ///< submit() calls
+  std::uint64_t accepted = 0;   ///< admitted into the queue
+  std::uint64_t rejected = 0;   ///< refused at admission
+  std::uint64_t shed = 0;       ///< evicted by ShedOldest
+  std::uint64_t completed = 0;  ///< served Ok
+  std::uint64_t failed = 0;     ///< terminal device/shutdown failures
+  std::uint64_t retried = 0;    ///< fail-over re-queues
+  std::uint64_t quarantined = 0;  ///< devices removed by sticky faults
+  std::size_t queued = 0;       ///< currently in the admission queue
+  std::vector<std::uint64_t> per_device_completed;
+  /// Modeled device-time (us at the device's realized Fmax) each device
+  /// spent serving completed replays. The cluster's modeled makespan is the
+  /// max entry; serving capacity scales with device count even when the
+  /// simulating host is a single core.
+  std::vector<double> per_device_busy_us;
+};
+
+class DeviceCluster {
+ public:
+  /// Open one device per descriptor and start the serving threads (one
+  /// dispatcher plus one worker per device). Throws simt::Error on an
+  /// empty descriptor list.
+  explicit DeviceCluster(std::vector<runtime::DeviceDescriptor> descs,
+                         ClusterConfig cfg = {});
+  ~DeviceCluster();
+
+  DeviceCluster(const DeviceCluster&) = delete;
+  DeviceCluster& operator=(const DeviceCluster&) = delete;
+
+  /// Register a serving plan on every alive device: assemble the module
+  /// (the per-device module cache absorbs re-registration), allocate and
+  /// preload its buffers, capture the copy-in / launch / copy-out pipeline,
+  /// instantiate replay_depth GraphExecs, and run one warmup replay to
+  /// prime the resident image and measure the routing cost estimate.
+  /// Call before traffic; throws on a spec with no (or several) Input or
+  /// Output args, or anything the kernel ABI rejects.
+  void register_plan(const PlanSpec& spec);
+
+  /// Queue one request. `payload` must be exactly the plan's Input words.
+  /// Returns a ticket that resolves Ok/Rejected/Shed/Failed; never throws
+  /// on overload (that is the ticket's job) but does throw on an unknown
+  /// plan, a bad payload size, or a bad scalar override.
+  ClusterTicket submit(std::string_view tenant, std::string_view plan,
+                       std::span<const std::uint32_t> payload,
+                       std::vector<ScalarOverride> scalars = {});
+
+  /// Block until every accepted request has reached a terminal state.
+  void drain();
+
+  /// Hot-unplug: stop routing to device `i`, let its in-flight replays
+  /// drain, and fail its queued work over to the surviving devices.
+  /// Accepted requests are never lost; with no survivors they resolve
+  /// Failed and new submissions are Rejected.
+  void unplug(std::size_t i);
+  bool alive(std::size_t i) const;
+  std::size_t device_count() const { return devices_.size(); }
+  std::size_t alive_count() const;
+
+  /// Hold the dispatcher between requests (in-flight routing finishes).
+  /// Lets tests build a queue backlog deterministically.
+  void pause();
+  void resume();
+
+  ClusterStats stats() const;
+
+  /// Escape hatch for tests and tools (device `i` must exist).
+  runtime::Device& device(std::size_t i);
+
+ private:
+  struct PlanEntry;
+  struct DeviceState;
+  struct Request;
+
+  void dispatcher_loop();
+  void worker_loop(std::size_t device);
+  /// Issue one request on its routed device (worker thread only; completes
+  /// the target replay slot first if it is still busy).
+  void issue(std::size_t device, Request req);
+  /// Wait out one in-flight slot and resolve its ticket (worker thread).
+  void complete_slot(std::size_t device, PlanEntry& entry,
+                     std::size_t slot_index);
+  std::size_t alive_count_locked() const;
+  /// Add a request to its tenant's admission FIFO (lock held). `front`
+  /// requeues fail-over work ahead of newer traffic, above the bound.
+  void enqueue_locked(Request req, bool front);
+  /// Evict the oldest queued request as Shed (lock held; ShedOldest).
+  void shed_oldest_locked();
+  /// Resolve a ticket to a terminal state and update counters (lock held).
+  void finish_locked(Request& req, RequestStatus status,
+                     std::vector<std::uint32_t> output, std::string error,
+                     int device);
+  /// Stop routing to a device and fail its queued work over (lock held).
+  void retire_device_locked(std::size_t device, bool fault);
+
+  ClusterConfig cfg_;
+  std::vector<std::unique_ptr<DeviceState>> devices_;
+  std::thread dispatcher_;
+
+  mutable std::mutex mu_;
+  std::condition_variable admit_cv_;  ///< wakes the dispatcher
+  std::condition_variable space_cv_;  ///< wakes Block-policy submitters
+  std::condition_variable drain_cv_;  ///< wakes drain()
+  bool stopping_ = false;
+  bool paused_ = false;
+
+  /// Admission queue: per-tenant FIFOs plus a round-robin cursor so one
+  /// hot tenant cannot starve the others.
+  std::deque<std::string> tenant_ring_;
+  std::unordered_map<std::string, std::deque<Request>> tenants_;
+  std::size_t ring_cursor_ = 0;
+  std::size_t queued_ = 0;
+  std::uint64_t in_system_ = 0;  ///< accepted but not yet terminal
+  std::uint64_t admit_seq_ = 0;  ///< admission order (shed-oldest key)
+  std::uint64_t completion_seq_ = 0;
+  ClusterStats stats_;
+
+  /// Plan registry shared by every device (specs are device-independent).
+  std::unordered_map<std::string, PlanSpec> specs_;
+};
+
+}  // namespace simt::cluster

@@ -20,7 +20,14 @@ struct BatchQueue::Ticket::Batch {
 };
 
 bool BatchQueue::Ticket::done() const {
-  return batch_ && batch_->flushed && batch_->retired.done();
+  // A faulted batch resolves too: the scheduler keeps executing past a
+  // failed command, so the retired marker usually lands anyway -- but the
+  // launch event may carry the fault, and result() below rethrows it. The
+  // explicit failed() checks keep done() true even if a future executor
+  // aborts the copy-out after a faulted launch.
+  return batch_ && batch_->flushed &&
+         (batch_->retired.done() || batch_->event.failed() ||
+          batch_->retired.failed());
 }
 
 Event BatchQueue::Ticket::event() const {
@@ -31,6 +38,14 @@ Event BatchQueue::Ticket::event() const {
 }
 
 std::span<const std::uint32_t> BatchQueue::Ticket::result() const {
+  if (batch_) {
+    // A device fault during the batch's launch (or its copy-out) must
+    // surface here, not just at stream synchronize(): the copy-out of a
+    // faulted launch still executes and would otherwise hand back stale
+    // host storage as if it were a result.
+    batch_->event.rethrow_if_failed();
+    batch_->retired.rethrow_if_failed();
+  }
   if (!done()) {
     throw Error(
         "batch request not complete; flush() and synchronize the stream");
@@ -55,6 +70,9 @@ std::span<const std::uint32_t> BatchQueue::Ticket::result_after(
     throw Error("result_after needs the Event of a replay of the graph "
                 "this batch was captured into");
   }
+  // A replay that faulted mid-graph resolves as failed, never as done;
+  // rethrow its fault instead of reporting it as merely "not complete".
+  replay.rethrow_if_failed();
   if (!replay.done()) {
     throw Error("graph replay not complete; wait() on its event first");
   }

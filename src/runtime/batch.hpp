@@ -62,11 +62,14 @@ class BatchQueue {
    public:
     Ticket() = default;
 
-    /// Has the batch carrying this request executed?
+    /// Has the batch carrying this request resolved -- executed, or
+    /// faulted on the device? (A faulted batch reads as done; result()
+    /// rethrows its error.)
     bool done() const;
     /// The batch's launch event; throws before the batch is flushed.
     Event event() const;
-    /// This request's output slice; throws until done().
+    /// This request's output slice; throws until done(), and rethrows the
+    /// device fault of a batch whose launch or copy-out failed.
     std::span<const std::uint32_t> result() const;
     /// This request's output slice after a graph replay: a captured
     /// batch's own events are graph nodes and never resolve, so the

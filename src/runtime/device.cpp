@@ -701,6 +701,20 @@ std::shared_ptr<const core::DecodedImage> Device::image_for(
   }
   ++decode_misses_;
   auto image = backend_->build_image(module->program());
+  // Prologue kernels address the parameter window by its base, a device
+  // constant: patch it into the cached image once, here, so binding a new
+  // argument set to a pure-prologue kernel (signature 0, no $param
+  // immediates) never derives a fresh image or reloads I-MEM.
+  std::vector<std::pair<std::uint32_t, std::int32_t>> window_patches;
+  for (const auto& k : module->program().kernels()) {
+    for (const auto pc : k.window_refs) {
+      window_patches.emplace_back(
+          pc, static_cast<std::int32_t>(param_window_base()));
+    }
+  }
+  if (!window_patches.empty()) {
+    image = core::DecodedImage::patched(*image, window_patches);
+  }
   images_.emplace(module, image);
   return image;
 }

@@ -72,6 +72,19 @@ class Event {
     return state_ && state_->failed.load(std::memory_order_acquire);
   }
 
+  /// Has the scheduler finished with this command, either way? Equivalent
+  /// to done() || failed(); the non-blocking poll for callers that must
+  /// not hang on a faulted launch (a failed event never reads as done()).
+  bool resolved() const { return done() || failed(); }
+
+  /// Rethrow the command's fault if it has one; no-op otherwise.
+  /// Non-blocking -- pair with resolved() to poll without losing errors.
+  void rethrow_if_failed() const {
+    if (failed()) {
+      std::rethrow_exception(state_->error);
+    }
+  }
+
   /// Was this event recorded during graph capture? A captured event names
   /// a node of the graph, not work in flight: it never completes, and
   /// wait()/stats() on it throw. Launch the instantiated graph and use

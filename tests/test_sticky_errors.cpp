@@ -1,0 +1,119 @@
+// Regression tests for sticky-error propagation: a device fault during a
+// BatchQueue flush or a GraphExec replay must surface on the non-blocking
+// completion handles (Ticket::done/result/result_after, Event::resolved/
+// rethrow_if_failed), not only at Stream::synchronize(). Before the fix, a
+// faulted batch's retirement marker read as done and result() returned
+// stale garbage.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/device.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/module.hpp"
+#include "runtime/stream.hpp"
+
+namespace simt::runtime {
+namespace {
+
+core::CoreConfig small_cfg(unsigned threads = 64, unsigned mem_words = 2048) {
+  core::CoreConfig c;
+  c.max_threads = threads;
+  c.shared_mem_words = mem_words;
+  c.predicates_enabled = true;
+  return c;
+}
+
+/// An elementwise-shaped ABI kernel that always faults: stores far beyond
+/// the 2048-word device memory.
+std::string boom_abi() {
+  return ".kernel boom\n"
+         ".param in buffer\n"
+         ".param out buffer\n"
+         "movi %r0, 9999\n"
+         "sts [%r0], %r0\n"
+         "exit\n";
+}
+
+TEST(StickyErrors, EventResolvedAndRethrowIfFailed) {
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  Module& bad = dev.load_module(
+      "movi %r0, 9999\n"
+      "sts [%r0], %r0\n"
+      "exit\n");
+  Module& ok = dev.load_module("movi %r1, 5\nexit\n");
+
+  Event fault = dev.stream().launch(bad.kernel(), 16);
+  Event fine = dev.stream().launch(ok.kernel(), 16);
+  EXPECT_THROW(dev.stream().synchronize(), Error);
+
+  // resolved() is the poll that cannot hang on a fault: the failed event
+  // never reads as done(), but it has resolved.
+  EXPECT_TRUE(fault.resolved());
+  EXPECT_FALSE(fault.done());
+  EXPECT_TRUE(fault.failed());
+  EXPECT_THROW(fault.rethrow_if_failed(), Error);
+  // ...and on a healthy event it is equivalent to done(), with
+  // rethrow_if_failed a no-op.
+  EXPECT_TRUE(fine.resolved());
+  EXPECT_TRUE(fine.done());
+  EXPECT_NO_THROW(fine.rethrow_if_failed());
+}
+
+TEST(StickyErrors, BatchTicketSurfacesFlushFault) {
+  constexpr unsigned kReq = 4;
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  auto in = dev.alloc<std::uint32_t>(kReq * 4);
+  auto out = dev.alloc<std::uint32_t>(kReq * 4);
+  const auto boom = dev.load_module(boom_abi()).kernel("boom");
+
+  BatchQueue queue(dev.stream(), boom, in, out, kReq,
+                   KernelArgs().arg(in).arg(out));
+  const std::vector<std::uint32_t> payload(kReq, 42);
+  auto ticket = queue.submit(payload);
+  queue.flush();
+  EXPECT_THROW(dev.stream().synchronize(), Error);
+
+  // The faulted batch resolves: done() goes true (it would otherwise poll
+  // forever) and result() rethrows the device fault instead of handing out
+  // never-written output words.
+  EXPECT_TRUE(ticket.done());
+  EXPECT_THROW(ticket.result(), Error);
+}
+
+TEST(StickyErrors, ReplayFaultSurfacesOnResultAfter) {
+  constexpr unsigned kReq = 4;
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  auto in = dev.alloc<std::uint32_t>(kReq * 4);
+  auto out = dev.alloc<std::uint32_t>(kReq * 4);
+  const auto scale = dev.load_module(kernels::scale_abi()).kernel("scale");
+
+  BatchQueue queue(dev.stream(), scale, in, out, kReq,
+                   KernelArgs().arg(in).arg(out).scalar(2).scalar(1));
+  const std::vector<std::uint32_t> payload(kReq, 7);
+  auto ticket = queue.submit(payload);
+
+  Graph graph;
+  dev.stream().begin_capture(graph);
+  queue.flush();
+  dev.stream().end_capture();
+  auto exec = graph.instantiate();
+
+  // Invalidate the captured plans' buffers: the replay faults on the
+  // executor ("plan predates mem_reset"), and the ticket must rethrow that
+  // fault through result_after instead of claiming the replay is merely
+  // not complete yet.
+  dev.mem_reset();
+  Event replay = exec.launch(dev.stream());
+  EXPECT_THROW(dev.stream().synchronize(), Error);
+  EXPECT_TRUE(replay.failed());
+  EXPECT_THROW(ticket.result_after(replay), Error);
+}
+
+}  // namespace
+}  // namespace simt::runtime

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh BENCH_*.json against its checked-in
+baseline (bench/baselines/).
+
+Metrics are classified by how reproducible they are across hosts:
+
+  * host wall-clock (``*_wall_s``) and host-speedup ratios (``*speedup*``,
+    already threshold-asserted by the bench itself) -- informational only,
+    skipped;
+  * host throughput (``*mips``/``*mops``/``*qps``) -- must stay above
+    ``--min-frac`` of the baseline (catches an order-of-magnitude cliff such
+    as the fast path silently falling back to bit-accurate simulation, while
+    tolerating slower CI hosts);
+  * integer-valued metrics (instruction counts, thread-ops, replay counts)
+    -- deterministic, must match exactly;
+  * everything else (modeled cycles/us/ratios) -- deterministic model
+    outputs, must be within ``--rel-tol``.
+
+A baseline metric missing from the fresh run fails (schema regression); new
+metrics in the fresh run are reported but do not fail, so benches can grow.
+If a diff is intentional, regenerate with ``<bench> --quick`` and copy the
+JSON over the baseline.
+
+usage: bench_diff.py <baseline.json> <current.json> [--rel-tol F]
+                     [--min-frac F]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SKIP_PAT = re.compile(r"wall_s$|speedup")
+THROUGHPUT_PAT = re.compile(r"(mips|mops|qps)($|_)")
+
+
+def classify(key, base_value):
+    if SKIP_PAT.search(key):
+        return "skip"
+    if THROUGHPUT_PAT.search(key):
+        return "throughput"
+    if isinstance(base_value, int) or float(base_value).is_integer():
+        return "exact"
+    return "model"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.02,
+        help="two-sided tolerance for modeled float metrics",
+    )
+    parser.add_argument(
+        "--min-frac",
+        type=float,
+        default=0.10,
+        help="host-throughput metrics must stay above this fraction "
+        "of the baseline",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    if baseline.get("bench") != current.get("bench"):
+        print(
+            f"FAIL: comparing different benches "
+            f"({baseline.get('bench')} vs {current.get('bench')})"
+        )
+        return 1
+
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    failures = []
+
+    for key, base_value in base_metrics.items():
+        if key not in cur_metrics:
+            failures.append(f"{key}: missing from current run")
+            continue
+        cur_value = cur_metrics[key]
+        kind = classify(key, base_value)
+        if kind == "skip":
+            print(f"  skip  {key}: {cur_value} (host wall clock)")
+        elif kind == "throughput":
+            floor = args.min_frac * base_value
+            if cur_value < floor:
+                failures.append(
+                    f"{key}: {cur_value:.6g} below {args.min_frac:.0%} of "
+                    f"baseline {base_value:.6g}"
+                )
+            else:
+                print(f"  ok    {key}: {cur_value:.6g} (floor {floor:.6g})")
+        elif kind == "exact":
+            if cur_value != base_value:
+                failures.append(f"{key}: {cur_value} != baseline {base_value}")
+            else:
+                print(f"  ok    {key}: {cur_value}")
+        else:
+            denom = max(abs(base_value), 1e-12)
+            rel = abs(cur_value - base_value) / denom
+            if rel > args.rel_tol:
+                failures.append(
+                    f"{key}: {cur_value:.6g} drifts {rel:.1%} from "
+                    f"baseline {base_value:.6g} (tol {args.rel_tol:.0%})"
+                )
+            else:
+                print(f"  ok    {key}: {cur_value:.6g} (drift {rel:.2%})")
+
+    for key in sorted(set(cur_metrics) - set(base_metrics)):
+        print(f"  new   {key}: {cur_metrics[key]} (not in baseline)")
+
+    bench = baseline.get("bench")
+    if failures:
+        print(f"\nFAIL: {bench}: {len(failures)} metric(s) regressed:")
+        for failure in failures:
+            print(f"  {failure}")
+        print(
+            "If intentional, refresh the baseline: run the bench with "
+            "--quick and copy its JSON into bench/baselines/."
+        )
+        return 1
+    print(f"PASS: {bench}: {len(base_metrics)} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

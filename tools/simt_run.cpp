@@ -8,6 +8,13 @@
 //                 [--batch M] [--streams N] [--graph-repeat N]
 //                 [--kernel NAME] [--arg base:size | --arg value]...
 //                 [--bit-accurate]
+//        simt-run --cluster N [--qps R] [--requests K]
+//
+// --cluster N serves a built-in scale workload through a DeviceCluster of
+// N SIMT-core devices (no kernel file): every request is one plan-cached
+// graph replay on the least-loaded device. --qps R paces the open-loop
+// arrivals (0 = submit as fast as possible); the run reports achieved
+// QPS, request-latency percentiles, and the cluster's modeled makespan.
 //
 // --bit-accurate simulates lanes through the structural datapath models
 // (Mul33/shifter/LogicUnit) instead of the functional fast path; results
@@ -28,18 +35,107 @@
 // --graph-repeat N runs the launch N times eagerly, then captures it into
 // an execution graph and replays the instantiated graph N times,
 // reporting the modeled host-dispatch overhead of both paths.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/error.hpp"
+#include "kernels/kernels.hpp"
 #include "runtime/device.hpp"
 #include "runtime/graph.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/stream.hpp"
+
+namespace {
+
+/// `--cluster N` serving loop: a built-in scale workload over N devices.
+int run_cluster(unsigned devices, double qps, unsigned requests) {
+  using namespace simt;
+  constexpr unsigned kN = 256;
+
+  core::CoreConfig cfg;
+  cfg.max_threads = 128;
+  cfg.shared_mem_words = 2048;
+  cfg.predicates_enabled = true;
+  cluster::ClusterConfig ccfg;
+  ccfg.queue_capacity = requests + 8;
+  cluster::DeviceCluster c(
+      std::vector<runtime::DeviceDescriptor>(
+          devices, runtime::DeviceDescriptor::simt_core(cfg)),
+      ccfg);
+
+  cluster::PlanSpec scale;
+  scale.name = "scale";
+  scale.source = kernels::scale_abi();
+  scale.kernel = "scale";
+  scale.threads = kN;
+  scale.args = {cluster::PlanArg::input(kN), cluster::PlanArg::output(kN),
+                cluster::PlanArg::immediate(3), cluster::PlanArg::immediate(5)};
+  c.register_plan(scale);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<cluster::ClusterTicket> tickets;
+  tickets.reserve(requests);
+  for (unsigned r = 0; r < requests; ++r) {
+    std::vector<std::uint32_t> payload(kN);
+    for (unsigned i = 0; i < kN; ++i) {
+      payload[i] = r * 1000 + i;
+    }
+    tickets.push_back(c.submit("cli", "scale", payload));
+    if (qps > 0.0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<std::int64_t>(1e6 / qps)));
+    }
+  }
+  c.drain();
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  std::vector<double> lat;
+  unsigned ok = 0;
+  for (auto& t : tickets) {
+    if (t.status() == cluster::RequestStatus::Ok) {
+      ++ok;
+      lat.push_back(t.latency_us());
+    }
+  }
+  std::sort(lat.begin(), lat.end());
+  const auto pct = [&](double p) {
+    return lat.empty()
+               ? 0.0
+               : lat[static_cast<std::size_t>(p * (lat.size() - 1) + 0.5)];
+  };
+  const auto stats = c.stats();
+  double makespan_us = 0.0;
+  for (const double busy : stats.per_device_busy_us) {
+    makespan_us = std::max(makespan_us, busy);
+  }
+  std::printf("cluster=%u  requests=%u  ok=%u  achieved=%.0f req/s\n",
+              devices, requests, ok,
+              static_cast<double>(requests) / secs);
+  std::printf("latency: p50=%.1f us  p95=%.1f us  p99=%.1f us\n", pct(0.50),
+              pct(0.95), pct(0.99));
+  std::printf("modeled makespan=%.1f us  (%.0f req/s of device capacity)\n",
+              makespan_us,
+              makespan_us > 0.0 ? ok / (makespan_us / 1e6) : 0.0);
+  std::printf("completed per device:");
+  for (std::size_t i = 0; i < stats.per_device_completed.size(); ++i) {
+    std::printf(" dev%zu=%llu", i,
+                static_cast<unsigned long long>(stats.per_device_completed[i]));
+  }
+  std::printf("\n");
+  return ok == requests ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
@@ -47,7 +143,8 @@ int main(int argc, char** argv) {
                  "usage: simt-run <kernel.s> "
                  "[--backend {core,multicore,scalar}] [--cores N] "
                  "[--threads N] [--fmax MHZ] [--mem file] "
-                 "[--dump base count]\n");
+                 "[--dump base count]\n"
+                 "       simt-run --cluster N [--qps R] [--requests K]\n");
     return 2;
   }
   unsigned threads = 512;
@@ -55,6 +152,9 @@ int main(int argc, char** argv) {
   unsigned batch = 1;
   unsigned streams = 1;
   unsigned graph_repeat = 0;
+  unsigned cluster_n = 0;
+  unsigned requests = 64;
+  double qps = 0.0;
   double fmax = 0.0;
   std::string backend = "core";
   std::string mem_file;
@@ -62,7 +162,9 @@ int main(int argc, char** argv) {
   bool bit_accurate = false;
   std::string kernel_name;
   simt::runtime::KernelArgs args;
-  for (int i = 2; i < argc; ++i) {
+  // `--cluster` needs no kernel file; flags may start at argv[1].
+  const bool no_file = argv[1][0] == '-';
+  for (int i = no_file ? 1 : 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (!std::strcmp(argv[i], "--backend") && i + 1 < argc) {
@@ -75,6 +177,12 @@ int main(int argc, char** argv) {
       streams = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (!std::strcmp(argv[i], "--graph-repeat") && i + 1 < argc) {
       graph_repeat = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--cluster") && i + 1 < argc) {
+      cluster_n = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--qps") && i + 1 < argc) {
+      qps = std::stod(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--requests") && i + 1 < argc) {
+      requests = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (!std::strcmp(argv[i], "--fmax") && i + 1 < argc) {
       fmax = std::stod(argv[++i]);
     } else if (!std::strcmp(argv[i], "--kernel") && i + 1 < argc) {
@@ -103,6 +211,19 @@ int main(int argc, char** argv) {
   }
   if (batch == 0 || streams == 0) {
     std::fprintf(stderr, "simt-run: --batch and --streams need at least 1\n");
+    return 2;
+  }
+  if (cluster_n > 0) {
+    try {
+      return run_cluster(cluster_n, qps, requests);
+    } catch (const simt::Error& e) {
+      std::fprintf(stderr, "simt-run: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (no_file) {
+    std::fprintf(stderr,
+                 "simt-run: flags without a kernel file need --cluster N\n");
     return 2;
   }
 
