@@ -8,14 +8,19 @@
 // backends and, on the cycle-accurate engines, under both lane-evaluation
 // engines:
 //
-//   fast:         the predecoded functional path (DecodedImage + per-opcode
-//                 thunks, the CoreConfig::bit_accurate=false default);
+//   fast:         the predecoded functional path with the SIMD-batched lane
+//                 engine and parallel staging workers (the defaults);
+//   fast-scalar:  the same predecoded path with simd_lanes pinned off and
+//                 stage_workers = 0 -- the PR-5 configuration, kept as the
+//                 in-bench baseline the batched engine must beat;
 //   bit-accurate: the structural Mul33/shifter/LogicUnit datapaths.
 //
 // Results must be bit-identical across engines and backends. Acceptance:
-// the fast path must deliver >= 3x the bit-accurate host throughput on the
-// 4-core serving mix. The bench exits nonzero on either failure and emits
-// BENCH_sim_speed.json so CI accumulates a perf trajectory.
+// the fast path must deliver >= 3x the bit-accurate host throughput AND
+// >= 1.5x the fast-scalar (PR-5) throughput on the 4-core serving mix. The
+// bench exits nonzero on any failure and emits BENCH_sim_speed.json so CI
+// accumulates a perf trajectory, now including a per-opcode-class lane-Mops
+// breakdown and the measured staging wall time.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -33,13 +38,14 @@ namespace {
 
 using namespace simt;
 
-constexpr unsigned kSamples = 512;
+constexpr unsigned kSamples = 2048;
 constexpr unsigned kTaps = 8;
 constexpr unsigned kQ = 4;
 constexpr unsigned kMul = 3;
 constexpr unsigned kChunk = 4;
 constexpr unsigned kPartials = kSamples / kChunk;
 constexpr double kThreshold = 3.0;
+constexpr double kSimdThreshold = 1.5;
 
 std::vector<std::uint32_t> signal(unsigned iter) {
   std::vector<std::uint32_t> x(kSamples + kTaps);
@@ -68,10 +74,17 @@ struct MixResult {
   double wall_s = 0.0;
   std::uint64_t instructions = 0;  ///< sequencer-level dynamic instructions
   std::uint64_t thread_ops = 0;    ///< per-lane operations evaluated
+  // Per-opcode-class lane work (Operation / Load / Store issue classes;
+  // Single-class instructions issue no lanes).
+  std::uint64_t op_thread_ops = 0;
+  std::uint64_t ld_thread_ops = 0;
+  std::uint64_t st_thread_ops = 0;
+  double stage_wall_s = 0.0;  ///< measured host staging wall, all launches
   std::vector<std::uint32_t> partials;  ///< final-iteration output
 
   double mips() const { return instructions / wall_s / 1e6; }
   double lane_mops() const { return thread_ops / wall_s / 1e6; }
+  double class_mops(std::uint64_t ops) const { return ops / wall_s / 1e6; }
 };
 
 /// Run `iters` iterations of the serving mix and time the host.
@@ -114,6 +127,10 @@ MixResult run_mix(const runtime::DeviceDescriptor& desc, unsigned iters) {
     for (const auto* s : {&s1, &s2, &s3}) {
       res.instructions += s->perf.instructions;
       res.thread_ops += s->perf.thread_ops;
+      res.op_thread_ops += s->perf.operation_thread_ops;
+      res.ld_thread_ops += s->perf.load_thread_ops;
+      res.st_thread_ops += s->perf.store_thread_ops;
+      res.stage_wall_s += s->host_stage_us * 1e-6;
     }
     partials.read_into(res.partials);
     const auto want = golden(xin, c, iter);
@@ -147,7 +164,7 @@ int main(int argc, char** argv) {
 
   core::CoreConfig cfg;
   cfg.max_threads = 256;
-  cfg.shared_mem_words = 4096;
+  cfg.shared_mem_words = 8192;
 
   struct Row {
     const char* backend;
@@ -161,16 +178,24 @@ int main(int argc, char** argv) {
     fast.bit_accurate = false;
     auto acc = cfg;
     acc.bit_accurate = true;
+    auto fast_scalar = fast;
+    fast_scalar.simd_lanes = false;
     rows.push_back({"core", "fast",
                     runtime::DeviceDescriptor::simt_core(fast), {}});
+    rows.push_back({"core", "fast-scalar",
+                    runtime::DeviceDescriptor::simt_core(fast_scalar), {}});
     rows.push_back({"core", "bit-accurate",
                     runtime::DeviceDescriptor::simt_core(acc), {}});
     rows.push_back({"multicore4", "fast",
                     runtime::DeviceDescriptor::multi_core(4, fast), {}});
+    // The PR-5 configuration: scalar lane loops and serial staging.
+    auto scalar_desc = runtime::DeviceDescriptor::multi_core(4, fast_scalar);
+    scalar_desc.stage_workers = 0;
+    rows.push_back({"multicore4", "fast-scalar", scalar_desc, {}});
     rows.push_back({"multicore4", "bit-accurate",
                     runtime::DeviceDescriptor::multi_core(4, acc), {}});
     baseline::ScalarCpuConfig scfg;
-    scfg.shared_mem_words = 4096;
+    scfg.shared_mem_words = 8192;
     rows.push_back({"scalar", "fast",
                     runtime::DeviceDescriptor::scalar_cpu(scfg), {}});
   }
@@ -202,34 +227,82 @@ int main(int argc, char** argv) {
     }
   }
 
-  const MixResult& mc_fast = rows[2].r;
-  const MixResult& mc_acc = rows[3].r;
+  const auto find_row = [&](const char* backend,
+                            const char* engine) -> const MixResult& {
+    for (const auto& row : rows) {
+      if (!std::strcmp(row.backend, backend) &&
+          !std::strcmp(row.engine, engine)) {
+        return row.r;
+      }
+    }
+    std::printf("FAIL: missing row %s/%s\n", backend, engine);
+    std::exit(1);
+  };
+  const MixResult& mc_fast = find_row("multicore4", "fast");
+  const MixResult& mc_scalar = find_row("multicore4", "fast-scalar");
+  const MixResult& mc_acc = find_row("multicore4", "bit-accurate");
   const double speedup = mc_acc.wall_s / mc_fast.wall_s;
+  const double simd_speedup = mc_scalar.wall_s / mc_fast.wall_s;
   std::printf("\nhost speedup, fast vs bit-accurate on the 4-core mix: "
               "%.2fx (threshold %.2fx), bit-identical buffers\n",
               speedup, kThreshold);
+  std::printf("host speedup, fast vs fast-scalar (PR-5 config) on the "
+              "4-core mix: %.2fx (threshold %.2fx)\n",
+              simd_speedup, kSimdThreshold);
+  std::printf("lane Mops/s by opcode class (multicore4 fast): "
+              "op %.1f, load %.1f, store %.1f\n",
+              mc_fast.class_mops(mc_fast.op_thread_ops),
+              mc_fast.class_mops(mc_fast.ld_thread_ops),
+              mc_fast.class_mops(mc_fast.st_thread_ops));
+  std::printf("measured staging wall (multicore4 fast): %.3f ms of %.3f ms "
+              "total\n", mc_fast.stage_wall_s * 1e3, mc_fast.wall_s * 1e3);
 
   BenchReport report("sim_speed");
-  report.note("mix", "fir8 + scale + reduce, 512 samples, " +
+  report.note("mix", "fir8 + scale + reduce, " +
+                         std::to_string(kSamples) + " samples, " +
                          std::to_string(iters) + " iterations");
   for (const auto& row : rows) {
-    const std::string key =
-        std::string(row.backend) + "_" +
-        (std::strcmp(row.engine, "fast") == 0 ? "fast" : "bitacc");
+    std::string suffix = "bitacc";
+    if (!std::strcmp(row.engine, "fast")) {
+      suffix = "fast";
+    } else if (!std::strcmp(row.engine, "fast-scalar")) {
+      suffix = "fastscalar";
+    }
+    const std::string key = std::string(row.backend) + "_" + suffix;
     report.metric(key + "_wall_s", row.r.wall_s);
     report.metric(key + "_instructions", row.r.instructions);
     report.metric(key + "_thread_ops", row.r.thread_ops);
     report.metric(key + "_mips", row.r.mips());
     report.metric(key + "_lane_mops", row.r.lane_mops());
   }
+  // Per-opcode-class lane throughput and the measured staging wall for the
+  // default engine (the *_wall_s suffix keeps the host-timed staging figure
+  // out of the exact-compare perf gate).
+  report.metric("multicore4_fast_op_lane_mops",
+                mc_fast.class_mops(mc_fast.op_thread_ops));
+  report.metric("multicore4_fast_ld_lane_mops",
+                mc_fast.class_mops(mc_fast.ld_thread_ops));
+  report.metric("multicore4_fast_st_lane_mops",
+                mc_fast.class_mops(mc_fast.st_thread_ops));
+  report.metric("multicore4_fast_op_thread_ops", mc_fast.op_thread_ops);
+  report.metric("multicore4_fast_ld_thread_ops", mc_fast.ld_thread_ops);
+  report.metric("multicore4_fast_st_thread_ops", mc_fast.st_thread_ops);
+  report.metric("multicore4_fast_stage_wall_s", mc_fast.stage_wall_s);
   report.metric("fast_vs_bitacc_speedup_multicore4", speedup);
+  report.metric("fast_vs_scalar_lanes_speedup_multicore4", simd_speedup);
   report.metric("threshold", kThreshold);
+  report.metric("simd_threshold", kSimdThreshold);
   if (!report.write()) {
     return 1;
   }
 
   if (speedup < kThreshold) {
     std::puts("FAIL: fast-path host speedup below threshold");
+    return 1;
+  }
+  if (simd_speedup < kSimdThreshold) {
+    std::puts("FAIL: SIMD lane engine below threshold vs the PR-5 "
+              "fast-scalar configuration");
     return 1;
   }
   std::puts("PASS");

@@ -29,6 +29,37 @@ bool cmp_thunk(std::uint32_t a, std::uint32_t b) {
   return ref::compare(Op, a, b);
 }
 
+// Batched thunks: the opcode is a template parameter, so each instantiation
+// is one tight loop with the arithmetic inlined -- the shape the
+// auto-vectorizer turns into SIMD over the contiguous lane blocks. The
+// element-wise body makes d == a / d == b aliasing equivalent to the
+// per-lane scalar loop.
+template <Opcode Op>
+void alu_batch_rr_thunk(std::uint32_t* d, const std::uint32_t* a,
+                        const std::uint32_t* b, unsigned n) {
+  for (unsigned i = 0; i < n; ++i) {
+    d[i] = ref::alu(Op, a[i], b[i]);
+  }
+}
+
+template <Opcode Op>
+void alu_batch_ri_thunk(std::uint32_t* d, const std::uint32_t* a,
+                        std::uint32_t b, unsigned n) {
+  for (unsigned i = 0; i < n; ++i) {
+    d[i] = ref::alu(Op, a[i], b);
+  }
+}
+
+template <Opcode Op>
+void cmp_batch_thunk(std::uint8_t* preds, std::uint8_t bit,
+                     const std::uint32_t* a, const std::uint32_t* b,
+                     unsigned n) {
+  for (unsigned i = 0; i < n; ++i) {
+    preds[i] = static_cast<std::uint8_t>(
+        (preds[i] & ~bit) | (ref::compare(Op, a[i], b[i]) ? bit : 0));
+  }
+}
+
 }  // namespace
 
 AluFn functional_alu(Opcode op) {
@@ -79,6 +110,80 @@ CmpFn functional_cmp(Opcode op) {
 #define SIMT_CMP_CASE(OP) \
   case Opcode::OP:        \
     return cmp_thunk<Opcode::OP>;
+  switch (op) {
+    SIMT_CMP_CASE(SETP_EQ)
+    SIMT_CMP_CASE(SETP_NE)
+    SIMT_CMP_CASE(SETP_LT)
+    SIMT_CMP_CASE(SETP_LE)
+    SIMT_CMP_CASE(SETP_GT)
+    SIMT_CMP_CASE(SETP_GE)
+    SIMT_CMP_CASE(SETP_LTU)
+    SIMT_CMP_CASE(SETP_GEU)
+    default:
+      return nullptr;
+  }
+#undef SIMT_CMP_CASE
+}
+
+AluBatchRRFn functional_alu_batch_rr(Opcode op) {
+#define SIMT_ALU_CASE(OP) \
+  case Opcode::OP:        \
+    return alu_batch_rr_thunk<Opcode::OP>;
+  switch (op) {
+    SIMT_ALU_CASE(ADD)
+    SIMT_ALU_CASE(SUB)
+    SIMT_ALU_CASE(MULLO)
+    SIMT_ALU_CASE(MULHI)
+    SIMT_ALU_CASE(MULHIU)
+    SIMT_ALU_CASE(MIN)
+    SIMT_ALU_CASE(MAX)
+    SIMT_ALU_CASE(MINU)
+    SIMT_ALU_CASE(MAXU)
+    SIMT_ALU_CASE(AND)
+    SIMT_ALU_CASE(OR)
+    SIMT_ALU_CASE(XOR)
+    SIMT_ALU_CASE(CNOT)
+    SIMT_ALU_CASE(SHL)
+    SIMT_ALU_CASE(SHR)
+    SIMT_ALU_CASE(SAR)
+    default:
+      return nullptr;
+  }
+#undef SIMT_ALU_CASE
+}
+
+AluBatchRIFn functional_alu_batch_ri(Opcode op) {
+#define SIMT_ALU_CASE(OP) \
+  case Opcode::OP:        \
+    return alu_batch_ri_thunk<Opcode::OP>;
+  switch (op) {
+    SIMT_ALU_CASE(ADDI)
+    SIMT_ALU_CASE(SUBI)
+    SIMT_ALU_CASE(MULI)
+    SIMT_ALU_CASE(ABS)
+    SIMT_ALU_CASE(NEG)
+    SIMT_ALU_CASE(NOT)
+    SIMT_ALU_CASE(CNOT)
+    SIMT_ALU_CASE(ANDI)
+    SIMT_ALU_CASE(ORI)
+    SIMT_ALU_CASE(XORI)
+    SIMT_ALU_CASE(SHLI)
+    SIMT_ALU_CASE(SHRI)
+    SIMT_ALU_CASE(SARI)
+    SIMT_ALU_CASE(POPC)
+    SIMT_ALU_CASE(CLZ)
+    SIMT_ALU_CASE(BREV)
+    SIMT_ALU_CASE(MOV)
+    default:
+      return nullptr;
+  }
+#undef SIMT_ALU_CASE
+}
+
+CmpBatchFn functional_cmp_batch(Opcode op) {
+#define SIMT_CMP_CASE(OP) \
+  case Opcode::OP:        \
+    return cmp_batch_thunk<Opcode::OP>;
   switch (op) {
     SIMT_CMP_CASE(SETP_EQ)
     SIMT_CMP_CASE(SETP_NE)
@@ -207,6 +312,9 @@ std::shared_ptr<const DecodedImage> DecodedImage::build_impl(
     op.info = &info;
     op.alu = functional_alu(in.op);
     op.cmp = functional_cmp(in.op);
+    op.alu_batch_rr = functional_alu_batch_rr(in.op);
+    op.alu_batch_ri = functional_alu_batch_ri(in.op);
+    op.cmp_batch = functional_cmp_batch(in.op);
     op.single = info.timing == TimingClass::Single;
     op.width = cfg != nullptr
                    ? width_factor_for(info.timing, cfg->num_sps,

@@ -25,11 +25,10 @@ Gpgpu::Gpgpu(CoreConfig cfg)
   cfg_.validate();
   sp_mask_ = cfg_.num_sps - 1;
   sp_shift_ = static_cast<unsigned>(std::countr_zero(cfg_.num_sps));
-  const unsigned rows = cfg_.max_threads / cfg_.num_sps;
-  rf_.reserve(cfg_.num_sps);
+  rf_data_.assign(std::size_t{cfg_.max_threads} * cfg_.regs_per_thread, 0);
+  addr_scratch_.assign(cfg_.max_threads, 0);
   alus_.reserve(cfg_.num_sps);
   for (unsigned sp = 0; sp < cfg_.num_sps; ++sp) {
-    rf_.emplace_back(rows, cfg_.regs_per_thread);
     alus_.emplace_back(cfg_.shifter);
   }
   preds_.assign(cfg_.max_threads, 0);
@@ -58,14 +57,6 @@ void Gpgpu::set_thread_count(unsigned threads) {
     throw Error("thread count must be in [1, max_threads]");
   }
   launch_threads_ = threads;
-}
-
-std::uint32_t Gpgpu::rf_read(unsigned thread, unsigned reg) const {
-  return rf_[thread & sp_mask_].read(thread >> sp_shift_, reg);
-}
-
-void Gpgpu::rf_write(unsigned thread, unsigned reg, std::uint32_t value) {
-  rf_[thread & sp_mask_].write(thread >> sp_shift_, reg, value);
 }
 
 std::uint32_t Gpgpu::read_shared(std::uint32_t addr) const {
@@ -113,13 +104,7 @@ void Gpgpu::write_pred(unsigned thread, unsigned pred, bool value) {
 }
 
 void Gpgpu::reset_state() {
-  for (auto& rf : rf_) {
-    for (unsigned row = 0; row < rf.rows(); ++row) {
-      for (unsigned r = 0; r < rf.regs_per_thread(); ++r) {
-        rf.write(row, r, 0);
-      }
-    }
-  }
+  std::fill(rf_data_.begin(), rf_data_.end(), 0);
   std::fill(preds_.begin(), preds_.end(), 0);
   for (unsigned a = 0; a < shared_.words(); ++a) {
     shared_.poke(a, 0);
@@ -184,6 +169,24 @@ struct GuardMask {
   }
   bool passes(std::uint8_t preds) const { return (preds & bit) == want; }
 };
+
+/// Guard uniformity over the active block. The SIMD lane engine engages
+/// only when every lane resolves the same way: AllPass dispatches one batch
+/// thunk, NonePass skips the instruction body outright, and Divergent falls
+/// back to the per-lane scalar loop.
+enum class GuardScan { AllPass, NonePass, Divergent };
+
+GuardScan scan_guard(const GuardMask& g, const std::uint8_t* preds,
+                     unsigned active) {
+  unsigned pass = 0;
+  for (unsigned t = 0; t < active; ++t) {
+    pass += g.passes(preds[t]) ? 1u : 0u;
+  }
+  if (pass == active) {
+    return GuardScan::AllPass;
+  }
+  return pass == 0 ? GuardScan::NonePass : GuardScan::Divergent;
+}
 
 /// Per-lane ALU walking the bit-accurate structural models (Mul33,
 /// shifter, LogicUnit) of the lane's SP -- the CoreConfig::bit_accurate
@@ -302,9 +305,111 @@ void Gpgpu::exec_operation_body(const DecodedOp& d, unsigned active,
   }
 }
 
+bool Gpgpu::exec_operation_batched(const DecodedOp& d, unsigned active) {
+  const Instr& instr = d.instr;
+  if (instr.guard != Guard::None) {
+    switch (scan_guard(GuardMask::of(instr), preds_.data(), active)) {
+      case GuardScan::AllPass:
+        break;
+      case GuardScan::NonePass:
+        return true;  // every lane masked off: nothing to execute
+      case GuardScan::Divergent:
+        return false;
+    }
+  }
+  switch (d.info->format) {
+    case Format::RRR:
+      if (d.alu_batch_rr == nullptr) {
+        return false;
+      }
+      d.alu_batch_rr(rf_row(instr.rd), rf_row(instr.ra), rf_row(instr.rb),
+                     active);
+      return true;
+    case Format::RRI:
+      if (d.alu_batch_ri == nullptr) {
+        return false;
+      }
+      d.alu_batch_ri(rf_row(instr.rd), rf_row(instr.ra),
+                     static_cast<std::uint32_t>(instr.imm), active);
+      return true;
+    case Format::RR:
+      // Scalar RR evaluates alu(a, 0): the RI batch thunk with b = 0.
+      if (d.alu_batch_ri == nullptr) {
+        return false;
+      }
+      d.alu_batch_ri(rf_row(instr.rd), rf_row(instr.ra), 0, active);
+      return true;
+    case Format::RI: {
+      // alu(0, imm) has no lane dependence: evaluate once, broadcast.
+      if (d.alu == nullptr) {
+        return false;
+      }
+      const std::uint32_t v = d.alu(0, static_cast<std::uint32_t>(instr.imm));
+      std::fill_n(rf_row(instr.rd), active, v);
+      return true;
+    }
+    case Format::RS: {
+      // Hoist the special-register switch out of the lane loop. Tid/Lane/
+      // Row are the only lane-varying sources; the rest broadcast.
+      std::uint32_t* dst = rf_row(instr.rd);
+      switch (static_cast<isa::SpecialReg>(instr.imm)) {
+        case isa::SpecialReg::Tid:
+          for (unsigned t = 0; t < active; ++t) {
+            dst[t] = thread_base_ + t;
+          }
+          return true;
+        case isa::SpecialReg::Lane:
+          for (unsigned t = 0; t < active; ++t) {
+            dst[t] = t & sp_mask_;
+          }
+          return true;
+        case isa::SpecialReg::Row:
+          for (unsigned t = 0; t < active; ++t) {
+            dst[t] = t >> sp_shift_;
+          }
+          return true;
+        case isa::SpecialReg::Ntid:
+          std::fill_n(dst, active, ntid_override_ ? ntid_override_ : active);
+          return true;
+        case isa::SpecialReg::Nsp:
+          std::fill_n(dst, active, cfg_.num_sps);
+          return true;
+        case isa::SpecialReg::Smid:
+          std::fill_n(dst, active, smid_);
+          return true;
+      }
+      return false;
+    }
+    case Format::PRR:
+      if (d.cmp_batch == nullptr) {
+        return false;
+      }
+      d.cmp_batch(preds_.data(), static_cast<std::uint8_t>(1u << instr.pd),
+                  rf_row(instr.ra), rf_row(instr.rb), active);
+      return true;
+    case Format::SELP: {
+      const std::uint8_t sel_bit = static_cast<std::uint8_t>(1u << instr.pa);
+      const std::uint32_t* a = rf_row(instr.ra);
+      const std::uint32_t* b = rf_row(instr.rb);
+      std::uint32_t* dst = rf_row(instr.rd);
+      for (unsigned t = 0; t < active; ++t) {
+        dst[t] = (preds_[t] & sel_bit) != 0 ? a[t] : b[t];
+      }
+      return true;
+    }
+    default:
+      // PPP/PP are byte-wide predicate ops; the scalar loop is already the
+      // right shape for them.
+      return false;
+  }
+}
+
 void Gpgpu::exec_operation(const DecodedOp& d, unsigned active) {
   const bool guarded = d.instr.guard != Guard::None;
   if (!cfg_.bit_accurate) {
+    if (cfg_.simd_lanes && exec_operation_batched(d, active)) {
+      return;
+    }
     const FunctionalAlu alu{d.alu, d.cmp};
     if (guarded) {
       exec_operation_body<true>(d, active, alu);
@@ -343,7 +448,52 @@ unsigned Gpgpu::exec_load_body(const Instr& instr, unsigned active) {
   return lanes;
 }
 
+bool Gpgpu::exec_load_batched(const Instr& instr, unsigned active,
+                              unsigned& lanes) {
+  if (instr.guard != Guard::None) {
+    switch (scan_guard(GuardMask::of(instr), preds_.data(), active)) {
+      case GuardScan::AllPass:
+        break;
+      case GuardScan::NonePass:
+        lanes = 0;
+        return true;
+      case GuardScan::Divergent:
+        return false;
+    }
+  }
+  // Compute and bounds-check every lane's address before touching any
+  // state: an out-of-bounds lane must take the scalar body so its partial
+  // writes and the exact per-thread diagnostic are reproduced.
+  const auto imm = static_cast<std::uint32_t>(instr.imm);
+  const unsigned words = shared_.words();
+  const std::uint32_t* a = rf_row(instr.ra);
+  std::uint32_t* addrs = addr_scratch_.data();
+  bool oob = false;
+  for (unsigned t = 0; t < active; ++t) {
+    addrs[t] = a[t] + imm;
+    oob |= addrs[t] >= words;
+  }
+  if (oob) {
+    return false;
+  }
+  // Gather from the committed image (all replicated copies agree, so the
+  // port a lane would arbitrate onto does not matter). The scratch holds
+  // the addresses, so rd == ra aliasing is already resolved.
+  std::uint32_t* dst = rf_row(instr.rd);
+  for (unsigned t = 0; t < active; ++t) {
+    dst[t] = shared_.read_lane(addrs[t]);
+  }
+  lanes = active;
+  return true;
+}
+
 unsigned Gpgpu::exec_load(const Instr& instr, unsigned active) {
+  if (!cfg_.bit_accurate && cfg_.simd_lanes) {
+    unsigned lanes = 0;
+    if (exec_load_batched(instr, active, lanes)) {
+      return lanes;
+    }
+  }
   return instr.guard != Guard::None ? exec_load_body<true>(instr, active)
                                     : exec_load_body<false>(instr, active);
 }
@@ -373,7 +523,56 @@ unsigned Gpgpu::exec_store_body(const Instr& instr, unsigned active) {
   return lanes;
 }
 
+bool Gpgpu::exec_store_batched(const Instr& instr, unsigned active,
+                               unsigned& lanes) {
+  if (instr.guard != Guard::None) {
+    switch (scan_guard(GuardMask::of(instr), preds_.data(), active)) {
+      case GuardScan::AllPass:
+        break;
+      case GuardScan::NonePass:
+        lanes = 0;
+        return true;  // scalar body would stage nothing and commit a no-op
+      case GuardScan::Divergent:
+        return false;
+    }
+  }
+  // Same bounds-check-everything-first discipline as the batched load: the
+  // scalar body's behavior on an out-of-bounds lane (stores staged for the
+  // lower lanes, then a throw that leaves them pending) is only reproducible
+  // from untouched state.
+  const auto imm = static_cast<std::uint32_t>(instr.imm);
+  const unsigned words = shared_.words();
+  const std::uint32_t* a = rf_row(instr.ra);
+  std::uint32_t* addrs = addr_scratch_.data();
+  bool oob = false;
+  for (unsigned t = 0; t < active; ++t) {
+    addrs[t] = a[t] + imm;
+    oob |= addrs[t] >= words;
+  }
+  if (oob) {
+    return false;
+  }
+  // Scatter in thread order straight into every replicated copy: identical
+  // to stage-all-then-commit (highest lane wins on address conflicts, and
+  // stores never read shared memory within the instruction). note_store
+  // runs per lane exactly as in the scalar body, so the merged-window
+  // bookkeeping the runtime reads back is unchanged.
+  const std::uint32_t* data = rf_row(instr.rd);
+  for (unsigned t = 0; t < active; ++t) {
+    note_store(addrs[t]);
+    shared_.write_lane(addrs[t], data[t]);
+  }
+  lanes = active;
+  return true;
+}
+
 unsigned Gpgpu::exec_store(const Instr& instr, unsigned active) {
+  if (!cfg_.bit_accurate && cfg_.simd_lanes) {
+    unsigned lanes = 0;
+    if (exec_store_batched(instr, active, lanes)) {
+      return lanes;
+    }
+  }
   return instr.guard != Guard::None ? exec_store_body<true>(instr, active)
                                     : exec_store_body<false>(instr, active);
 }
@@ -583,18 +782,21 @@ RunResult Gpgpu::run(std::uint32_t entry, std::uint64_t max_instructions) {
         perf.operation_instrs++;
         perf.thread_rows += rows;
         perf.thread_ops += active;
+        perf.operation_thread_ops += active;
         break;
       case TimingClass::Load:
         perf.shm_reads += exec_load(instr, active);
         perf.load_instrs++;
         perf.thread_rows += rows;
         perf.thread_ops += active;
+        perf.load_thread_ops += active;
         break;
       case TimingClass::Store:
         perf.shm_writes += exec_store(instr, active);
         perf.store_instrs++;
         perf.thread_rows += rows;
         perf.thread_ops += active;
+        perf.store_thread_ops += active;
         break;
       case TimingClass::Single:
         perf.single_instrs++;

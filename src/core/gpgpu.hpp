@@ -25,7 +25,6 @@
 #include "core/perf.hpp"
 #include "core/pipeline_control.hpp"
 #include "core/program.hpp"
-#include "core/regfile.hpp"
 #include "hw/alu.hpp"
 #include "hw/multiport_mem.hpp"
 
@@ -139,12 +138,29 @@ class Gpgpu {
   // instruction, with an all-lanes-active fast path for unguarded
   // instructions and either the functional ALU thunks or the bit-accurate
   // structural models (CoreConfig::bit_accurate) inside the loop.
+  //
+  // On top of that, the SIMD lane engine (CoreConfig::simd_lanes, functional
+  // engine only): when an instruction's guard resolves uniformly over the
+  // active block, the *_batched helpers dispatch one per-opcode batch thunk
+  // over the contiguous per-register lane rows of rf_data_ (ALU classes), or
+  // gather/scatter directly against the committed shared-memory image
+  // (loads/stores, after bounds-checking every lane's address up front so an
+  // out-of-bounds lane falls back to the scalar body from untouched state
+  // and reproduces its exact partial-write-then-throw behavior). The helpers
+  // return false on divergent guards or unbatchable formats, and the caller
+  // runs the per-lane scalar body instead -- results are bit-identical
+  // either way.
   void exec_operation(const DecodedOp& d, unsigned active);
+  bool exec_operation_batched(const DecodedOp& d, unsigned active);
   template <bool kGuarded, typename AluPolicy>
   void exec_operation_body(const DecodedOp& d, unsigned active,
                            const AluPolicy& alu);
   unsigned exec_load(const isa::Instr& instr, unsigned active);
   unsigned exec_store(const isa::Instr& instr, unsigned active);
+  bool exec_load_batched(const isa::Instr& instr, unsigned active,
+                         unsigned& lanes);
+  bool exec_store_batched(const isa::Instr& instr, unsigned active,
+                          unsigned& lanes);
   template <bool kGuarded>
   unsigned exec_load_body(const isa::Instr& instr, unsigned active);
   template <bool kGuarded>
@@ -152,8 +168,20 @@ class Gpgpu {
   bool guard_passes(const isa::Instr& instr, unsigned thread) const;
   std::uint32_t special_value(isa::SpecialReg sr, unsigned thread,
                               unsigned active) const;
-  std::uint32_t rf_read(unsigned thread, unsigned reg) const;
-  void rf_write(unsigned thread, unsigned reg, std::uint32_t value);
+
+  // Register-file plumbing over the flat lane-major layout (see rf_data_).
+  std::uint32_t rf_read(unsigned thread, unsigned reg) const {
+    return rf_data_[reg * cfg_.max_threads + thread];
+  }
+  void rf_write(unsigned thread, unsigned reg, std::uint32_t value) {
+    rf_data_[reg * cfg_.max_threads + thread] = value;
+  }
+  const std::uint32_t* rf_row(unsigned reg) const {
+    return rf_data_.data() + reg * cfg_.max_threads;
+  }
+  std::uint32_t* rf_row(unsigned reg) {
+    return rf_data_.data() + reg * cfg_.max_threads;
+  }
 
   // Hazard bookkeeping.
   std::uint64_t earliest_start(const isa::Instr& instr, unsigned my_width,
@@ -173,7 +201,15 @@ class Gpgpu {
   unsigned sp_mask_ = 0;
   unsigned sp_shift_ = 0;
   hw::MultiPortMemory shared_;
-  std::vector<RegisterFile> rf_;        ///< one per SP
+  /// Register file, flat and lane-major: rf_data_[reg * max_threads + tid].
+  /// For a fixed register every lane's value is contiguous in thread order,
+  /// so one batch thunk covers the whole active block of an instruction --
+  /// the layout the SIMD lane engine depends on. Scalar access goes through
+  /// rf_read/rf_write on the same storage, so both engines see one file.
+  std::vector<std::uint32_t> rf_data_;
+  /// Per-lane LDS/STS addresses, computed and bounds-checked as a block
+  /// before the batched gather/scatter mutates anything.
+  std::vector<std::uint32_t> addr_scratch_;
   std::vector<hw::Alu> alus_;           ///< one per SP
   std::vector<std::uint8_t> preds_;     ///< 4-bit mask per thread
   FetchDecode fetch_;

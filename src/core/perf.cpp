@@ -12,6 +12,9 @@ void PerfCounters::add_work(const PerfCounters& r) {
   single_instrs += r.single_instrs;
   thread_rows += r.thread_rows;
   thread_ops += r.thread_ops;
+  operation_thread_ops += r.operation_thread_ops;
+  load_thread_ops += r.load_thread_ops;
+  store_thread_ops += r.store_thread_ops;
   shm_reads += r.shm_reads;
   shm_writes += r.shm_writes;
   for (std::size_t i = 0; i < r.per_opcode.size(); ++i) {

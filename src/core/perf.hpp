@@ -26,6 +26,12 @@ struct PerfCounters {
 
   std::uint64_t thread_rows = 0;       ///< issued thread-block rows
   std::uint64_t thread_ops = 0;        ///< per-thread operations executed
+  /// thread_ops split by timing class (operation/load/store; the Single
+  /// class issues no lanes) -- the denominator for the per-class lane-Mops
+  /// breakdown the simulation-speed bench reports.
+  std::uint64_t operation_thread_ops = 0;
+  std::uint64_t load_thread_ops = 0;
+  std::uint64_t store_thread_ops = 0;
   std::uint64_t shm_reads = 0;         ///< shared-memory words read
   std::uint64_t shm_writes = 0;        ///< shared-memory words written
 

@@ -47,6 +47,15 @@ class M20kArray {
   void poke_words32(unsigned addr, std::span<const std::uint32_t> data);
   void peek_words32(unsigned addr, std::span<std::uint32_t> out) const;
 
+  /// Single-word backdoor access for the batched lane engine's gather/
+  /// scatter loops: no staging, no bounds check (callers have validated the
+  /// whole address block already). peek_raw returns the committed word;
+  /// poke_raw is equivalent to write()+commit() when nothing is staged.
+  std::uint64_t peek_raw(unsigned addr) const { return data_[addr]; }
+  void poke_raw(unsigned addr, std::uint64_t data) {
+    data_[addr] = data & mask_;
+  }
+
   unsigned depth() const { return depth_; }
   unsigned width_bits() const { return width_; }
   unsigned block_count() const { return blocks_; }

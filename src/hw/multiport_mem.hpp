@@ -49,6 +49,20 @@ class MultiPortMemory {
   void peek_span(std::uint32_t base, std::span<std::uint32_t> out) const;
   void poke_span(std::uint32_t base, std::span<const std::uint32_t> data);
 
+  /// Per-lane gather/scatter fast path for the batched SIMD engine: the
+  /// caller bounds-checks the whole address block up front, then reads the
+  /// committed image / writes every replicated copy directly (no staging;
+  /// a sequential thread-order scatter keeps the highest-lane-wins
+  /// conflict semantics of the staged write port).
+  std::uint32_t read_lane(std::uint32_t addr) const {
+    return static_cast<std::uint32_t>(copies_[0].peek_raw(addr));
+  }
+  void write_lane(std::uint32_t addr, std::uint32_t data) {
+    for (auto& copy : copies_) {
+      copy.poke_raw(addr, data);
+    }
+  }
+
   unsigned words() const { return words_; }
   unsigned read_ports() const { return read_ports_; }
   unsigned write_ports() const { return write_ports_; }

@@ -1,6 +1,8 @@
 #include "runtime/device.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
 #include <string>
 
 #include "asm/assembler.hpp"
@@ -26,6 +28,13 @@ std::vector<unsigned> balanced_split(unsigned total, unsigned parts) {
     ++sizes[i];
   }
   return sizes;
+}
+
+/// Microseconds of host wall time since `t0`.
+double host_us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 }  // namespace
@@ -73,6 +82,7 @@ LaunchStats SimtCoreBackend::launch(std::uint32_t entry, unsigned threads,
   // through the stream copies already, so the footprint does not change
   // what this backend moves.
   check_launch_threads(threads);
+  const auto t0 = std::chrono::steady_clock::now();
   LaunchStats out;
   out.exited = true;
   const unsigned per_round = gpu_.config().max_threads;
@@ -91,6 +101,7 @@ LaunchStats SimtCoreBackend::launch(std::uint32_t entry, unsigned threads,
   }
   gpu_.set_thread_base(0);
   gpu_.set_ntid_override(0);
+  out.host_exec_us = out.host_wall_us = host_us_since(t0);
   return out;
 }
 
@@ -107,11 +118,13 @@ void SimtCoreBackend::write_words(std::uint32_t base,
 // ---- MultiCoreBackend ------------------------------------------------------
 
 MultiCoreBackend::MultiCoreBackend(const system::SystemConfig& cfg,
-                                   double staging_words_per_cycle)
+                                   double staging_words_per_cycle,
+                                   unsigned stage_workers)
     : sys_(cfg),
       master_(cfg.core.shared_mem_words, 0),
       stale_(sys_.num_cores()),
-      staging_words_per_cycle_(staging_words_per_cycle) {
+      staging_words_per_cycle_(staging_words_per_cycle),
+      stage_workers_(std::min(stage_workers, sys_.num_cores())) {
   // Cores power up zeroed, exactly like the master image: every shard map
   // starts clean, and staleness accrues only from host writes and sibling
   // cores' merged output shards.
@@ -131,6 +144,7 @@ void MultiCoreBackend::load_image(
 LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
                                      const LaunchFootprint& footprint) {
   check_launch_threads(threads);
+  const auto launch_t0 = std::chrono::steady_clock::now();
   LaunchStats out;
   out.exited = true;
   const unsigned capacity = max_concurrent_threads();
@@ -168,6 +182,45 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
   // prefetch it (RoundCost::stage_late_cycles).
   RangeSet merged_prev;
 
+  // ---- parallel staging plumbing ----
+  // Cores [0, stage_workers_) run their physical copy-in on their own
+  // persistent dispatch workers, queued ahead of the round's run job (the
+  // per-worker FIFO is the only ordering needed), so one core's staging
+  // overlaps sibling cores' staging and execution in real wall time. With
+  // a declared footprint the same workers also prefetch the next round's
+  // predictable stage set behind the current run job, overlapping the
+  // *previous* round's compute. Everything here is physical data movement
+  // only: the shard-map bookkeeping, staged-word counts, and modeled
+  // RoundCosts above are computed on the submitting thread exactly as in
+  // the serial (stage_workers == 0) path, so the modeled timeline is
+  // bit-identical either way.
+  std::vector<RangeSet> prefetched(num_cores);  ///< shipped ahead, per core
+  std::vector<double> stage_us(num_cores, 0.0);
+  std::vector<std::exception_ptr> stage_errors(num_cores);
+  // Stage jobs capture references into this frame: never leave it with
+  // jobs still queued (finish_run drains on the normal path; this guard
+  // covers a throwing merge or bookkeeping step).
+  struct DrainGuard {
+    system::MultiCoreSystem& sys;
+    ~DrainGuard() { sys.drain(); }
+  } drain_guard{sys_};
+  const auto post_stage = [&](unsigned c, RangeSet set) {
+    sys_.post(c, [this, c, &stage_us, &stage_errors, set = std::move(set)] {
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        auto& gpu = sys_.core(c);
+        for (const auto& r : set.ranges()) {
+          gpu.write_shared_span(
+              r.lo, std::span<const std::uint32_t>(master_.data() + r.lo,
+                                                   r.words()));
+        }
+      } catch (...) {
+        stage_errors[c] = std::current_exception();
+      }
+      stage_us[c] += host_us_since(t0);
+    });
+  };
+
   unsigned done = 0;
   while (done < threads) {
     const unsigned round_total = std::min(threads - done, capacity);
@@ -199,14 +252,27 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
       const RangeSet to_stage =
           footprint.declared ? intersect_sets(stale_[c], touched)
                              : std::move(stale_[c]);
-      std::uint64_t staged = 0;
-      for (const auto& r : to_stage.ranges()) {
-        gpu.write_shared_span(
-            r.lo, std::span<const std::uint32_t>(master_.data() + r.lo,
-                                                 r.words()));
-        staged += r.words();
-      }
+      const std::uint64_t staged = to_stage.words();
       const std::uint64_t late = overlap_words(to_stage, merged_prev);
+      // Physical copy: skip whatever a prefetch job already shipped (the
+      // prefetched set is always a subset of this round's to_stage and was
+      // copied from an identical master image). The logical accounting
+      // above still covers the full to_stage set.
+      RangeSet to_copy = prefetched[c].empty()
+                             ? to_stage
+                             : subtract_sets(to_stage, prefetched[c]);
+      prefetched[c].clear();
+      if (c < stage_workers_) {
+        post_stage(c, std::move(to_copy));
+      } else {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const auto& r : to_copy.ranges()) {
+          gpu.write_shared_span(
+              r.lo, std::span<const std::uint32_t>(master_.data() + r.lo,
+                                                   r.words()));
+        }
+        stage_us[c] += host_us_since(t0);
+      }
       if (footprint.declared) {
         stale_[c] = subtract_sets(stale_[c], to_stage);
         skipped[c] = union_sets(skipped[c], stale_[c]);
@@ -226,7 +292,59 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
       base += sizes[c];
     }
 
-    const auto res = sys_.run(dispatches);
+    auto pending = sys_.begin_run(dispatches);
+
+    // Cross-round prefetch (declared footprints only): the next round's
+    // structure is deterministic, so each staging worker can ship its
+    // core's predictable stage set behind this round's run job -- the copy
+    // executes while slower sibling cores are still running. Excluded is
+    // everything any core may write this round: those master words can
+    // change in the coming merge (and are exactly what the merge adds to
+    // the shard maps), so they are the data-dependent "late" staging the
+    // pipeline model charges after the merge. What remains is a subset of
+    // the next round's to_stage with a merge-invariant master value, which
+    // is why the skip in the physical copy above is exact.
+    if (stage_workers_ > 0 && footprint.declared &&
+        done + round_total < threads) {
+      RangeSet writable_now = footprint.writes;
+      for (const auto& d : dispatches) {
+        writable_now = union_sets(
+            writable_now,
+            slice_ranges(footprint.sliced_writes, slice_lo[d.core],
+                         slice_lo[d.core] + d.threads));
+      }
+      const unsigned next_done = done + round_total;
+      const unsigned next_total = std::min(threads - next_done, capacity);
+      const unsigned next_cores = std::min(num_cores, next_total);
+      const auto next_sizes = balanced_split(next_total, next_cores);
+      unsigned next_base = next_done;
+      for (unsigned c = 0; c < next_cores; ++c) {
+        const unsigned lo = next_base;
+        const unsigned hi = next_base + next_sizes[c];
+        next_base = hi;
+        if (next_sizes[c] == 0 || c >= stage_workers_) {
+          continue;
+        }
+        const RangeSet next_touched = union_sets(
+            touched_static,
+            union_sets(slice_ranges(footprint.sliced_reads, lo, hi),
+                       slice_ranges(footprint.sliced_writes, lo, hi)));
+        RangeSet pre = subtract_sets(intersect_sets(stale_[c], next_touched),
+                                     writable_now);
+        if (pre.empty()) {
+          continue;
+        }
+        prefetched[c] = pre;
+        post_stage(c, std::move(pre));
+      }
+    }
+
+    const auto res = sys_.finish_run(pending);
+    for (const auto& e : stage_errors) {
+      if (e) {
+        std::rethrow_exception(e);
+      }
+    }
 
     // Roll up: cores run in parallel, so the round's clock cost is the
     // critical-path core; work counters sum across cores.
@@ -238,6 +356,7 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
       const unsigned c = dispatches[i].core;
       out.per_core[c].exec_cycles += res.per_core[i].perf.cycles;
       out.per_core[c].rounds += 1;
+      out.per_core[c].host_exec_us += res.host_us[i];
       costs[c].exec_cycles = res.per_core[i].perf.cycles;
       if (res.per_core[i].perf.cycles >= worst) {
         worst = res.per_core[i].perf.cycles;
@@ -245,6 +364,8 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
       }
     }
     out.perf.add_clocks(res.per_core[worst_i].perf);
+
+    const auto merge_t0 = std::chrono::steady_clock::now();
 
     // Merge: read back each core's write shard (the store windows the
     // core tracked during the run), diff it against the pre-round master,
@@ -323,6 +444,16 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
       }
     }
     merged_prev = std::move(merged_now);
+    // Belt and braces: a prefetched word that did get merged carries a
+    // stale value now -- drop it so the next round's physical copy
+    // restages it. By construction (prefetch excludes the round's writable
+    // set) this subtraction is a no-op.
+    for (unsigned c = 0; c < num_cores; ++c) {
+      if (!prefetched[c].empty()) {
+        prefetched[c] = subtract_sets(prefetched[c], merged_prev);
+      }
+    }
+    out.host_merge_us += host_us_since(merge_t0);
 
     round_costs.push_back(std::move(costs));
     ++out.rounds;
@@ -333,6 +464,9 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
     sys_.core(c).set_thread_base(0);
     sys_.core(c).set_ntid_override(0);
     out.staged_words_skipped += skipped[c].words();
+    out.per_core[c].host_stage_us = stage_us[c];
+    out.host_stage_us += stage_us[c];
+    out.host_exec_us += out.per_core[c].host_exec_us;
   }
 
   const auto model = model_pipeline(round_costs);
@@ -347,6 +481,7 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
                     static_cast<double>(out.perf.cycles);
     }
   }
+  out.host_wall_us = host_us_since(launch_t0);
   return out;
 }
 
@@ -387,6 +522,7 @@ void ScalarBackend::load_image(
 LaunchStats ScalarBackend::launch(std::uint32_t entry, unsigned threads,
                                   const LaunchFootprint&) {
   check_launch_threads(threads);
+  const auto t0 = std::chrono::steady_clock::now();
   LaunchStats out;
   // ScalarSoftCpu::run only returns via EXIT (budget exhaustion and traps
   // throw), so a normal return means every sweep iteration exited.
@@ -400,6 +536,7 @@ LaunchStats ScalarBackend::launch(std::uint32_t entry, unsigned threads,
     ++out.rounds;
   }
   cpu_.set_thread_context(0, 1);
+  out.host_exec_us = out.host_wall_us = host_us_since(t0);
   return out;
 }
 
@@ -449,7 +586,7 @@ std::unique_ptr<DeviceBackend> make_backend(const DeviceDescriptor& desc) {
       cfg.num_cores = desc.num_cores;
       cfg.core = desc.core;
       return std::make_unique<MultiCoreBackend>(
-          cfg, desc.staging_words_per_cycle);
+          cfg, desc.staging_words_per_cycle, desc.stage_workers);
     }
     case BackendKind::Scalar:
       return std::make_unique<ScalarBackend>(desc.scalar);
@@ -683,6 +820,7 @@ LaunchStats Device::execute_plan(const LaunchPlan& plan) {
     self.exec_cycles = stats.perf.cycles;
     self.rounds = stats.rounds;
     self.occupancy = 1.0;
+    self.host_exec_us = stats.host_exec_us;
     stats.per_core.push_back(self);
   }
   const double fmax = fmax_mhz();

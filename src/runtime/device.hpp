@@ -56,6 +56,17 @@ struct DeviceDescriptor {
   /// default models a 32-bit bridge running at the core clock (one word
   /// per cycle), the common soft-logic host interface.
   double staging_words_per_cycle = 1.0;
+  /// MultiCore only: how many cores run their per-round shard staging on
+  /// their own persistent dispatch workers (capped at num_cores; the
+  /// default offloads every core). A staged core's copy-in overlaps
+  /// sibling cores' staging and execution in *real* simulator wall time,
+  /// and with a declared footprint the workers also prefetch the next
+  /// round's read set behind the current run. 0 pins the serial reference
+  /// path: every copy runs on the submitting thread (simt-run
+  /// --stage-workers). Purely physical -- the modeled timeline, staged-
+  /// word accounting, and all results are bit-identical either way.
+  static constexpr unsigned kAllStageWorkers = ~0u;
+  unsigned stage_workers = kAllStageWorkers;
 
   static DeviceDescriptor simt_core(core::CoreConfig cfg = {});
   static DeviceDescriptor multi_core(unsigned cores,
@@ -73,6 +84,11 @@ struct CoreLaunchStats {
   /// exec_cycles over the launch's critical-path exec cycles: how busy the
   /// core was while the launch ran (1.0 = never waiting on siblings).
   double occupancy = 0.0;
+  /// Measured host (simulator) wall time this core spent staging shards in
+  /// and executing kernel rounds -- real seconds, as opposed to the modeled
+  /// device-clock figures above.
+  double host_stage_us = 0.0;
+  double host_exec_us = 0.0;
 };
 
 /// Rolled-up result of one logical launch (possibly many hardware rounds).
@@ -96,6 +112,16 @@ struct LaunchStats {
   std::uint64_t overlap_cycles = 0;  ///< double-buffered staging pipeline
   double serial_wall_us = 0.0;       ///< serial_cycles at the realized Fmax
   double overlap_wall_us = 0.0;      ///< overlap_cycles at the realized Fmax
+
+  // Measured host (simulator) wall-time splits -- what this process really
+  // spent, so the modeled overlap above can be validated against reality.
+  // stage/exec sum across cores (they overlap under parallel staging, so
+  // the sum can exceed the end-to-end figure); merge is submitting-thread
+  // time; host_wall_us is the whole backend launch, end to end.
+  double host_stage_us = 0.0;
+  double host_exec_us = 0.0;
+  double host_merge_us = 0.0;
+  double host_wall_us = 0.0;
   std::vector<CoreLaunchStats> per_core;
 
   /// Mean per-core occupancy (1.0 for single-engine backends).
@@ -221,7 +247,7 @@ class SimtCoreBackend final : public DeviceBackend {
 class MultiCoreBackend final : public DeviceBackend {
  public:
   MultiCoreBackend(const system::SystemConfig& cfg,
-                   double staging_words_per_cycle);
+                   double staging_words_per_cycle, unsigned stage_workers);
 
   std::string_view name() const override { return "multicore"; }
   unsigned mem_words() const override {
@@ -253,6 +279,10 @@ class MultiCoreBackend final : public DeviceBackend {
   /// on (host writes and sibling cores' merged output shards).
   std::vector<RangeSet> stale_;
   double staging_words_per_cycle_;
+  /// Cores [0, stage_workers_) stage (and prefetch) on their own dispatch
+  /// workers; the rest stage serially on the submitting thread. See
+  /// DeviceDescriptor::stage_workers.
+  unsigned stage_workers_;
 };
 
 /// Backend wrapping the scalar soft-CPU baseline. A grid launch is emulated

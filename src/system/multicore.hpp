@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -50,6 +52,11 @@ struct SystemRunResult {
   std::vector<core::RunResult> per_core;
   std::uint64_t max_cycles = 0;   ///< the slowest core (cores run in parallel)
   double wall_us = 0.0;           ///< max_cycles / realized clock
+  /// Measured host wall time of each dispatch's Gpgpu::run call (same
+  /// index as per_core) -- real simulation seconds, as opposed to the
+  /// modeled wall_us, so a runtime can validate its overlap model against
+  /// what the simulator actually spent.
+  std::vector<double> host_us;
 
   /// Aggregate thread-operations across all cores.
   std::uint64_t total_thread_ops() const {
@@ -59,6 +66,16 @@ struct SystemRunResult {
     }
     return n;
   }
+};
+
+/// A round in flight: results and captured exceptions for dispatches whose
+/// run jobs are queued on the per-core workers. shared_ptr-owned so the
+/// jobs keep the storage alive however the caller sequences finish_run.
+struct PendingRun {
+  std::vector<Dispatch> dispatches;
+  std::vector<core::RunResult> per_core;
+  std::vector<double> host_us;
+  std::vector<std::exception_ptr> errors;
 };
 
 class MultiCoreSystem {
@@ -89,6 +106,27 @@ class MultiCoreSystem {
   /// rather than a thread spawn. Throws simt::Error on duplicate core ids;
   /// a core that faults mid-kernel rethrows here after every core settled.
   SystemRunResult run(const std::vector<Dispatch>& dispatches);
+
+  /// The split form of run() for callers that interleave their own work
+  /// with a round: begin_run validates the dispatches and queues one run
+  /// job per core (FIFO behind anything already posted to that core's
+  /// worker -- the ordering hook parallel staging rides on), and
+  /// finish_run drains the pool, rethrows the first captured fault, and
+  /// rolls the round up. Between the two the caller may post more jobs
+  /// (e.g. next-round prefetch copies that overlap sibling cores' still-
+  /// running kernels in real wall-clock time).
+  std::shared_ptr<PendingRun> begin_run(
+      const std::vector<Dispatch>& dispatches);
+  SystemRunResult finish_run(const std::shared_ptr<PendingRun>& pending);
+
+  /// Queue an arbitrary job on core `i`'s persistent worker (FIFO per
+  /// core). Jobs must not throw -- capture and re-raise at the call site.
+  /// drain() blocks until every worker's queue is empty and idle, and is
+  /// the synchronization point that makes worker-side effects visible.
+  void post(unsigned i, std::function<void()> job) {
+    pool_.post(i, std::move(job));
+  }
+  void drain() { pool_.drain(); }
 
   /// Partition [0, total) into per-core contiguous slices (last core takes
   /// the remainder). Helper for host-side work distribution.

@@ -21,8 +21,12 @@ metrics in the fresh run are reported but do not fail, so benches can grow.
 If a diff is intentional, regenerate with ``<bench> --quick`` and copy the
 JSON over the baseline.
 
+Benches whose JSON carries additional host-timed or load-dependent metrics
+(e.g. measured serving latencies) pass ``--skip REGEX`` to merge extra
+skip patterns with the built-in ones.
+
 usage: bench_diff.py <baseline.json> <current.json> [--rel-tol F]
-                     [--min-frac F]
+                     [--min-frac F] [--skip REGEX]
 """
 
 import argparse
@@ -34,8 +38,8 @@ SKIP_PAT = re.compile(r"wall_s$|speedup")
 THROUGHPUT_PAT = re.compile(r"(mips|mops|qps)($|_)")
 
 
-def classify(key, base_value):
-    if SKIP_PAT.search(key):
+def classify(key, base_value, extra_skip=None):
+    if SKIP_PAT.search(key) or (extra_skip and extra_skip.search(key)):
         return "skip"
     if THROUGHPUT_PAT.search(key):
         return "throughput"
@@ -61,7 +65,15 @@ def main():
         help="host-throughput metrics must stay above this fraction "
         "of the baseline",
     )
+    parser.add_argument(
+        "--skip",
+        default=None,
+        metavar="REGEX",
+        help="extra metric-name pattern to skip (merged with the built-in "
+        "host wall-clock / speedup patterns)",
+    )
     args = parser.parse_args()
+    extra_skip = re.compile(args.skip) if args.skip else None
 
     with open(args.baseline) as f:
         baseline = json.load(f)
@@ -84,9 +96,9 @@ def main():
             failures.append(f"{key}: missing from current run")
             continue
         cur_value = cur_metrics[key]
-        kind = classify(key, base_value)
+        kind = classify(key, base_value, extra_skip)
         if kind == "skip":
-            print(f"  skip  {key}: {cur_value} (host wall clock)")
+            print(f"  skip  {key}: {cur_value} (host-dependent)")
         elif kind == "throughput":
             floor = args.min_frac * base_value
             if cur_value < floor:
