@@ -168,6 +168,11 @@ struct DeviceCluster::DeviceState {
   /// Lazily created per-tenant streams (worker thread only); raw pointers
   /// into the device's stream table, which lives as long as the device.
   std::unordered_map<std::string, rt::Stream*> tenant_streams;
+  /// Staging lane for plan captures: request copy-ins are captured on this
+  /// stream so every plan's graph is a two-lane DAG (stage lane feeds the
+  /// primary lane's launch) and replays price the copy-in on its own
+  /// modeled DMA channel. Created on first register_plan.
+  rt::Stream* stage_stream = nullptr;
 };
 
 namespace {
@@ -319,20 +324,31 @@ void DeviceCluster::register_plan(const PlanSpec& spec) {
     }
     entry.recipe = canonical.values();
 
-    // Capture the request pipeline once per slot on the device's default
-    // stream (workers only ever touch their per-tenant streams, so capture
-    // cannot interleave with traffic). Each slot's copy-out freezes that
-    // slot's own host_out storage.
+    // Capture the request pipeline once per slot as a two-lane DAG on the
+    // device's default stream plus a dedicated staging stream (workers
+    // only ever touch their per-tenant streams, so capture cannot
+    // interleave with traffic): the stage lane copies the request in and
+    // the primary lane launches off it, so every replay is ONE DAG submit
+    // whose copy-in is priced on its own modeled DMA channel (see
+    // docs/serving.md). Each slot's copy-out freezes that slot's own
+    // host_out storage.
     const std::vector<std::uint32_t> placeholder(entry.in_words, 0);
     auto& capture_stream = d.dev.stream();
+    if (d.stage_stream == nullptr) {
+      d.stage_stream = &d.dev.create_stream();
+    }
     for (auto& slot : entry.slots) {
       slot.host_out.assign(entry.out_words, 0);
       rt::Graph graph;
       capture_stream.begin_capture(graph);
-      capture_stream.copy_in(in_buf,
-                             std::span<const std::uint32_t>(placeholder));
+      d.stage_stream->begin_capture(graph);  // joins as the stage lane
+      d.stage_stream->copy_in(in_buf,
+                              std::span<const std::uint32_t>(placeholder));
+      rt::Event staged = d.stage_stream->record();
+      capture_stream.wait(staged);  // DAG edge: launch waits on the stage
       capture_stream.launch(kernel, spec.threads, canonical);
       capture_stream.copy_out(out_buf, std::span<std::uint32_t>(slot.host_out));
+      d.stage_stream->end_capture();
       capture_stream.end_capture();
       slot.exec = graph.instantiate();
     }

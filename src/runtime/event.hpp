@@ -37,7 +37,16 @@ struct EventState {
   /// identity only; never dereferenced).
   bool captured = false;
   const void* capture_graph = nullptr;
+  /// For captured events: the index of the graph node this event names.
+  /// Stream::wait uses it during capture to record a cross-lane DAG edge.
+  std::size_t capture_node = 0;
   LaunchStats stats{};
+  /// For graph-replay events: the replay's modeled engine time priced two
+  /// ways -- every sub-command back to back (serial) and the frozen DAG's
+  /// critical path with independent branches overlapped on the engines
+  /// (overlap). Zero for ordinary stream events.
+  double replay_serial_us = 0.0;
+  double replay_overlap_us = 0.0;
   /// Host-side (simulation) time the command took to execute, for
   /// profiling the simulator itself; unrelated to the modeled wall_us.
   double host_elapsed_us = 0.0;
@@ -116,6 +125,31 @@ class Event {
   }
   /// Modeled wall-clock of the launch at the device's realized Fmax.
   double wall_us() const { return stats().wall_us; }
+  /// Graph replays only: the replay's modeled engine time with every
+  /// sub-command back to back (the linearized model). Throws while the
+  /// replay is in flight; zero for non-replay events.
+  double replay_serial_us() const {
+    if (failed()) {
+      std::rethrow_exception(state_->error);
+    }
+    if (!done()) {
+      throw Error("event is not complete; wait() or synchronize the stream");
+    }
+    return state_->replay_serial_us;
+  }
+  /// Graph replays only: the replay's modeled critical path through the
+  /// frozen DAG, with independent branches overlapped on the device
+  /// engines. Throws while the replay is in flight; zero for non-replay
+  /// events.
+  double replay_overlap_us() const {
+    if (failed()) {
+      std::rethrow_exception(state_->error);
+    }
+    if (!done()) {
+      throw Error("event is not complete; wait() or synchronize the stream");
+    }
+    return state_->replay_overlap_us;
+  }
   /// Host (simulation) time spent executing the launch; throws while the
   /// launch is in flight and rethrows the fault of a failed launch.
   double elapsed_us() const {

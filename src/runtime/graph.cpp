@@ -1,5 +1,6 @@
 #include "runtime/graph.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -12,11 +13,11 @@ namespace simt::runtime {
 
 namespace {
 
-std::size_t count_kind(const std::vector<StreamOp>& nodes,
+std::size_t count_kind(const std::vector<GraphNode>& nodes,
                        StreamOp::Kind kind) {
   std::size_t n = 0;
-  for (const auto& op : nodes) {
-    if (op.kind == kind) {
+  for (const auto& node : nodes) {
+    if (node.op.kind == kind) {
       ++n;
     }
   }
@@ -24,8 +25,9 @@ std::size_t count_kind(const std::vector<StreamOp>& nodes,
 }
 
 /// Fold one replayed launch into the replay's aggregate stats. Clock-side
-/// counters sum (the launches ran back to back on the captured stream);
-/// per-core slices are not aggregated across launches.
+/// counters sum (the launches share the one compute array, so they run
+/// back to back even across lanes); per-core slices are not aggregated
+/// across launches.
 void fold_stats(LaunchStats& agg, const LaunchStats& s) {
   agg.perf.add_work(s.perf);
   agg.perf.add_clocks(s.perf);
@@ -41,6 +43,20 @@ void fold_stats(LaunchStats& agg, const LaunchStats& s) {
   agg.overlap_wall_us += s.overlap_wall_us;
 }
 
+/// Exact contiguity check for copy-in fusion: the two destination ranges
+/// union (no gap coalescing) into one range covering exactly the sum of
+/// their words -- adjacent, non-overlapping bursts.
+bool contiguous_destinations(std::uint32_t a_base, std::size_t a_words,
+                             std::uint32_t b_base, std::size_t b_words) {
+  RangeSet a = RangeSet::from_sorted(
+      {{a_base, a_base + static_cast<std::uint32_t>(a_words)}});
+  RangeSet b = RangeSet::from_sorted(
+      {{b_base, b_base + static_cast<std::uint32_t>(b_words)}});
+  const RangeSet u = union_sets(a, b);
+  return u.ranges().size() == 1 &&
+         u.words() == static_cast<std::uint64_t>(a_words + b_words);
+}
+
 }  // namespace
 
 // ---- Graph -----------------------------------------------------------------
@@ -54,32 +70,101 @@ std::size_t Graph::copy_in_count() const {
 }
 
 void Graph::clear() {
-  if (capturing_) {
+  if (capturing_ != 0) {
     throw Error("clear() of a graph while a stream is capturing into it");
   }
   nodes_.clear();
   dev_ = nullptr;
+  lanes_ = 0;
+  capture_alloc_gen_ = 0;
+  dev_alive_.reset();
 }
 
 GraphExec Graph::instantiate() const {
-  if (capturing_) {
+  if (capturing_ != 0) {
     throw Error("instantiate() before end_capture(): the graph is still "
-                "recording");
+                "recording on " + std::to_string(capturing_) + " stream(s)");
   }
   if (dev_ == nullptr || nodes_.empty()) {
     throw Error("instantiate() of an empty graph: capture a command "
                 "sequence first");
   }
+  // The graph holds raw buffer bases and a raw device pointer frozen at
+  // capture time; refuse to plan against a backend that no longer exists
+  // or whose arena was handed out again -- the generation check copy-in/
+  // copy-out enforce at enqueue time, applied to the whole capture.
+  if (dev_alive_.expired()) {
+    throw Error("instantiate() of a graph whose capturing device has been "
+                "destroyed: the captured nodes reference a dead backend");
+  }
+  if (dev_->allocation_generation() != capture_alloc_gen_) {
+    throw Error("instantiate() of a graph captured before mem_reset() "
+                "(allocation generation " +
+                std::to_string(capture_alloc_gen_) + ", device is at " +
+                std::to_string(dev_->allocation_generation()) +
+                "): the captured buffer ranges are stale; re-capture");
+  }
+
   auto state = std::make_shared<GraphExec::State>();
   state->dev = dev_;
   state->origin = this;
-  state->nodes = nodes_;
   state->staging_words_per_cycle = dev_->descriptor().staging_words_per_cycle;
+
+  // Copy the DAG, fusing as we go: a copy-in whose only dependency is the
+  // immediately preceding node, when that node is a same-lane copy-in to
+  // an exactly contiguous destination, appends its payload to that burst
+  // instead of becoming a node. `remap` carries original node index ->
+  // post-fusion index so later nodes' edges stay intact.
+  std::vector<std::size_t> remap(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const GraphNode& src = nodes_[i];
+    // Map, bound-check, and dedup the dependency edges. Capture order
+    // makes real cycles impossible; this guards a hand-built graph.
+    std::vector<std::size_t> deps;
+    for (const std::size_t d : src.deps) {
+      if (d >= i) {
+        throw Error("graph node " + std::to_string(i) +
+                    " depends on node " + std::to_string(d) +
+                    ": dependency cycles cannot be instantiated");
+      }
+      deps.push_back(remap[d]);
+    }
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+
+    if (src.op.kind == StreamOp::Kind::CopyIn && !state->nodes.empty()) {
+      const std::size_t prev = state->nodes.size() - 1;
+      GraphNode& tail = state->nodes.back();
+      if (tail.op.kind == StreamOp::Kind::CopyIn && tail.lane == src.lane &&
+          deps.size() == 1 && deps.front() == prev &&
+          contiguous_destinations(tail.op.base, tail.op.data.size(),
+                                  src.op.base, src.op.data.size())) {
+        state->copy_in_segments.push_back(
+            {prev, tail.op.data.size(), src.op.data.size()});
+        tail.op.data.insert(tail.op.data.end(), src.op.data.begin(),
+                            src.op.data.end());
+        remap[i] = prev;
+        continue;
+      }
+    }
+
+    GraphNode node;
+    node.op = src.op;
+    node.lane = src.lane;
+    node.deps = std::move(deps);
+    remap[i] = state->nodes.size();
+    if (node.op.kind == StreamOp::Kind::CopyIn) {
+      state->copy_in_segments.push_back(
+          {remap[i], 0, node.op.data.size()});
+    }
+    state->nodes.push_back(std::move(node));
+  }
+
   // Validate once, here, what eager submission re-validates per launch:
   // prepare_launch resolves each launch node's patch plan, binding
   // signature, and staging footprint into a frozen LaunchPlan.
   for (std::size_t i = 0; i < state->nodes.size(); ++i) {
-    const auto& op = state->nodes[i];
+    const auto& op = state->nodes[i].op;
     switch (op.kind) {
       case StreamOp::Kind::Launch:
         state->launch_nodes.push_back(i);
@@ -87,7 +172,7 @@ GraphExec Graph::instantiate() const {
             dev_->prepare_launch(op.kernel, op.threads, op.args));
         break;
       case StreamOp::Kind::CopyIn:
-        state->copy_in_nodes.push_back(i);
+        ++state->copy_in_nodes;
         break;
       case StreamOp::Kind::CopyOut:
       case StreamOp::Kind::Marker:
@@ -110,7 +195,11 @@ std::size_t GraphExec::launch_count() const {
 }
 
 std::size_t GraphExec::copy_in_count() const {
-  return state_ ? state_->copy_in_nodes.size() : 0;
+  return state_ ? state_->copy_in_segments.size() : 0;
+}
+
+std::size_t GraphExec::copy_in_bursts() const {
+  return state_ ? state_->copy_in_nodes : 0;
 }
 
 LaunchPlan GraphExec::plan(std::size_t launch_index) const {
@@ -151,16 +240,17 @@ Event GraphExec::launch(Stream& stream, GraphUpdates updates) {
         info != nullptr ? info->reads.size() + info->writes.size() : 0);
   }
   for (const auto& [idx, data] : updates.copies_) {
-    if (idx >= state->copy_in_nodes.size()) {
+    if (idx >= state->copy_in_segments.size()) {
       throw Error("graph copy update names copy-in " + std::to_string(idx) +
                   " of a graph with " +
-                  std::to_string(state->copy_in_nodes.size()) + " copy-ins");
+                  std::to_string(state->copy_in_segments.size()) +
+                  " copy-ins");
     }
-    const auto& node = state->nodes[state->copy_in_nodes[idx]];
-    if (data.size() != node.data.size()) {
+    const auto& seg = state->copy_in_segments[idx];
+    if (data.size() != seg.words) {
       throw Error("graph copy update of " + std::to_string(data.size()) +
                   " words against a captured transfer of " +
-                  std::to_string(node.data.size()) +
+                  std::to_string(seg.words) +
                   " (staging extents are frozen at capture)");
     }
     rebind_us += HostCost::kCopyPrepUs;
@@ -177,12 +267,13 @@ Event GraphExec::launch(Stream& stream, GraphUpdates updates) {
   Scheduler::Command cmd;
   cmd.engine = EngineKind::None;
   cmd.event = event_state;
-  // One submission for the whole replay: the frozen-plan walk plus the
+  // One submission for the whole replay: the frozen-DAG walk plus the
   // requested rebinds is all the host-side work left.
   cmd.prep_us =
       static_cast<double>(state->nodes.size()) * HostCost::kReplayNodeUs +
       rebind_us;
 
+  std::uint32_t sub_base = 0;  // node index -> sub index offset
   if (!updates.empty()) {
     Scheduler::Command apply;
     apply.engine = EngineKind::None;
@@ -193,40 +284,59 @@ Event GraphExec::launch(Stream& stream, GraphUpdates updates) {
         state->dev->rebind(state->plans[idx], args);
       }
       for (auto& [idx, data] : updates.copies_) {
-        // Safe to steal: the composite runs once, then is destroyed.
-        state->nodes[state->copy_in_nodes[idx]].data = std::move(data);
+        const auto& seg = state->copy_in_segments[idx];
+        auto& payload = state->nodes[seg.node].op.data;
+        if (seg.offset == 0 && seg.words == payload.size()) {
+          // Safe to steal: the composite runs once, then is destroyed.
+          payload = std::move(data);
+        } else {
+          // The transfer fused into a burst: splice into its segment.
+          std::copy(data.begin(), data.end(),
+                    payload.begin() +
+                        static_cast<std::ptrdiff_t>(seg.offset));
+        }
       }
       return 0;
     };
     cmd.sub.push_back(std::move(apply));
+    sub_base = 1;
   }
 
   std::size_t plan_index = 0;
   for (std::size_t i = 0; i < state->nodes.size(); ++i) {
     Scheduler::Command sub;
-    switch (state->nodes[i].kind) {
+    // The frozen DAG's edges, for the timeline: each sub is ready when
+    // the nodes it depends on have finished (the executor still runs the
+    // topological capture order, which satisfies every edge).
+    for (const std::size_t d : state->nodes[i].deps) {
+      sub.after.push_back(static_cast<std::uint32_t>(d) + sub_base);
+    }
+    switch (state->nodes[i].op.kind) {
       case StreamOp::Kind::CopyIn: {
         sub.engine = EngineKind::Copy;
-        sub.words = state->nodes[i].data.size();
-        sub.channel = stream.channel();
+        sub.words = state->nodes[i].op.data.size();
+        // Each capture lane keeps its own modeled DMA channel at replay,
+        // anchored at the replaying stream's: independent lanes' copies
+        // overlap exactly as the captured streams' would have.
+        sub.channel = stream.channel() + state->nodes[i].lane;
         const std::uint64_t cycles =
-            staging_cycles(sub.words, state->staging_words_per_cycle);
+            dma_burst_cycles(sub.words, state->staging_words_per_cycle);
         sub.run = [state, i, cycles] {
           const auto& node = state->nodes[i];
-          state->dev->write_words(node.base, node.data);
+          state->dev->write_words(node.op.base, node.op.data);
           return cycles;
         };
         break;
       }
       case StreamOp::Kind::CopyOut: {
         sub.engine = EngineKind::Copy;
-        sub.words = state->nodes[i].count;
-        sub.channel = stream.channel();
+        sub.words = state->nodes[i].op.count;
+        sub.channel = stream.channel() + state->nodes[i].lane;
         const std::uint64_t cycles =
-            staging_cycles(sub.words, state->staging_words_per_cycle);
+            dma_burst_cycles(sub.words, state->staging_words_per_cycle);
         sub.run = [state, i, cycles] {
           const auto& node = state->nodes[i];
-          state->dev->read_words(node.base, {node.dst, node.count});
+          state->dev->read_words(node.op.base, {node.op.dst, node.op.count});
           return cycles;
         };
         break;

@@ -128,16 +128,35 @@ void Scheduler::account(const Node& node, std::uint64_t cycles,
   if (node.cmd.sub.empty()) {
     finish = price(node.cmd, ready, cycles);
   } else {
-    // Composite (graph replay): the sub-commands occupy the device
-    // engines exactly as their eager expansion would -- each chained
-    // behind its predecessor, the captured in-stream order -- but the
-    // host-side dispatch below is charged once for the whole replay.
+    // Composite (graph replay): walk the frozen DAG. Each sub-command is
+    // ready once the composite's own dependencies AND its captured `after`
+    // edges have finished, so independent branches of a cross-stream
+    // capture overlap on the engines (a copy on one channel under another
+    // channel's copy or the compute array) while the host-side dispatch
+    // below is charged once for the whole replay. A single-lane capture
+    // degenerates to the chain its eager expansion would have priced.
+    const double serial_before = serial_us_;
+    std::vector<double> sub_finish(node.cmd.sub.size(), ready);
     finish = ready;
     for (std::size_t i = 0; i < node.cmd.sub.size(); ++i) {
-      finish = price(node.cmd.sub[i], finish,
-                     i < sub_cycles.size() ? sub_cycles[i] : 0);
+      double sub_ready = ready;
+      for (const std::uint32_t dep : node.cmd.sub[i].after) {
+        if (dep < i) {  // instantiate() guarantees topological order
+          sub_ready = std::max(sub_ready, sub_finish[dep]);
+        }
+      }
+      sub_finish[i] = price(node.cmd.sub[i], sub_ready,
+                            i < sub_cycles.size() ? sub_cycles[i] : 0);
+      finish = std::max(finish, sub_finish[i]);
     }
     ++graph_replays_;
+    if (node.cmd.event) {
+      // Publish the replay's own modeled span (both pricings) on its
+      // event; the complete/failed store in loop() sequences these writes
+      // before any reader.
+      node.cmd.event->replay_serial_us = serial_us_ - serial_before;
+      node.cmd.event->replay_overlap_us = finish - ready;
+    }
   }
   finish_us_[node.ticket] = finish;
   finish_order_.push_back(node.ticket);

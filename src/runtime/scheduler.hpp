@@ -117,13 +117,20 @@ class Scheduler {
     /// (HostCost); folded into TimelineStats::dispatch_us.
     double prep_us = 0.0;
     /// Composite command (graph replay): a frozen sub-sequence executed in
-    /// order as ONE scheduler command. The parent carries the event, the
-    /// error slot, and the (once-only) dispatch cost; each sub-command is
-    /// priced on its own engine with the captured stream ordering, so the
-    /// replay occupies the device exactly like its eager expansion while
-    /// the host pays for a single submission. Sub-commands must not carry
-    /// events, error slots, or nested sub-sequences of their own.
+    /// (topological) order as ONE scheduler command. The parent carries the
+    /// event, the error slot, and the (once-only) dispatch cost; each
+    /// sub-command is priced on its own engine no earlier than its `after`
+    /// dependencies finish, so independent branches of a cross-stream
+    /// capture overlap on the modeled engines (DMA vs compute, channel vs
+    /// channel) while the host pays for a single submission. Sub-commands
+    /// must not carry events, error slots, or nested sub-sequences of
+    /// their own.
     std::vector<Command> sub;
+    /// Timeline dependencies of this sub-command: indices of earlier
+    /// entries in the owning composite's `sub` list (the frozen DAG's
+    /// edges). Empty = ready when the composite's own dependencies are.
+    /// Meaningless on top-level commands.
+    std::vector<std::uint32_t> after;
   };
 
   explicit Scheduler(Device& dev);
@@ -151,6 +158,11 @@ class Scheduler {
   void resume();
 
   TimelineStats timeline() const;
+
+  /// Liveness token shared with events (and graphs captured on this
+  /// device): expired once the scheduler is destroyed, so handles that
+  /// outlive the device can tell instead of dereferencing it.
+  std::weak_ptr<void> liveness() const { return liveness_; }
 
  private:
   struct Node {

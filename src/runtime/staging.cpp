@@ -114,6 +114,13 @@ std::uint64_t staging_cycles(std::uint64_t words, double words_per_cycle) {
       std::ceil(static_cast<double>(words) / words_per_cycle));
 }
 
+std::uint64_t dma_burst_cycles(std::uint64_t words, double words_per_cycle) {
+  if (words == 0) {
+    return 0;
+  }
+  return kDmaSetupCycles + staging_cycles(words, words_per_cycle);
+}
+
 PipelineModel model_pipeline(
     const std::vector<std::vector<RoundCost>>& rounds) {
   PipelineModel model;

@@ -94,4 +94,15 @@ std::uint64_t overlap_words(const RangeSet& a, const RangeSet& b);
 /// words cost zero).
 std::uint64_t staging_cycles(std::uint64_t words, double words_per_cycle);
 
+/// Fixed per-transfer cost of one stream-level DMA burst: descriptor setup,
+/// channel arbitration, and the first-beat latency a transfer pays no
+/// matter how short it is. This is what copy-in fusion amortizes -- N
+/// adjacent captured copy-ins pay N setups eagerly but one after they fuse
+/// into a single burst at Graph::instantiate() time.
+constexpr std::uint64_t kDmaSetupCycles = 16;
+
+/// Modeled cycles for one stream-level DMA burst: the fixed setup plus the
+/// streaming time. Zero words cost zero (no burst is issued).
+std::uint64_t dma_burst_cycles(std::uint64_t words, double words_per_cycle);
+
 }  // namespace simt::runtime

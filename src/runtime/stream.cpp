@@ -32,18 +32,32 @@ Event Stream::submit_op(StreamOp op) {
   {
     std::lock_guard<std::mutex> lock(submit_mutex_);
     if (capture_ != nullptr) {
-      // Capture sink: record the op as a graph node. Launches and markers
-      // hand back a captured-event handle (it names the node, resolves
-      // never); copies return a default Event like the eager path.
+      // Capture sink: record the op as a DAG node on this stream's lane.
+      // The node depends on this lane's previous node (in-stream order)
+      // plus any cross-lane edges wait() collected since. Launches and
+      // markers hand back a captured-event handle (it names the node,
+      // resolves never); copies return a default Event like the eager
+      // path.
+      const std::size_t index = capture_->nodes_.size();
       Event event;
       if (op.kind == StreamOp::Kind::Launch ||
           op.kind == StreamOp::Kind::Marker) {
         auto state = std::make_shared<EventState>();
         state->captured = true;
         state->capture_graph = capture_;
+        state->capture_node = index;
         event.state_ = std::move(state);
       }
-      capture_->nodes_.push_back(std::move(op));
+      GraphNode node;
+      node.op = std::move(op);
+      node.lane = capture_lane_;
+      node.deps = std::move(capture_deps_);
+      capture_deps_.clear();
+      if (capture_last_ != kNoNode) {
+        node.deps.push_back(capture_last_);
+      }
+      capture_->nodes_.push_back(std::move(node));
+      capture_last_ = index;
       return event;
     }
   }
@@ -57,7 +71,7 @@ Event Stream::submit_op(StreamOp op) {
       cmd.words = op.data.size();
       cmd.channel = channel_;
       cmd.prep_us = HostCost::kCopyPrepUs;
-      const std::uint64_t cycles = staging_cycles(
+      const std::uint64_t cycles = dma_burst_cycles(
           op.data.size(), dev_->descriptor().staging_words_per_cycle);
       cmd.run = [dev = dev_, base = op.base, payload = std::move(op.data),
                  cycles] {
@@ -71,7 +85,7 @@ Event Stream::submit_op(StreamOp op) {
       cmd.words = op.count;
       cmd.channel = channel_;
       cmd.prep_us = HostCost::kCopyPrepUs;
-      const std::uint64_t cycles = staging_cycles(
+      const std::uint64_t cycles = dma_burst_cycles(
           op.count, dev_->descriptor().staging_words_per_cycle);
       cmd.run = [dev = dev_, base = op.base, dst = op.dst, count = op.count,
                  cycles] {
@@ -140,13 +154,19 @@ Stream& Stream::wait(const Event& event) {
   {
     std::lock_guard<std::mutex> lock(submit_mutex_);
     if (capture_ != nullptr) {
-      // Within a capture the recorded order already serializes the nodes,
-      // so a wait on this capture's own events is a no-op; depending on
-      // live execution cannot be captured.
+      // A wait during capture is ordering metadata, never execution:
+      // depending on live execution cannot be captured. A same-lane event
+      // is a no-op (the recorded order already serializes the lane); an
+      // event recorded on ANOTHER lane of this capture becomes a DAG edge
+      // carried by this lane's next node.
       if (!event.state_ || !event.state_->captured ||
           event.state_->capture_graph != capture_) {
         throw Error("graph capture can only wait on events recorded in "
                     "the same capture");
+      }
+      const std::size_t node = event.state_->capture_node;
+      if (capture_->nodes_[node].lane != capture_lane_) {
+        capture_deps_.push_back(node);
       }
       return *this;
     }
@@ -172,15 +192,31 @@ void Stream::begin_capture(Graph& graph) {
   if (capture_ != nullptr) {
     throw Error("begin_capture on a stream that is already capturing");
   }
-  if (graph.capturing_) {
-    throw Error("begin_capture into a graph another stream is capturing");
+  if (graph.capturing_ != 0) {
+    // An open capture admits further streams -- of the capturing device
+    // only -- as additional DAG lanes.
+    if (graph.dev_ != dev_) {
+      throw Error("begin_capture into a graph capturing on another "
+                  "device: a capture's lanes must share one device");
+    }
+    capture_lane_ = graph.lanes_++;
+    ++graph.capturing_;
+  } else {
+    if (!graph.nodes_.empty()) {
+      throw Error("begin_capture into a non-empty graph; clear() it first");
+    }
+    graph.dev_ = dev_;
+    graph.capturing_ = 1;
+    graph.lanes_ = 1;
+    // Freeze the validity horizon: a mem_reset() or device teardown after
+    // this makes the capture uninstantiable (see Graph::instantiate).
+    graph.capture_alloc_gen_ = dev_->allocation_generation();
+    graph.dev_alive_ = sched_->liveness();
+    capture_lane_ = 0;
   }
-  if (!graph.nodes_.empty()) {
-    throw Error("begin_capture into a non-empty graph; clear() it first");
-  }
-  graph.dev_ = dev_;
-  graph.capturing_ = true;
   capture_ = &graph;
+  capture_last_ = kNoNode;
+  capture_deps_.clear();
 }
 
 void Stream::end_capture() {
@@ -188,8 +224,10 @@ void Stream::end_capture() {
   if (capture_ == nullptr) {
     throw Error("end_capture on a stream that is not capturing");
   }
-  capture_->capturing_ = false;
+  --capture_->capturing_;
   capture_ = nullptr;
+  capture_last_ = kNoNode;
+  capture_deps_.clear();
 }
 
 std::size_t Stream::pending() const {

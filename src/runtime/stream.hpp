@@ -21,10 +21,15 @@
 // stream records its commands into a runtime::Graph instead of executing
 // them -- both modes build the same StreamOp and diverge only at the sink
 // (see submit_op), so a serving pipeline is captured by running its
-// ordinary stream code once. During capture, synchronize() and waits on
-// live events throw, and the Events returned by launch()/record() are
-// graph-node handles that never resolve (Event::captured()). Capture is a
-// single-host-thread affair; concurrent submitters belong to eager mode.
+// ordinary stream code once. Capture is cross-stream: after a primary
+// stream opens a capture, other streams of the same device join it by
+// calling begin_capture on the same graph; each records onto its own DAG
+// lane, and wait() on an event captured on another lane records a
+// cross-lane dependency edge instead of throwing. During capture,
+// synchronize() and waits on live events throw, and the Events returned
+// by launch()/record() are graph-node handles that never resolve
+// (Event::captured()). Capture is a single-host-thread affair;
+// concurrent submitters belong to eager mode.
 #pragma once
 
 #include <cstdint>
@@ -105,15 +110,22 @@ class Stream {
 
   /// Order this stream's subsequent commands after another stream's launch
   /// (cross-stream dependency; a same-stream event is a no-op beyond the
-  /// ordering the stream already has).
+  /// ordering the stream already has). During capture, an event recorded
+  /// on another lane of the same capture becomes a DAG edge: this lane's
+  /// next node depends on the event's node.
   Stream& wait(const Event& event);
 
   // ---- graph capture -------------------------------------------------------
   /// Record subsequent commands into `graph` instead of executing them,
-  /// until end_capture(). The graph must be empty (clear() a used one) and
-  /// not already capturing; the stream must not be capturing either.
+  /// until end_capture(). On a graph no stream is capturing, this opens
+  /// the capture (the graph must be empty -- clear() a used one) with this
+  /// stream as lane 0. On a graph another stream OF THE SAME DEVICE is
+  /// already capturing, this stream joins the open capture as a new lane;
+  /// a stream of another device throws. The stream itself must not
+  /// already be capturing.
   void begin_capture(Graph& graph);
-  /// Stop recording; the graph is ready for Graph::instantiate().
+  /// Stop recording on this stream. The graph is ready for
+  /// Graph::instantiate() once every joined stream has ended its capture.
   void end_capture();
   bool capturing() const {
     std::lock_guard<std::mutex> lock(submit_mutex_);
@@ -153,6 +165,12 @@ class Stream {
   unsigned channel_;
   /// Capture sink: non-null between begin_capture and end_capture.
   Graph* capture_ = nullptr;
+  static constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+  unsigned capture_lane_ = 0;          ///< this stream's lane in the capture
+  std::size_t capture_last_ = kNoNode; ///< last node this lane recorded
+  /// Cross-lane edges collected by wait() since the last recorded node;
+  /// attached to this lane's next node.
+  std::vector<std::size_t> capture_deps_;
   /// Guards the submission bookkeeping (last_, live_) so host worker
   /// threads can enqueue concurrently.
   mutable std::mutex submit_mutex_;
