@@ -866,8 +866,11 @@ Stream& Device::stream() {
 
 Stream& Device::create_stream() {
   stream();  // streams_[0] stays the default stream
+  // Channels are spaced kChannelStride apart so graph replay can price
+  // each capture lane on its own channel within the replaying stream's
+  // reservation without aliasing another live stream's channel.
   streams_.push_back(std::make_unique<Stream>(
-      *this, static_cast<unsigned>(streams_.size())));
+      *this, static_cast<unsigned>(streams_.size()) * Stream::kChannelStride));
   return *streams_.back();
 }
 

@@ -43,11 +43,17 @@ void fold_stats(LaunchStats& agg, const LaunchStats& s) {
   agg.overlap_wall_us += s.overlap_wall_us;
 }
 
-/// Exact contiguity check for copy-in fusion: the two destination ranges
-/// union (no gap coalescing) into one range covering exactly the sum of
-/// their words -- adjacent, non-overlapping bursts.
+/// Exact contiguity check for copy-in fusion, directional: fusion appends
+/// the later copy's payload to the earlier burst and keeps the earlier
+/// base, so the later destination must start exactly where the earlier
+/// burst ends. A LOWER-adjacent destination also unions into one gapless
+/// range, but fusing it would replay the concatenated payload at the
+/// wrong base -- it stays its own burst.
 bool contiguous_destinations(std::uint32_t a_base, std::size_t a_words,
                              std::uint32_t b_base, std::size_t b_words) {
+  if (b_base != a_base + static_cast<std::uint32_t>(a_words)) {
+    return false;
+  }
   RangeSet a = RangeSet::from_sorted(
       {{a_base, a_base + static_cast<std::uint32_t>(a_words)}});
   RangeSet b = RangeSet::from_sorted(
@@ -316,9 +322,12 @@ Event GraphExec::launch(Stream& stream, GraphUpdates updates) {
         sub.engine = EngineKind::Copy;
         sub.words = state->nodes[i].op.data.size();
         // Each capture lane keeps its own modeled DMA channel at replay,
-        // anchored at the replaying stream's: independent lanes' copies
-        // overlap exactly as the captured streams' would have.
-        sub.channel = stream.channel() + state->nodes[i].lane;
+        // drawn from the replaying stream's kChannelStride reservation:
+        // independent lanes' copies overlap exactly as the captured
+        // streams' would have, without aliasing another live stream's
+        // channel.
+        sub.channel = stream.channel() +
+                      std::min(state->nodes[i].lane, Stream::kChannelStride - 1);
         const std::uint64_t cycles =
             dma_burst_cycles(sub.words, state->staging_words_per_cycle);
         sub.run = [state, i, cycles] {
@@ -331,7 +340,8 @@ Event GraphExec::launch(Stream& stream, GraphUpdates updates) {
       case StreamOp::Kind::CopyOut: {
         sub.engine = EngineKind::Copy;
         sub.words = state->nodes[i].op.count;
-        sub.channel = stream.channel() + state->nodes[i].lane;
+        sub.channel = stream.channel() +
+                      std::min(state->nodes[i].lane, Stream::kChannelStride - 1);
         const std::uint64_t cycles =
             dma_burst_cycles(sub.words, state->staging_words_per_cycle);
         sub.run = [state, i, cycles] {

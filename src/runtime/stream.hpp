@@ -53,8 +53,17 @@ namespace simt::runtime {
 
 class Stream {
  public:
+  /// Modeled DMA channels reserved per stream: a stream's eager copies use
+  /// `channel()` itself, and graph replay prices lane L's copies on
+  /// `channel() + min(L, kChannelStride - 1)`. Device spaces stream
+  /// channels this far apart so a replay's lane channels can never alias
+  /// another live stream's channel (captures wider than the stride share
+  /// the last lane channel -- conservative, never cross-stream).
+  static constexpr unsigned kChannelStride = 16;
+
   /// `channel` is the modeled staging channel this stream's copies occupy
-  /// (Device hands each stream its own; see Scheduler::Command::channel).
+  /// (Device hands each stream its own kChannelStride-spaced channel; see
+  /// Scheduler::Command::channel).
   explicit Stream(Device& dev, unsigned channel = 0)
       : dev_(&dev), sched_(&dev.scheduler()), channel_(channel) {}
 
@@ -126,6 +135,11 @@ class Stream {
   void begin_capture(Graph& graph);
   /// Stop recording on this stream. The graph is ready for
   /// Graph::instantiate() once every joined stream has ended its capture.
+  /// A cross-lane wait() edge attaches to this lane's NEXT recorded node;
+  /// if the lane records nothing after the wait, the trailing edge is
+  /// discarded here -- the same eager semantics where a trailing wait
+  /// with no subsequent command orders nothing. Record a marker after the
+  /// wait to keep the edge in the graph.
   void end_capture();
   bool capturing() const {
     std::lock_guard<std::mutex> lock(submit_mutex_);

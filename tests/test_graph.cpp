@@ -604,6 +604,49 @@ TEST(GraphDag, FusionMergesContiguousCopyIns) {
   EXPECT_EQ(gapped.instantiate().copy_in_bursts(), 2u);
 }
 
+TEST(GraphDag, DescendingAdjacentCopyInsDoNotFuse) {
+  constexpr unsigned kN = 24;
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  auto a = dev.alloc<std::uint32_t>(kN);  // adjacent: a sits just below b
+  auto b = dev.alloc<std::uint32_t>(kN);
+  auto c = dev.alloc<std::uint32_t>(kN);
+  const auto vecadd = dev.load_module(kernels::vecadd_abi()).kernel("vecadd");
+  auto& stream = dev.stream();
+
+  std::vector<std::uint32_t> ha(kN), hb(kN);
+  std::iota(ha.begin(), ha.end(), 10u);
+  std::iota(hb.begin(), hb.end(), 500u);
+  std::vector<std::uint32_t> result(kN);
+
+  // Capture writes the HIGHER range first, then the lower-adjacent one.
+  // The destinations union into one gapless range, but a fused burst
+  // keeps the earlier node's base, so fusing here would replay the
+  // concatenated payload at b's base and corrupt both buffers. Fusion
+  // is directional: this capture must stay two bursts.
+  Graph graph;
+  stream.begin_capture(graph);
+  stream.copy_in(b, std::span<const std::uint32_t>(hb));
+  stream.copy_in(a, std::span<const std::uint32_t>(ha));
+  stream.launch(vecadd, kN, KernelArgs().arg(a).arg(b).arg(c));
+  stream.copy_out(c, std::span<std::uint32_t>(result));
+  stream.end_capture();
+
+  auto exec = graph.instantiate();
+  EXPECT_EQ(exec.copy_in_count(), 2u);
+  EXPECT_EQ(exec.copy_in_bursts(), 2u);  // lower-adjacent: no fusion
+  exec.launch(stream).wait();
+  for (unsigned i = 0; i < kN; ++i) {
+    ASSERT_EQ(result[i], ha[i] + hb[i]) << i;
+  }
+
+  // Rebinds still address each transfer independently.
+  std::vector<std::uint32_t> na(kN, 7);
+  exec.launch(stream, GraphUpdates().copy_in(1, na)).wait();
+  for (unsigned i = 0; i < kN; ++i) {
+    ASSERT_EQ(result[i], na[i] + hb[i]) << i;
+  }
+}
+
 TEST(GraphDag, CorruptedForwardEdgeRejected) {
   Device dev(DeviceDescriptor::simt_core(small_cfg()));
   auto& stream = dev.stream();
