@@ -1,0 +1,291 @@
+// Chaos bench: a seeded fault storm against the serving tier at 80% of
+// measured saturation. Four devices serve plan-cached graph replays while a
+// deterministic FaultInjector storm rains transients, corruption, and
+// modeled stalls on three of them, and the fourth reboots mid-run through a
+// sticky-fault quarantine. The point of the bench is the recovery ledger:
+//
+//   GATE 1: zero accepted-request loss. Every submitted request resolves
+//           Ok with golden-checked output (out = 3*in + 5) -- transients
+//           are retried with backoff, corruption is caught by the plan's
+//           verify hook and retried, sticky faults fail over.
+//   GATE 2: every ticket resolves -- nothing hangs, nothing deadlocks,
+//           no deadline fires (deadlines are armed but generous).
+//   GATE 3: bounded tail: p99 request latency stays under 1 second even
+//           mid-storm.
+//   GATE 4: at least one device completes the full health round-trip
+//           Quarantined -> Probation -> (canary replay) -> Healthy.
+//
+// Results land in BENCH_chaos.json. The deterministic counters
+// (chaos_requests / chaos_lost / chaos_failed / chaos_deadline_failures /
+// chaos_readmitted) are exact-match gated against the checked-in baseline;
+// host-timing and routing-dependent metrics are --skip'd in CI.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/bench_json.hpp"
+#include "common/faults.hpp"
+#include "common/rng.hpp"
+#include "kernels/kernels.hpp"
+#include "runtime/device.hpp"
+
+namespace {
+
+using namespace simt;
+using Clock = std::chrono::steady_clock;
+
+constexpr unsigned kN = 256;
+constexpr std::uint64_t kStormSeed = 0x950c4a05;
+
+core::CoreConfig core_cfg() {
+  core::CoreConfig cfg;
+  cfg.max_threads = 128;
+  cfg.shared_mem_words = 2048;
+  return cfg;
+}
+
+std::vector<runtime::DeviceDescriptor> make_devices(unsigned n) {
+  return std::vector<runtime::DeviceDescriptor>(
+      n, runtime::DeviceDescriptor::simt_core(core_cfg()));
+}
+
+/// One golden-checkable plan; the verify hook is the corruption tripwire.
+void register_scale(cluster::DeviceCluster& c) {
+  cluster::PlanSpec spec;
+  spec.name = "scale";
+  spec.source = kernels::scale_abi();
+  spec.kernel = "scale";
+  spec.threads = kN;
+  spec.args = {cluster::PlanArg::input(kN), cluster::PlanArg::output(kN),
+               cluster::PlanArg::immediate(3), cluster::PlanArg::immediate(5)};
+  spec.verify = [](std::span<const std::uint32_t> payload,
+                   const std::vector<cluster::ScalarOverride>&,
+                   std::span<const std::uint32_t> output) {
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      if (output[i] != payload[i] * 3 + 5) {
+        return false;
+      }
+    }
+    return true;
+  };
+  c.register_plan(spec);
+}
+
+std::vector<std::uint32_t> payload_for(unsigned r) {
+  std::vector<std::uint32_t> p(kN);
+  for (unsigned i = 0; i < kN; ++i) {
+    p[i] = r * 877 + i;
+  }
+  return p;
+}
+
+/// Fault-free closed-loop saturation: the denominator for the storm rate.
+double saturation_qps(unsigned requests) {
+  cluster::ClusterConfig cfg;
+  cfg.queue_capacity = requests + 8;
+  cluster::DeviceCluster c(make_devices(4), cfg);
+  register_scale(c);
+  const auto t0 = Clock::now();
+  std::vector<cluster::ClusterTicket> tickets;
+  tickets.reserve(requests);
+  for (unsigned r = 0; r < requests; ++r) {
+    tickets.push_back(c.submit("web", "scale", payload_for(r)));
+  }
+  c.drain();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (auto& t : tickets) {
+    if (t.status() != cluster::RequestStatus::Ok) {
+      std::fprintf(stderr, "FAIL: fault-free warmup request resolved %s\n",
+                   cluster::to_string(t.status()));
+      std::exit(1);
+    }
+  }
+  return static_cast<double>(requests) / secs;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1) + 0.5);
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned requests = 160;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      requests = 64;
+    }
+  }
+
+  BenchReport report("chaos");
+  report.note("workload",
+              "4-device scale tier, seeded fault storm at 80% saturation: "
+              "transient/corrupt/stall on devices 1-3, sticky reboot on "
+              "device 0");
+
+  // ---- phase 1: measure the fault-free saturation rate ---------------------
+  const double sat = saturation_qps(requests);
+  std::printf("== Chaos: fault-free saturation %0.f req/s (wall) ==\n", sat);
+  report.metric("chaos_sat_wall_qps", sat);
+
+  // ---- phase 2: the storm --------------------------------------------------
+  // Device 0 survives some traffic, then throws exactly two sticky faults
+  // (one quarantines it mid-storm, one re-quarantines it out of the first
+  // canary probe) and is healed afterwards: the Quarantined -> Probation ->
+  // Healthy round-trip is part of the measured run. Devices 1-3 draw
+  // low-probability transients, payload corruption, and 200us stalls from
+  // the shared spec, each under its own per-device seed.
+  std::vector<runtime::DeviceDescriptor> descs = make_devices(4);
+  descs[0].faults = faults::FaultInjector::from_spec(
+      "launch:sticky:after=6:limit=2", kStormSeed);
+
+  cluster::ClusterConfig cfg;
+  cfg.queue_capacity = requests + 8;
+  cfg.fault_spec =
+      "launch:transient:p=0.02;copy_out:corrupt:p=0.01;"
+      "launch:stall=200us:p=0.05";
+  cfg.fault_seed = kStormSeed;
+  cfg.default_deadline_us = 5'000'000;  // generous: armed, never the cause
+  cfg.max_retries = 8;
+  cfg.retry_backoff_us = 100;
+  cfg.retry_backoff_cap_us = 2000;
+  cfg.quarantine_after = 3;
+  cfg.probation_delay_us = 2000;
+  cluster::DeviceCluster c(std::move(descs), cfg);
+  register_scale(c);
+
+  std::printf("== Storm: %u requests at 80%% saturation ==\n", requests);
+  Xoshiro256 gaps(kStormSeed);
+  const double mean_gap_us = 1e6 / (0.8 * sat);
+  std::vector<cluster::ClusterTicket> tickets;
+  tickets.reserve(requests);
+  const auto t0 = Clock::now();
+  for (unsigned r = 0; r < requests; ++r) {
+    tickets.push_back(c.submit("web", "scale", payload_for(r)));
+    const double gap = -std::log(1.0 - gaps.next_double()) * mean_gap_us;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(gap)));
+  }
+  c.drain();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  // Post-drain, wait (bounded) for device 0 to finish its probation
+  // round-trip -- the watchdog probes on its own clock.
+  const auto heal_deadline = Clock::now() + std::chrono::seconds(10);
+  while (c.health(0) != cluster::DeviceHealth::Healthy &&
+         Clock::now() < heal_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // ---- the recovery ledger -------------------------------------------------
+  std::uint64_t lost = 0;
+  std::uint64_t unresolved = 0;
+  std::vector<double> lat;
+  lat.reserve(requests);
+  for (unsigned r = 0; r < requests; ++r) {
+    if (tickets[r].status() == cluster::RequestStatus::Pending) {
+      ++unresolved;
+      continue;
+    }
+    if (tickets[r].status() != cluster::RequestStatus::Ok) {
+      std::fprintf(stderr, "  lost request %u: %s\n", r,
+                   cluster::to_string(tickets[r].status()));
+      ++lost;
+      continue;
+    }
+    const auto got = tickets[r].result();
+    const auto want = payload_for(r);
+    for (unsigned i = 0; i < kN; ++i) {
+      if (got[i] != want[i] * 3 + 5) {
+        std::fprintf(stderr, "  corrupted request %u slipped the verify\n", r);
+        ++lost;
+        break;
+      }
+    }
+    lat.push_back(tickets[r].latency_us());
+  }
+
+  const auto stats = c.stats();
+  const double p50 = percentile(lat, 0.50);
+  const double p99 = percentile(lat, 0.99);
+  std::printf(
+      "  %u requests in %.2fs: %llu retried, %llu corruption caught, "
+      "%llu quarantines, %llu probations, %llu readmitted\n",
+      requests, secs, static_cast<unsigned long long>(stats.retried),
+      static_cast<unsigned long long>(stats.corruption_detected),
+      static_cast<unsigned long long>(stats.quarantined),
+      static_cast<unsigned long long>(stats.probations),
+      static_cast<unsigned long long>(stats.readmitted));
+  std::printf("  p50 %.0f us, p99 %.0f us, lost %llu, unresolved %llu, "
+              "deadline failures %llu\n",
+              p50, p99, static_cast<unsigned long long>(lost),
+              static_cast<unsigned long long>(unresolved),
+              static_cast<unsigned long long>(stats.deadline_failures));
+
+  // Deterministic counters: exact-match gated against the baseline.
+  report.metric("chaos_requests", static_cast<std::uint64_t>(requests));
+  report.metric("chaos_lost", lost);
+  report.metric("chaos_unresolved", unresolved);
+  report.metric("chaos_failed", stats.failed);
+  report.metric("chaos_deadline_failures", stats.deadline_failures);
+  report.metric("chaos_readmitted", stats.readmitted);
+  // Routing- and timing-dependent: reported for humans, --skip'd in CI.
+  report.metric("chaos_retried", stats.retried);
+  report.metric("chaos_corruption_detected", stats.corruption_detected);
+  report.metric("chaos_quarantined", stats.quarantined);
+  report.metric("chaos_probations", stats.probations);
+  report.metric("chaos_storm_wall_qps", static_cast<double>(requests) / secs);
+  report.metric("chaos_p50_us", p50);
+  report.metric("chaos_p99_us", p99);
+
+  bool pass = true;
+  if (lost != 0 || stats.failed != 0) {
+    std::fprintf(stderr, "FAIL: %llu accepted requests lost in the storm\n",
+                 static_cast<unsigned long long>(lost + stats.failed));
+    pass = false;
+  }
+  if (unresolved != 0) {
+    std::fprintf(stderr, "FAIL: %llu tickets never resolved\n",
+                 static_cast<unsigned long long>(unresolved));
+    pass = false;
+  }
+  if (stats.deadline_failures != 0) {
+    std::fprintf(stderr, "FAIL: generous deadlines must not fire (got %llu)\n",
+                 static_cast<unsigned long long>(stats.deadline_failures));
+    pass = false;
+  }
+  if (p99 >= 1e6) {
+    std::fprintf(stderr, "FAIL: p99 %.0f us breaches the 1s storm bound\n",
+                 p99);
+    pass = false;
+  }
+  if (c.health(0) != cluster::DeviceHealth::Healthy ||
+      stats.readmitted < 1) {
+    std::fprintf(stderr,
+                 "FAIL: device 0 never completed the probation round-trip "
+                 "(health %s, readmitted %llu)\n",
+                 cluster::to_string(c.health(0)),
+                 static_cast<unsigned long long>(stats.readmitted));
+    pass = false;
+  }
+  if (!pass) {
+    return 1;
+  }
+
+  if (!report.write()) {
+    return 1;
+  }
+  std::printf("\nPASS\n");
+  return 0;
+}

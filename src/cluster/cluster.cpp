@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "runtime/stream.hpp"
 
 namespace simt::cluster {
@@ -26,6 +27,33 @@ const char* to_string(RequestStatus s) {
   }
   return "?";
 }
+
+const char* to_string(DeviceHealth h) {
+  switch (h) {
+    case DeviceHealth::Healthy:
+      return "healthy";
+    case DeviceHealth::Degraded:
+      return "degraded";
+    case DeviceHealth::Quarantined:
+      return "quarantined";
+    case DeviceHealth::Probation:
+      return "probation";
+    case DeviceHealth::Unplugged:
+      return "unplugged";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Routable = takes new traffic.
+bool routable(DeviceHealth h) {
+  return h == DeviceHealth::Healthy || h == DeviceHealth::Degraded;
+}
+
+constexpr auto kNoDeadline = Clock::time_point::max();
+
+}  // namespace
 
 // ---- ClusterTicket ----------------------------------------------------------
 
@@ -56,6 +84,16 @@ void ClusterTicket::wait() const {
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->cv.wait(lock,
                   [&] { return state_->status != RequestStatus::Pending; });
+}
+
+bool ClusterTicket::wait_for(std::chrono::microseconds timeout) const {
+  if (!state_) {
+    throw Error("wait_for() on an invalid ClusterTicket");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, timeout, [&] {
+    return state_->status != RequestStatus::Pending;
+  });
 }
 
 RequestStatus ClusterTicket::status() const {
@@ -126,6 +164,9 @@ struct DeviceCluster::Request {
   std::vector<ScalarOverride> scalars;
   std::shared_ptr<ClusterTicket::State> ticket;
   Clock::time_point submitted{};
+  Clock::time_point deadline = kNoDeadline;
+  Clock::time_point not_before{};  ///< backoff: dispatch no earlier
+  int priority = 0;
   unsigned retries = 0;
   std::uint64_t admit_seq = 0;   ///< admission order (shed-oldest key)
   double routed_est = 0.0;       ///< est_us charged to the routed device
@@ -151,6 +192,17 @@ struct DeviceCluster::PlanEntry {
   double est_us = 1.0;  ///< modeled cost of one replay (routing weight)
   std::vector<Slot> slots;
   std::size_t next_slot = 0;
+  /// Probation canary: a deterministic payload and the golden output it
+  /// produced at registration (fault injection disarmed). Re-admission
+  /// requires the probe replay to reproduce it bit-exact.
+  std::vector<std::uint32_t> canary_in;
+  std::vector<std::uint32_t> canary_golden;
+  /// The spec's verify hook, copied here so the completion path needs no
+  /// registry lookup.
+  std::function<bool(std::span<const std::uint32_t>,
+                     const std::vector<ScalarOverride>&,
+                     std::span<const std::uint32_t>)>
+      verify;
 };
 
 struct DeviceCluster::DeviceState {
@@ -160,10 +212,22 @@ struct DeviceCluster::DeviceState {
   std::thread worker;
   std::condition_variable cv;  ///< paired with DeviceCluster::mu_
   std::deque<Request> queue;   ///< routed, not yet issued
-  bool alive = true;
+  DeviceHealth health = DeviceHealth::Healthy;
+  unsigned consecutive_faults = 0;  ///< transients since the last success
+  Clock::time_point quarantined_at{};
+  bool probe_pending = false;  ///< watchdog asked the worker to probe
   std::uint64_t inflight = 0;  ///< busy replay slots
   double outstanding_us = 0.0; ///< modeled work routed but not completed
   double busy_us = 0.0;        ///< modeled time spent on completed replays
+  /// Watchdog's view of in-flight work: (ticket, deadline) per busy slot,
+  /// maintained under mu_ (the slots themselves are worker-thread state).
+  struct Inflight {
+    std::shared_ptr<ClusterTicket::State> ticket;
+    Clock::time_point deadline = kNoDeadline;
+    Clock::time_point submitted{};
+    unsigned retries = 0;
+  };
+  std::deque<Inflight> inflight_reqs;
   std::unordered_map<std::string, PlanEntry> plans;
   /// Lazily created per-tenant streams (worker thread only); raw pointers
   /// into the device's stream table, which lives as long as the device.
@@ -197,6 +261,16 @@ rt::KernelArgs build_args(const std::vector<rt::KernelArgs::Value>& recipe,
   return args;
 }
 
+/// Re-arm the injectors that were armed before a disarmed section.
+struct DisarmGuard {
+  std::vector<faults::FaultInjector*> rearm;
+  ~DisarmGuard() {
+    for (auto* f : rearm) {
+      f->arm();
+    }
+  }
+};
+
 }  // namespace
 
 // ---- DeviceCluster ----------------------------------------------------------
@@ -210,12 +284,24 @@ DeviceCluster::DeviceCluster(std::vector<rt::DeviceDescriptor> descs,
   if (cfg_.replay_depth == 0) {
     cfg_.replay_depth = 1;
   }
+  if (!cfg_.fault_spec.empty()) {
+    // Attach a per-device injector to every descriptor that does not
+    // already carry one: same plan, device-decorrelated seed streams.
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+      if (!descs[i].faults) {
+        descs[i].faults = faults::FaultInjector::from_spec(
+            cfg_.fault_spec,
+            cfg_.fault_seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+      }
+    }
+  }
   devices_.reserve(descs.size());
   for (auto& d : descs) {
     devices_.push_back(std::make_unique<DeviceState>(std::move(d)));
   }
   stats_.per_device_completed.assign(devices_.size(), 0);
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  watchdog_ = std::thread([this] { watchdog_loop(); });
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     devices_[i]->worker = std::thread([this, i] { worker_loop(i); });
   }
@@ -228,11 +314,15 @@ DeviceCluster::~DeviceCluster() {
   }
   admit_cv_.notify_all();
   space_cv_.notify_all();
+  watch_cv_.notify_all();
   for (auto& d : devices_) {
     d->cv.notify_all();
   }
   if (dispatcher_.joinable()) {
     dispatcher_.join();
+  }
+  if (watchdog_.joinable()) {
+    watchdog_.join();
   }
   for (auto& d : devices_) {
     if (d->worker.joinable()) {
@@ -254,6 +344,10 @@ DeviceCluster::~DeviceCluster() {
     }
     q.clear();
   }
+  for (auto& req : delayed_) {
+    finish_locked(req, RequestStatus::Failed, {}, "cluster shut down", -1);
+  }
+  delayed_.clear();
   tenant_ring_.clear();
   queued_ = 0;
 }
@@ -279,16 +373,28 @@ void DeviceCluster::register_plan(const PlanSpec& spec) {
                 "' needs exactly one Input and one Output argument");
   }
 
+  // Registration traffic (warmup, canary golden) must neither trip a fault
+  // nor consume trigger indices -- the armed-phase fault sequence stays
+  // identical whether or not plans were (re-)registered first.
+  DisarmGuard guard;
+  for (auto& d : devices_) {
+    if (auto* f = d->dev.fault_injector(); f != nullptr && f->armed()) {
+      f->disarm();
+      guard.rearm.push_back(f);
+    }
+  }
+
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     auto& d = *devices_[i];
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!d.alive) {
+      if (!routable(d.health)) {
         continue;  // quarantined / unplugged devices take no plans
       }
     }
     PlanEntry entry;
     entry.slots.resize(cfg_.replay_depth);
+    entry.verify = spec.verify;
 
     // Load + bind on this device. The module cache absorbs duplicate
     // sources across plans and re-registrations.
@@ -362,6 +468,20 @@ void DeviceCluster::register_plan(const PlanSpec& spec) {
         stats.overlap_wall_us > 0.0 ? stats.overlap_wall_us : stats.wall_us,
         1e-3);
 
+    // Canary: a deterministic payload replayed once more, its output kept
+    // as the golden the probation probe must reproduce bit-exact.
+    entry.canary_in.resize(entry.in_words);
+    SplitMix64 g(0x950c0de ^ static_cast<std::uint64_t>(i));
+    for (auto& w : entry.canary_in) {
+      w = static_cast<std::uint32_t>(g.next());
+    }
+    rt::GraphUpdates canary_updates;
+    canary_updates.copy_in(0, entry.canary_in);
+    auto canary =
+        entry.slots[0].exec.launch(capture_stream, std::move(canary_updates));
+    canary.wait();
+    entry.canary_golden = entry.slots[0].host_out;
+
     std::lock_guard<std::mutex> lock(mu_);
     d.plans[spec.name] = std::move(entry);
   }
@@ -373,7 +493,8 @@ void DeviceCluster::register_plan(const PlanSpec& spec) {
 ClusterTicket DeviceCluster::submit(std::string_view tenant,
                                     std::string_view plan,
                                     std::span<const std::uint32_t> payload,
-                                    std::vector<ScalarOverride> scalars) {
+                                    std::vector<ScalarOverride> scalars,
+                                    SubmitOptions opts) {
   ClusterTicket ticket;
   ticket.state_ = std::make_shared<ClusterTicket::State>();
 
@@ -384,6 +505,12 @@ ClusterTicket DeviceCluster::submit(std::string_view tenant,
   req.scalars = std::move(scalars);
   req.ticket = ticket.state_;
   req.submitted = Clock::now();
+  req.priority = opts.priority;
+  const std::int64_t deadline_us =
+      opts.deadline_us < 0 ? cfg_.default_deadline_us : opts.deadline_us;
+  if (deadline_us > 0) {
+    req.deadline = req.submitted + std::chrono::microseconds(deadline_us);
+  }
 
   std::unique_lock<std::mutex> lock(mu_);
 
@@ -413,7 +540,7 @@ ClusterTicket DeviceCluster::submit(std::string_view tenant,
     return ticket;
   }
 
-  if (queued_ >= cfg_.queue_capacity) {
+  if (queued_ >= cfg_.queue_capacity && !brownout_shed_locked(req.priority)) {
     switch (cfg_.policy) {
       case OverloadPolicy::Reject:
         finish_locked(req, RequestStatus::Rejected, {}, "admission queue full",
@@ -422,11 +549,27 @@ ClusterTicket DeviceCluster::submit(std::string_view tenant,
       case OverloadPolicy::ShedOldest:
         shed_oldest_locked();
         break;
-      case OverloadPolicy::Block:
-        space_cv_.wait(lock, [&] {
+      case OverloadPolicy::Block: {
+        const auto space = [&] {
           return stopping_ || alive_count_locked() == 0 ||
                  queued_ < cfg_.queue_capacity;
-        });
+        };
+        bool woke = true;
+        if (req.deadline != kNoDeadline) {
+          woke = space_cv_.wait_until(lock, req.deadline, space);
+        } else {
+          space_cv_.wait(lock, space);
+        }
+        if (!woke) {
+          // Never admitted: the deadline expired while blocked. Failed,
+          // but not accepted -- in_system_ was never incremented.
+          ++stats_.deadline_failures;
+          finish_locked(req, RequestStatus::Failed, {},
+                        "DeadlineExceeded: blocked at admission past the "
+                        "request deadline",
+                        -1, /*accepted=*/false);
+          return ticket;
+        }
         if (stopping_ || alive_count_locked() == 0) {
           finish_locked(req, RequestStatus::Rejected, {},
                         stopping_ ? "cluster shut down" : "no alive devices",
@@ -434,14 +577,19 @@ ClusterTicket DeviceCluster::submit(std::string_view tenant,
           return ticket;
         }
         break;
+      }
     }
   }
 
   ++stats_.accepted;
   ++in_system_;
   req.admit_seq = admit_seq_++;
+  const bool has_deadline = req.deadline != kNoDeadline;
   enqueue_locked(std::move(req), /*front=*/false);
   admit_cv_.notify_one();
+  if (has_deadline) {
+    watch_cv_.notify_all();  // the watchdog re-times against the new work
+  }
   return ticket;
 }
 
@@ -456,7 +604,7 @@ void DeviceCluster::unplug(std::size_t i) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!devices_[i]->alive) {
+    if (devices_[i]->health == DeviceHealth::Unplugged) {
       return;
     }
     retire_device_locked(i, /*fault=*/false);
@@ -471,12 +619,43 @@ bool DeviceCluster::alive(std::size_t i) const {
     return false;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  return devices_[i]->alive;
+  return routable(devices_[i]->health);
+}
+
+DeviceHealth DeviceCluster::health(std::size_t i) const {
+  if (i >= devices_.size()) {
+    throw Error("health: no device " + std::to_string(i));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return devices_[i]->health;
 }
 
 std::size_t DeviceCluster::alive_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return alive_count_locked();
+}
+
+faults::FaultInjector* DeviceCluster::fault_injector(std::size_t i) {
+  if (i >= devices_.size()) {
+    throw Error("fault_injector: no device " + std::to_string(i));
+  }
+  return devices_[i]->dev.fault_injector();
+}
+
+void DeviceCluster::arm_faults() {
+  for (auto& d : devices_) {
+    if (auto* f = d->dev.fault_injector()) {
+      f->arm();
+    }
+  }
+}
+
+void DeviceCluster::disarm_faults() {
+  for (auto& d : devices_) {
+    if (auto* f = d->dev.fault_injector()) {
+      f->disarm();
+    }
+  }
 }
 
 void DeviceCluster::pause() {
@@ -497,8 +676,10 @@ ClusterStats DeviceCluster::stats() const {
   ClusterStats out = stats_;
   out.queued = queued_;
   out.per_device_busy_us.reserve(devices_.size());
+  out.per_device_health.reserve(devices_.size());
   for (const auto& d : devices_) {
     out.per_device_busy_us.push_back(d->busy_us);
+    out.per_device_health.push_back(d->health);
   }
   return out;
 }
@@ -515,7 +696,7 @@ rt::Device& DeviceCluster::device(std::size_t i) {
 std::size_t DeviceCluster::alive_count_locked() const {
   std::size_t n = 0;
   for (const auto& d : devices_) {
-    n += d->alive;
+    n += routable(d->health);
   }
   return n;
 }
@@ -567,22 +748,81 @@ void DeviceCluster::shed_oldest_locked() {
                 -1);
 }
 
-void DeviceCluster::finish_locked(Request& req, RequestStatus status,
-                                  std::vector<std::uint32_t> output,
-                                  std::string error, int device) {
+bool DeviceCluster::brownout_shed_locked(int priority) {
+  if (cfg_.brownout_queue_delay_us == 0 || queued_ == 0) {
+    return false;
+  }
+  // Brownout trips only when the queue is genuinely stale: its oldest
+  // entry has waited past the threshold (a full-but-moving queue keeps
+  // the configured overload policy).
+  const auto now = Clock::now();
+  Clock::time_point oldest = now;
+  for (const auto& tenant : tenant_ring_) {
+    const auto& q = tenants_[tenant];
+    if (!q.empty()) {
+      oldest = std::min(oldest, q.front().submitted);
+    }
+  }
+  if (now - oldest < std::chrono::microseconds(cfg_.brownout_queue_delay_us)) {
+    return false;
+  }
+  // Shed the lowest-priority queued request (oldest among ties), but only
+  // if it is strictly lower-priority than the incoming one -- brownout
+  // reorders by importance, it never sheds peers for peers.
+  const std::string* victim_tenant = nullptr;
+  std::size_t victim_pos = 0;
+  int victim_prio = priority;
+  std::uint64_t victim_seq = ~0ull;
+  for (const auto& tenant : tenant_ring_) {
+    const auto& q = tenants_[tenant];
+    for (std::size_t p = 0; p < q.size(); ++p) {
+      const auto& r = q[p];
+      if (r.priority < victim_prio ||
+          (r.priority == victim_prio && victim_tenant != nullptr &&
+           r.admit_seq < victim_seq)) {
+        victim_tenant = &tenant;
+        victim_pos = p;
+        victim_prio = r.priority;
+        victim_seq = r.admit_seq;
+      }
+    }
+  }
+  if (victim_tenant == nullptr) {
+    return false;
+  }
+  auto& q = tenants_[*victim_tenant];
+  Request victim = std::move(q[victim_pos]);
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(victim_pos));
+  --queued_;
+  if (q.empty()) {
+    tenant_ring_.erase(
+        std::find(tenant_ring_.begin(), tenant_ring_.end(), *victim_tenant));
+  }
+  ++stats_.brownout_shed;
+  finish_locked(victim, RequestStatus::Shed,
+                {}, "brownout: shed for a higher-priority request", -1);
+  return true;
+}
+
+bool DeviceCluster::finish_ticket_locked(
+    const std::shared_ptr<ClusterTicket::State>& st, RequestStatus status,
+    std::vector<std::uint32_t> output, std::string error, int device,
+    Clock::time_point submitted, unsigned retries, bool accepted) {
   {
-    auto& st = *req.ticket;
-    std::lock_guard<std::mutex> lock(st.mu);
-    st.status = status;
-    st.output = std::move(output);
-    st.error = std::move(error);
-    st.latency_us =
-        std::chrono::duration<double, std::micro>(Clock::now() - req.submitted)
+    std::lock_guard<std::mutex> lock(st->mu);
+    if (st->status != RequestStatus::Pending) {
+      return false;  // the watchdog and the completion path may race here
+    }
+    st->status = status;
+    st->output = std::move(output);
+    st->error = std::move(error);
+    st->latency_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - submitted)
             .count();
-    st.device = device;
-    st.retries = req.retries;
-    st.seq = ++completion_seq_;
-    st.cv.notify_all();
+    st->device = device;
+    st->retries = retries;
+    st->seq = ++completion_seq_;
+    st->cv.notify_all();
   }
   switch (status) {
     case RequestStatus::Ok:
@@ -595,15 +835,16 @@ void DeviceCluster::finish_locked(Request& req, RequestStatus status,
       ++stats_.rejected;
       break;
     case RequestStatus::Shed:
-      break;  // counted at the shed site (stats_.shed)
+      break;  // counted at the shed site (stats_.shed / brownout_shed)
     case RequestStatus::Failed:
       ++stats_.failed;
       break;
     case RequestStatus::Pending:
       break;
   }
-  // Rejected requests were never accepted, so they are not in the system.
-  if (status != RequestStatus::Rejected && status != RequestStatus::Pending) {
+  // Rejected (and never-admitted) requests are not in the system.
+  if (accepted && status != RequestStatus::Rejected &&
+      status != RequestStatus::Pending) {
     if (in_system_ > 0) {
       --in_system_;
     }
@@ -611,13 +852,25 @@ void DeviceCluster::finish_locked(Request& req, RequestStatus status,
       drain_cv_.notify_all();
     }
   }
+  return true;
+}
+
+void DeviceCluster::finish_locked(Request& req, RequestStatus status,
+                                  std::vector<std::uint32_t> output,
+                                  std::string error, int device,
+                                  bool accepted) {
+  finish_ticket_locked(req.ticket, status, std::move(output),
+                       std::move(error), device, req.submitted, req.retries,
+                       accepted);
 }
 
 void DeviceCluster::retire_device_locked(std::size_t device, bool fault) {
   auto& d = *devices_[device];
-  d.alive = false;
+  d.health = fault ? DeviceHealth::Quarantined : DeviceHealth::Unplugged;
   if (fault) {
     ++stats_.quarantined;
+    d.quarantined_at = Clock::now();
+    watch_cv_.notify_all();  // start the probation timer
   }
   // Fail queued-but-unissued work over to the survivors: back to the front
   // of the admission queue (oldest last, so order is preserved), above the
@@ -637,10 +890,43 @@ void DeviceCluster::retire_device_locked(std::size_t device, bool fault) {
 void DeviceCluster::dispatcher_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    admit_cv_.wait(lock,
-                   [&] { return stopping_ || (!paused_ && queued_ > 0); });
+    const auto runnable = [&] {
+      return stopping_ || (!paused_ && queued_ > 0);
+    };
+    if (delayed_.empty()) {
+      // A retry parked into delayed_ must break this wait even though the
+      // admission queue is empty -- the next pass takes the timed branch.
+      admit_cv_.wait(lock, [&] { return runnable() || !delayed_.empty(); });
+    } else {
+      // Sleep only until the earliest backoff expires; a timeout is the
+      // signal to move due retries back into the admission queue. A new
+      // parked retry may carry an earlier deadline, so wake on growth too.
+      auto due = kNoDeadline;
+      for (const auto& r : delayed_) {
+        due = std::min(due, r.not_before);
+      }
+      const std::size_t parked = delayed_.size();
+      admit_cv_.wait_until(lock, due, [&] {
+        return runnable() || delayed_.size() != parked;
+      });
+    }
     if (stopping_) {
       return;
+    }
+    if (!delayed_.empty()) {
+      const auto now = Clock::now();
+      for (auto it = delayed_.begin(); it != delayed_.end();) {
+        if (it->not_before <= now) {
+          // A retry re-enters at the front, above the capacity bound.
+          enqueue_locked(std::move(*it), /*front=*/true);
+          it = delayed_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (paused_ || queued_ == 0) {
+      continue;
     }
 
     // Round-robin across tenants with queued work: take the front tenant's
@@ -662,21 +948,24 @@ void DeviceCluster::dispatcher_loop() {
     }
     space_cv_.notify_one();
 
-    // Route to the alive device with the least outstanding modeled work
+    // Route to the routable device with the least outstanding modeled work
     // including this request's own cost there (devices with cheaper
-    // backends bid lower and absorb proportionally more traffic).
+    // backends bid lower and absorb proportionally more traffic). A
+    // degraded device bids double: still in rotation, but traffic leans
+    // toward clean peers while it proves itself.
     int best = -1;
     double best_score = 0.0;
     for (std::size_t i = 0; i < devices_.size(); ++i) {
       auto& d = *devices_[i];
-      if (!d.alive) {
+      if (!routable(d.health)) {
         continue;
       }
       const auto plan = d.plans.find(req.plan);
       if (plan == d.plans.end()) {
         continue;
       }
-      const double score = d.outstanding_us + plan->second.est_us;
+      const double penalty = d.health == DeviceHealth::Degraded ? 2.0 : 1.0;
+      const double score = d.outstanding_us + plan->second.est_us * penalty;
       if (best < 0 || score < best_score) {
         best = static_cast<int>(i);
         best_score = score;
@@ -694,6 +983,131 @@ void DeviceCluster::dispatcher_loop() {
   }
 }
 
+// ---- watchdog ---------------------------------------------------------------
+
+void DeviceCluster::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    // Next timed event: the earliest request deadline anywhere in the
+    // system, or the earliest probation due-time. (In-flight entries whose
+    // tickets the watchdog already failed were removed from
+    // inflight_reqs, so they cannot re-trigger.)
+    auto next = kNoDeadline;
+    for (const auto& [tenant, q] : tenants_) {
+      for (const auto& r : q) {
+        next = std::min(next, r.deadline);
+      }
+    }
+    for (const auto& r : delayed_) {
+      next = std::min(next, r.deadline);
+    }
+    for (const auto& d : devices_) {
+      for (const auto& r : d->queue) {
+        next = std::min(next, r.deadline);
+      }
+      for (const auto& info : d->inflight_reqs) {
+        next = std::min(next, info.deadline);
+      }
+      if (cfg_.probation_delay_us > 0 &&
+          d->health == DeviceHealth::Quarantined && d->inflight == 0) {
+        next = std::min(
+            next, d->quarantined_at +
+                      std::chrono::microseconds(cfg_.probation_delay_us));
+      }
+    }
+    if (next == kNoDeadline) {
+      watch_cv_.wait(lock);  // until new timed work (or shutdown) arrives
+    } else {
+      watch_cv_.wait_until(lock, next);
+    }
+    if (stopping_) {
+      return;
+    }
+    const auto now = Clock::now();
+
+    // Expire overdue queued work (admission queues, backoff lot, device
+    // queues): remove and fail with the named error.
+    const char* overdue = "DeadlineExceeded: request deadline elapsed";
+    bool freed = false;
+    for (auto rit = tenant_ring_.begin(); rit != tenant_ring_.end();) {
+      auto& q = tenants_[*rit];
+      for (auto it = q.begin(); it != q.end();) {
+        if (it->deadline <= now) {
+          ++stats_.deadline_failures;
+          finish_locked(*it, RequestStatus::Failed, {}, overdue, -1);
+          it = q.erase(it);
+          --queued_;
+          freed = true;
+        } else {
+          ++it;
+        }
+      }
+      rit = q.empty() ? tenant_ring_.erase(rit) : rit + 1;
+    }
+    for (auto it = delayed_.begin(); it != delayed_.end();) {
+      if (it->deadline <= now) {
+        ++stats_.deadline_failures;
+        finish_locked(*it, RequestStatus::Failed, {}, overdue, -1);
+        it = delayed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      auto& d = *devices_[i];
+      for (auto it = d.queue.begin(); it != d.queue.end();) {
+        if (it->deadline <= now) {
+          d.outstanding_us -= it->routed_est;
+          ++stats_.deadline_failures;
+          finish_locked(*it, RequestStatus::Failed, {}, overdue,
+                        static_cast<int>(i));
+          it = d.queue.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      // Overdue in-flight work: the replay cannot be cancelled (it may be
+      // stalled inside the executor), but its ticket resolves NOW -- that
+      // is the no-hang guarantee. The worker discards the eventual result
+      // (finish_ticket_locked is first-writer-wins) and the device is
+      // flagged Degraded for taking too long.
+      for (auto it = d.inflight_reqs.begin(); it != d.inflight_reqs.end();) {
+        if (it->deadline <= now) {
+          if (finish_ticket_locked(
+                  it->ticket, RequestStatus::Failed, {},
+                  "DeadlineExceeded: in flight past the request deadline "
+                  "(hung or stalled replay)",
+                  static_cast<int>(i), it->submitted, it->retries,
+                  /*accepted=*/true)) {
+            ++stats_.deadline_failures;
+            if (d.health == DeviceHealth::Healthy) {
+              d.health = DeviceHealth::Degraded;
+            }
+          }
+          it = d.inflight_reqs.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      // Probation: a quarantined device that rested out its delay (and
+      // has no straggling in-flight replay) gets one canary probe.
+      if (cfg_.probation_delay_us > 0 &&
+          d.health == DeviceHealth::Quarantined && d.inflight == 0 &&
+          d.quarantined_at +
+                  std::chrono::microseconds(cfg_.probation_delay_us) <=
+              now) {
+        d.health = DeviceHealth::Probation;
+        d.probe_pending = true;
+        ++stats_.probations;
+        d.cv.notify_all();
+      }
+    }
+    if (freed) {
+      space_cv_.notify_all();
+    }
+  }
+}
+
 // ---- per-device workers -----------------------------------------------------
 
 void DeviceCluster::worker_loop(std::size_t device) {
@@ -701,10 +1115,18 @@ void DeviceCluster::worker_loop(std::size_t device) {
   while (true) {
     std::unique_lock<std::mutex> lock(mu_);
     d.cv.wait(lock, [&] {
-      return stopping_ || d.inflight > 0 || (d.alive && !d.queue.empty());
+      return stopping_ || d.probe_pending || d.inflight > 0 ||
+             (routable(d.health) && !d.queue.empty());
     });
 
-    if (d.alive && !d.queue.empty() && !stopping_) {
+    if (d.probe_pending && !stopping_) {
+      d.probe_pending = false;
+      lock.unlock();
+      probe_device(device);
+      continue;
+    }
+
+    if (routable(d.health) && !d.queue.empty() && !stopping_) {
       Request req = std::move(d.queue.front());
       d.queue.pop_front();
       lock.unlock();
@@ -737,8 +1159,8 @@ void DeviceCluster::worker_loop(std::size_t device) {
     if (stopping_) {
       return;
     }
-    // !alive with an empty local queue: unplug already failed the queued
-    // work over; sleep until shutdown (or a straggler completion).
+    // Unroutable with an empty local queue: the queued work already failed
+    // over; sleep until a probe, a straggler completion, or shutdown.
   }
 }
 
@@ -748,6 +1170,16 @@ void DeviceCluster::issue(std::size_t device, Request req) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     entry = &d.plans.find(req.plan)->second;
+    // Don't spend device time on a request that is already overdue (the
+    // watchdog may not have swept it out of the device queue yet).
+    if (req.deadline != kNoDeadline && req.deadline <= Clock::now()) {
+      d.outstanding_us -= req.routed_est;
+      ++stats_.deadline_failures;
+      finish_locked(req, RequestStatus::Failed, {},
+                    "DeadlineExceeded: request deadline elapsed",
+                    static_cast<int>(device));
+      return;
+    }
   }
   auto& slot = entry->slots[entry->next_slot];
   entry->next_slot = (entry->next_slot + 1) % entry->slots.size();
@@ -785,12 +1217,17 @@ void DeviceCluster::issue(std::size_t device, Request req) {
                   static_cast<int>(device));
     return;
   }
-  slot.req = std::move(req);
-  slot.busy = true;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++d.inflight;
+    d.inflight_reqs.push_back(
+        {req.ticket, req.deadline, req.submitted, req.retries});
+    if (req.deadline != kNoDeadline) {
+      watch_cv_.notify_all();
+    }
   }
+  slot.req = std::move(req);
+  slot.busy = true;
 }
 
 void DeviceCluster::complete_slot(std::size_t device, PlanEntry& entry,
@@ -799,12 +1236,19 @@ void DeviceCluster::complete_slot(std::size_t device, PlanEntry& entry,
   auto& slot = entry.slots[slot_index];
 
   std::string fault;
+  bool transient = false;
+  bool corruption = false;
   double modeled_us = 0.0;
   try {
     slot.event.wait();
     const auto& stats = slot.event.stats();
     modeled_us =
         stats.overlap_wall_us > 0.0 ? stats.overlap_wall_us : stats.wall_us;
+  } catch (const faults::TransientFault& e) {
+    // A recoverable injected fault: the request retries and the device
+    // degrades instead of quarantining.
+    fault = e.what();
+    transient = true;
   } catch (const std::exception& e) {
     fault = e.what();
     if (fault.empty()) {
@@ -817,32 +1261,152 @@ void DeviceCluster::complete_slot(std::size_t device, PlanEntry& entry,
   slot.busy = false;
   slot.event = rt::Event{};
 
+  if (fault.empty() && entry.verify) {
+    // Output verification: a corrupted result is handled like a transient
+    // fault -- retried elsewhere, device degraded -- plus the corruption
+    // counter (the chaos bench's detection signal).
+    if (!entry.verify(req.payload, req.scalars, slot.host_out)) {
+      fault = "output verification failed (corrupted result)";
+      transient = true;
+      corruption = true;
+    }
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   --d.inflight;
   d.outstanding_us -= req.routed_est;
   req.routed_est = 0.0;
+  for (auto it = d.inflight_reqs.begin(); it != d.inflight_reqs.end(); ++it) {
+    if (it->ticket == req.ticket) {
+      d.inflight_reqs.erase(it);
+      break;
+    }
+  }
+  if (corruption) {
+    ++stats_.corruption_detected;
+  }
+  bool expired;
+  {
+    // The watchdog may have already failed this ticket (deadline while in
+    // flight). The result -- success or fault -- is then discarded: the
+    // caller was told, and a retry would outlive the request's deadline.
+    std::lock_guard<std::mutex> tl(req.ticket->mu);
+    expired = req.ticket->status != RequestStatus::Pending;
+  }
 
   if (fault.empty()) {
     d.busy_us += modeled_us;
-    finish_locked(req, RequestStatus::Ok, slot.host_out, "",
-                  static_cast<int>(device));
+    // A clean replay decays the health machine: Degraded heals back to
+    // Healthy, the consecutive-transient count restarts.
+    d.consecutive_faults = 0;
+    if (d.health == DeviceHealth::Degraded) {
+      d.health = DeviceHealth::Healthy;
+    }
+    if (!expired) {
+      finish_locked(req, RequestStatus::Ok, slot.host_out, "",
+                    static_cast<int>(device));
+    }
     return;
   }
 
-  // Sticky fault: quarantine the device (its queued work fails over) and
-  // retry the faulted request elsewhere.
-  if (d.alive) {
+  // Health bookkeeping. Transient: Healthy -> Degraded, quarantining only
+  // after cfg_.quarantine_after consecutive transients. Anything else is
+  // a hard fault: quarantine now (the pre-health-machine behavior).
+  if (transient) {
+    ++d.consecutive_faults;
+    if (d.health == DeviceHealth::Healthy) {
+      d.health = DeviceHealth::Degraded;
+    }
+    if (d.consecutive_faults >= cfg_.quarantine_after &&
+        routable(d.health)) {
+      retire_device_locked(device, /*fault=*/true);
+    }
+  } else if (routable(d.health)) {
     retire_device_locked(device, /*fault=*/true);
+  }
+
+  if (expired) {
+    return;
   }
   if (req.retries < cfg_.max_retries && alive_count_locked() > 0) {
     ++req.retries;
     ++stats_.retried;
-    enqueue_locked(std::move(req), /*front=*/true);
+    if (cfg_.retry_backoff_us > 0) {
+      // Capped exponential backoff with deterministic jitter: delay =
+      // min(backoff * 2^(retries-1), cap) * U where U in [0.75, 1.25) is
+      // a pure function of (fault_seed, request, attempt) -- reproducible
+      // storm replays, no synchronized retry herds.
+      const unsigned exp = std::min(req.retries - 1, 30u);
+      const double base = std::min(
+          static_cast<double>(cfg_.retry_backoff_us) *
+              static_cast<double>(1ull << exp),
+          static_cast<double>(cfg_.retry_backoff_cap_us));
+      SplitMix64 g(cfg_.fault_seed ^ (req.admit_seq * 0x9e3779b97f4a7c15ULL) ^
+                   req.retries);
+      const double unit =
+          static_cast<double>(g.next() >> 11) * 0x1.0p-53;  // [0, 1)
+      const double jitter = 0.75 + 0.5 * unit;
+      req.not_before =
+          Clock::now() + std::chrono::microseconds(
+                             static_cast<std::int64_t>(base * jitter));
+      delayed_.push_back(std::move(req));
+    } else {
+      enqueue_locked(std::move(req), /*front=*/true);
+    }
     admit_cv_.notify_all();
     return;
   }
   finish_locked(req, RequestStatus::Failed, {}, fault,
                 static_cast<int>(device));
+}
+
+void DeviceCluster::probe_device(std::size_t device) {
+  auto& d = *devices_[device];
+  bool ok = true;
+  bool mismatch = false;
+  // The probe replays each plan's canary through slot 0 on the device's
+  // default stream (no traffic is routed to a Probation device, and the
+  // watchdog only probes with zero in-flight replays, so the slot and the
+  // stream are exclusively ours). The stream may still carry the sticky
+  // error that quarantined the device -- recovery starts by clearing it.
+  d.dev.stream().clear_error();
+  try {
+    for (auto& [name, entry] : d.plans) {
+      rt::GraphUpdates updates;
+      updates.copy_in(0, entry.canary_in);
+      auto ev = entry.slots[0].exec.launch(d.dev.stream(), std::move(updates));
+      ev.wait();
+      if (entry.slots[0].host_out != entry.canary_golden) {
+        ok = false;
+        mismatch = true;
+        break;
+      }
+    }
+  } catch (const std::exception&) {
+    ok = false;  // the canary faulted: not healed yet
+  }
+  d.dev.stream().clear_error();  // leave no probe residue either way
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (d.health != DeviceHealth::Probation) {
+    return;  // unplugged (or shut down) mid-probe
+  }
+  if (ok) {
+    d.health = DeviceHealth::Healthy;
+    d.consecutive_faults = 0;
+    ++stats_.readmitted;
+    admit_cv_.notify_all();  // back in the routing set
+  } else {
+    if (mismatch) {
+      ++stats_.corruption_detected;
+    }
+    // Back to quarantine; the timer restarts, the watchdog will probe
+    // again after another probation_delay_us.
+    d.health = DeviceHealth::Quarantined;
+    ++stats_.quarantined;
+    d.quarantined_at = Clock::now();
+    watch_cv_.notify_all();
+  }
 }
 
 }  // namespace simt::cluster

@@ -16,18 +16,35 @@
 //     -> the request's ClusterTicket resolves with the output slice,
 //        host latency, and the serving device.
 //
-// Failure semantics: a device fault during a replay quarantines the device
-// (no new routes; its queued work fails over to the survivors) and retries
-// the faulted request elsewhere, up to ClusterConfig::max_retries.
-// DeviceCluster::unplug(i) is the administrative version of the same path:
-// in-flight work drains, queued work fails over, nothing accepted is lost.
-// With every device gone, new submissions are rejected at admission.
+// Failure semantics (see docs/robustness.md): every device runs a health
+// state machine. A transient fault (faults::TransientFault, or an output
+// that fails the plan's verify hook) degrades the device and retries the
+// request -- with capped exponential backoff + deterministic jitter when
+// ClusterConfig::retry_backoff_us is set -- and only
+// ClusterConfig::quarantine_after consecutive transients quarantine it. A
+// hard fault (anything else thrown by the device) quarantines immediately:
+// no new routes, queued work fails over to the survivors, the faulted
+// request retries elsewhere up to ClusterConfig::max_retries. With
+// probation_delay_us set, a quarantined device is later probed with a
+// canary replay (its golden output was captured at plan registration) and
+// re-admitted when the canary round-trips bit-exact.
+// DeviceCluster::unplug(i) is the administrative version of the quarantine
+// path, minus the probation: in-flight work drains, queued work fails
+// over, nothing accepted is lost. With every device gone, new submissions
+// are rejected at admission.
+//
+// Deadlines: ClusterConfig::default_deadline_us (overridable per request
+// via SubmitOptions) bounds a request's whole life; a watchdog thread
+// fails overdue work -- queued, backoff-delayed, blocked at admission, or
+// hung in flight -- with a named "DeadlineExceeded" error, so tickets
+// resolve and never hang even when a device stalls mid-replay.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -37,6 +54,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/faults.hpp"
 #include "runtime/buffer.hpp"
 #include "runtime/device.hpp"
 #include "runtime/graph.hpp"
@@ -66,7 +84,58 @@ struct ClusterConfig {
   unsigned replay_depth = 2;
   /// Fail-over attempts per request before it resolves Failed.
   unsigned max_retries = 3;
+
+  // ---- robustness knobs (all default OFF: behavior and hot path are
+  // bit-identical to a config that never heard of them) ----
+
+  /// Fault-injection spec (common/faults.hpp grammar) attached to every
+  /// device that does not already carry an injector; empty = none.
+  std::string fault_spec;
+  /// Seed for the injectors (device i draws from a per-device stream) and
+  /// for the retry-backoff jitter.
+  std::uint64_t fault_seed = 0x950;
+  /// Host-wall-clock deadline applied to every request that does not
+  /// override it (SubmitOptions::deadline_us). 0 = no deadline.
+  std::int64_t default_deadline_us = 0;
+  /// First retry backoff; doubles per retry up to retry_backoff_cap_us,
+  /// scaled by a deterministic jitter in [0.75, 1.25). 0 = retries
+  /// re-enter the admission queue immediately (the pre-backoff behavior).
+  std::uint64_t retry_backoff_us = 0;
+  std::uint64_t retry_backoff_cap_us = 10000;
+  /// Consecutive transient faults that escalate Degraded -> Quarantined.
+  unsigned quarantine_after = 3;
+  /// How long a quarantined device rests before the watchdog probes it
+  /// with a canary replay (Probation). 0 = quarantine is forever (the
+  /// pre-probation behavior).
+  std::uint64_t probation_delay_us = 0;
+  /// Brownout: when the queue is full AND its oldest entry has waited
+  /// longer than this, shed the lowest-priority queued request (if
+  /// strictly lower-priority than the incoming one) instead of applying
+  /// the overload policy blindly. 0 = off.
+  std::uint64_t brownout_queue_delay_us = 0;
 };
+
+/// Per-request admission options (submit()'s trailing parameter).
+struct SubmitOptions {
+  /// Request deadline: -1 = ClusterConfig::default_deadline_us, 0 = none,
+  /// > 0 = this many microseconds from submit.
+  std::int64_t deadline_us = -1;
+  /// Brownout ordering: higher-priority requests shed lower-priority
+  /// queued work first when the brownout threshold trips.
+  int priority = 0;
+};
+
+/// Device health state machine (see docs/robustness.md). Routable states
+/// are Healthy and Degraded; alive()/alive_count() count exactly those.
+enum class DeviceHealth : std::uint8_t {
+  Healthy,      ///< full traffic
+  Degraded,     ///< recent transient fault(s); routed at a cost penalty
+  Quarantined,  ///< no routes; awaiting probation (or forever, if off)
+  Probation,    ///< canary replay in progress
+  Unplugged,    ///< administratively removed; never probed
+};
+
+const char* to_string(DeviceHealth h);
 
 /// One positional kernel argument of a serving plan.
 struct PlanArg {
@@ -108,6 +177,13 @@ struct PlanArg {
   }
 };
 
+/// Per-request scalar override: (parameter position, value). The position
+/// indexes the plan's args and must name a Scalar entry.
+struct ScalarOverride {
+  std::size_t param = 0;
+  std::uint32_t value = 0;
+};
+
 /// A serving plan: one (module, kernel, shape) pre-instantiated on every
 /// device at registration. Requests against the plan carry an input-buffer
 /// payload (input words, frozen) and receive the output buffer back.
@@ -117,6 +193,14 @@ struct PlanSpec {
   std::string kernel;   ///< `.kernel` entry name
   unsigned threads = 0; ///< grid size per request (the frozen shape)
   std::vector<PlanArg> args;  ///< positional binding recipe
+  /// Optional output check run on every served request: given the request
+  /// payload, its scalar overrides, and the output words, return false to
+  /// flag corruption -- the request is then retried like a transient fault
+  /// and ClusterStats::corruption_detected increments.
+  std::function<bool(std::span<const std::uint32_t> payload,
+                     const std::vector<ScalarOverride>& scalars,
+                     std::span<const std::uint32_t> output)>
+      verify;
 };
 
 /// Terminal state of a request.
@@ -130,13 +214,6 @@ enum class RequestStatus : std::uint8_t {
 
 const char* to_string(RequestStatus s);
 
-/// Per-request scalar override: (parameter position, value). The position
-/// indexes the plan's args and must name a Scalar entry.
-struct ScalarOverride {
-  std::size_t param = 0;
-  std::uint32_t value = 0;
-};
-
 /// Completion handle for one submitted request (shared-state value type).
 class ClusterTicket {
  public:
@@ -148,6 +225,10 @@ class ClusterTicket {
   bool done() const;
   /// Block until terminal.
   void wait() const;
+  /// Block until terminal or `timeout` elapses; true if terminal. The
+  /// request keeps running either way -- this is a host-side poll bound,
+  /// not a cancellation (deadlines are: see SubmitOptions::deadline_us).
+  bool wait_for(std::chrono::microseconds timeout) const;
   RequestStatus status() const;
   /// The request's output words; throws unless status() is Ok (with the
   /// device fault's message for Failed requests).
@@ -180,8 +261,14 @@ struct ClusterStats {
   std::uint64_t failed = 0;     ///< terminal device/shutdown failures
   std::uint64_t retried = 0;    ///< fail-over re-queues
   std::uint64_t quarantined = 0;  ///< devices removed by sticky faults
+  std::uint64_t deadline_failures = 0;  ///< requests failed "DeadlineExceeded"
+  std::uint64_t corruption_detected = 0;  ///< verify-hook / canary mismatches
+  std::uint64_t probations = 0;   ///< Quarantined -> Probation transitions
+  std::uint64_t readmitted = 0;   ///< Probation -> Healthy transitions
+  std::uint64_t brownout_shed = 0;  ///< low-priority brownout evictions
   std::size_t queued = 0;       ///< currently in the admission queue
   std::vector<std::uint64_t> per_device_completed;
+  std::vector<DeviceHealth> per_device_health;
   /// Modeled device-time (us at the device's realized Fmax) each device
   /// spent serving completed replays. The cluster's modeled makespan is the
   /// max entry; serving capacity scales with device count even when the
@@ -216,7 +303,8 @@ class DeviceCluster {
   /// plan, a bad payload size, or a bad scalar override.
   ClusterTicket submit(std::string_view tenant, std::string_view plan,
                        std::span<const std::uint32_t> payload,
-                       std::vector<ScalarOverride> scalars = {});
+                       std::vector<ScalarOverride> scalars = {},
+                       SubmitOptions opts = {});
 
   /// Block until every accepted request has reached a terminal state.
   void drain();
@@ -226,9 +314,19 @@ class DeviceCluster {
   /// Accepted requests are never lost; with no survivors they resolve
   /// Failed and new submissions are Rejected.
   void unplug(std::size_t i);
+  /// Routable (Healthy or Degraded)?
   bool alive(std::size_t i) const;
+  DeviceHealth health(std::size_t i) const;
   std::size_t device_count() const { return devices_.size(); }
   std::size_t alive_count() const;
+
+  /// The fault injector device `i` carries (nullptr without one). Arm /
+  /// disarm all of them at once: benches disarm for setup traffic and arm
+  /// for the storm. register_plan() disarms internally so warmup and
+  /// canary replays never consume trigger indices.
+  faults::FaultInjector* fault_injector(std::size_t i);
+  void arm_faults();
+  void disarm_faults();
 
   /// Hold the dispatcher between requests (in-flight routing finishes).
   /// Lets tests build a queue backlog deterministically.
@@ -247,33 +345,58 @@ class DeviceCluster {
 
   void dispatcher_loop();
   void worker_loop(std::size_t device);
+  /// Deadline + probation timer thread: fails overdue work wherever it
+  /// sits (queued, delayed, in flight) and promotes rested quarantined
+  /// devices to Probation.
+  void watchdog_loop();
   /// Issue one request on its routed device (worker thread only; completes
   /// the target replay slot first if it is still busy).
   void issue(std::size_t device, Request req);
   /// Wait out one in-flight slot and resolve its ticket (worker thread).
   void complete_slot(std::size_t device, PlanEntry& entry,
                      std::size_t slot_index);
+  /// Canary-replay a device on probation (worker thread, off-lock);
+  /// re-admits on a bit-exact round trip, re-quarantines otherwise.
+  void probe_device(std::size_t device);
   std::size_t alive_count_locked() const;
   /// Add a request to its tenant's admission FIFO (lock held). `front`
   /// requeues fail-over work ahead of newer traffic, above the bound.
   void enqueue_locked(Request req, bool front);
   /// Evict the oldest queued request as Shed (lock held; ShedOldest).
   void shed_oldest_locked();
+  /// Brownout (lock held): if the queue is full, stale past the brownout
+  /// threshold, and holds a request strictly lower-priority than
+  /// `priority`, shed that request and return true (space was made).
+  bool brownout_shed_locked(int priority);
   /// Resolve a ticket to a terminal state and update counters (lock held).
+  /// Returns false (and changes nothing) if the ticket is already
+  /// terminal -- the watchdog and the completion path may race to it.
+  /// `accepted` is false for requests failed before admission (a blocked
+  /// submit's deadline): they never entered in_system_.
+  bool finish_ticket_locked(const std::shared_ptr<ClusterTicket::State>& st,
+                            RequestStatus status,
+                            std::vector<std::uint32_t> output,
+                            std::string error, int device,
+                            std::chrono::steady_clock::time_point submitted,
+                            unsigned retries, bool accepted);
   void finish_locked(Request& req, RequestStatus status,
                      std::vector<std::uint32_t> output, std::string error,
-                     int device);
+                     int device, bool accepted = true);
   /// Stop routing to a device and fail its queued work over (lock held).
+  /// `fault` distinguishes Quarantined (probation-eligible) from
+  /// Unplugged.
   void retire_device_locked(std::size_t device, bool fault);
 
   ClusterConfig cfg_;
   std::vector<std::unique_ptr<DeviceState>> devices_;
   std::thread dispatcher_;
+  std::thread watchdog_;
 
   mutable std::mutex mu_;
   std::condition_variable admit_cv_;  ///< wakes the dispatcher
   std::condition_variable space_cv_;  ///< wakes Block-policy submitters
   std::condition_variable drain_cv_;  ///< wakes drain()
+  std::condition_variable watch_cv_;  ///< wakes the watchdog
   bool stopping_ = false;
   bool paused_ = false;
 
@@ -283,6 +406,10 @@ class DeviceCluster {
   std::unordered_map<std::string, std::deque<Request>> tenants_;
   std::size_t ring_cursor_ = 0;
   std::size_t queued_ = 0;
+  /// Backoff parking lot: retried requests waiting out their delay. Not
+  /// counted in queued_ (a retry never competes with fresh admission);
+  /// still counted in in_system_ (drain waits for them).
+  std::deque<Request> delayed_;
   std::uint64_t in_system_ = 0;  ///< accepted but not yet terminal
   std::uint64_t admit_seq_ = 0;  ///< admission order (shed-oldest key)
   std::uint64_t completion_seq_ = 0;

@@ -1,0 +1,324 @@
+#include "common/faults.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace simt::faults {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::CopyIn:
+      return "copy_in";
+    case FaultSite::CopyOut:
+      return "copy_out";
+    case FaultSite::Launch:
+      return "launch";
+    case FaultSite::Replay:
+      return "replay";
+    case FaultSite::Staging:
+      return "staging";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Transient:
+      return "transient";
+    case FaultKind::Sticky:
+      return "sticky";
+    case FaultKind::Corrupt:
+      return "corrupt";
+    case FaultKind::Stall:
+      return "stall";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::uint64_t parse_u64(std::string_view token, std::string_view what) {
+  if (token.empty()) {
+    throw Error("fault spec: empty " + std::string(what));
+  }
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      throw Error("fault spec: bad " + std::string(what) + " '" +
+                  std::string(token) + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+double parse_probability(std::string_view token) {
+  try {
+    std::size_t used = 0;
+    const double p = std::stod(std::string(token), &used);
+    if (used != token.size() || p < 0.0 || p > 1.0) {
+      throw Error("");
+    }
+    return p;
+  } catch (...) {
+    throw Error("fault spec: bad probability '" + std::string(token) +
+                "' (need a float in [0, 1])");
+  }
+}
+
+/// `stall=<N>us` / `stall=<N>ms` -> microseconds.
+std::uint64_t parse_stall(std::string_view token) {
+  std::uint64_t scale = 1;
+  if (token.size() >= 2 && token.substr(token.size() - 2) == "ms") {
+    scale = 1000;
+    token.remove_suffix(2);
+  } else if (token.size() >= 2 && token.substr(token.size() - 2) == "us") {
+    token.remove_suffix(2);
+  }
+  return parse_u64(token, "stall duration") * scale;
+}
+
+std::vector<FaultSite> parse_sites(std::string_view token) {
+  if (token == "copy_in") {
+    return {FaultSite::CopyIn};
+  }
+  if (token == "copy_out") {
+    return {FaultSite::CopyOut};
+  }
+  if (token == "dma") {
+    return {FaultSite::CopyIn, FaultSite::CopyOut};
+  }
+  if (token == "launch") {
+    return {FaultSite::Launch};
+  }
+  if (token == "replay") {
+    return {FaultSite::Replay};
+  }
+  if (token == "staging") {
+    return {FaultSite::Staging};
+  }
+  if (token == "any") {
+    return {FaultSite::CopyIn, FaultSite::CopyOut, FaultSite::Launch,
+            FaultSite::Replay, FaultSite::Staging};
+  }
+  throw Error("fault spec: unknown site '" + std::string(token) +
+              "' (copy_in|copy_out|dma|launch|replay|staging|any)");
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  for (std::string_view rule_text : split(spec, ';')) {
+    rule_text = trim(rule_text);
+    if (rule_text.empty()) {
+      continue;
+    }
+    const auto fields = split(rule_text, ':');
+    if (fields.size() < 2) {
+      throw Error("fault spec: rule '" + std::string(rule_text) +
+                  "' needs at least site:kind");
+    }
+    const auto sites = parse_sites(trim(fields[0]));
+
+    FaultRule rule;
+    const std::string_view kind = trim(fields[1]);
+    if (kind == "transient") {
+      rule.kind = FaultKind::Transient;
+    } else if (kind == "sticky") {
+      rule.kind = FaultKind::Sticky;
+    } else if (kind == "corrupt") {
+      rule.kind = FaultKind::Corrupt;
+    } else if (kind.substr(0, 6) == "stall=") {
+      rule.kind = FaultKind::Stall;
+      rule.stall_us = parse_stall(kind.substr(6));
+    } else {
+      throw Error("fault spec: unknown kind '" + std::string(kind) +
+                  "' (transient|sticky|corrupt|stall=<N>us)");
+    }
+
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+      const std::string_view param = trim(fields[i]);
+      if (param.substr(0, 2) == "p=") {
+        rule.p = parse_probability(param.substr(2));
+      } else if (param.substr(0, 6) == "after=") {
+        rule.after = parse_u64(param.substr(6), "after count");
+      } else if (param.substr(0, 6) == "limit=") {
+        rule.limit = parse_u64(param.substr(6), "limit count");
+      } else {
+        throw Error("fault spec: unknown parameter '" + std::string(param) +
+                    "' (p=|after=|limit=)");
+      }
+    }
+
+    for (const FaultSite site : sites) {
+      rule.site = site;
+      plan.rules.push_back(rule);
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (const auto& r : rules) {
+    out += to_string(r.site);
+    out += ':';
+    out += to_string(r.kind);
+    if (r.kind == FaultKind::Stall) {
+      out += '=' + std::to_string(r.stall_us) + "us";
+    }
+    if (r.p < 1.0) {
+      out += ":p=" + std::to_string(r.p);
+    }
+    if (r.after > 0) {
+      out += ":after=" + std::to_string(r.after);
+    }
+    if (r.limit > 0) {
+      out += ":limit=" + std::to_string(r.limit);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)),
+      seed_(seed),
+      fires_(plan_.rules.size()) {}
+
+std::shared_ptr<FaultInjector> FaultInjector::from_spec(std::string_view spec,
+                                                        std::uint64_t seed) {
+  FaultPlan plan = FaultPlan::parse(spec);
+  if (plan.empty()) {
+    return nullptr;
+  }
+  return std::make_shared<FaultInjector>(std::move(plan), seed);
+}
+
+double FaultInjector::draw(std::size_t rule, std::uint64_t trigger,
+                           std::uint64_t salt) const {
+  // One SplitMix64 step keyed by (seed, rule, trigger): the verdict for a
+  // site's n-th trigger is independent of every other site and thread.
+  SplitMix64 g(seed_ ^ (0x9e3779b97f4a7c15ULL * (rule + 1)) ^
+               (trigger * 0xbf58476d1ce4e5b9ULL) ^ salt);
+  return static_cast<double>(g.next() >> 11) * 0x1.0p-53;
+}
+
+SiteOutcome FaultInjector::at(FaultSite site, std::span<std::uint32_t> payload) {
+  SiteOutcome outcome;
+  if (!armed()) {
+    return outcome;
+  }
+  const auto s = static_cast<std::size_t>(site);
+  const std::uint64_t trigger =
+      counters_[s].fetch_add(1, std::memory_order_relaxed);
+
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (rule.site != site || trigger < rule.after) {
+      continue;
+    }
+    // Sticky rules fire on every trigger past `after` (the device stays
+    // broken until `limit` heals it); everything else draws per trigger.
+    const bool fire = rule.kind == FaultKind::Sticky ||
+                      rule.p >= 1.0 || draw(r, trigger, 0) < rule.p;
+    if (!fire) {
+      continue;
+    }
+    // `limit` disarms the rule after its N-th firing. fetch_add keeps the
+    // accounting exact under concurrent triggers.
+    if (rule.limit > 0) {
+      if (fires_[r].fetch_add(1, std::memory_order_relaxed) >= rule.limit) {
+        continue;
+      }
+    } else {
+      fires_[r].fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(trace_mu_);
+      trace_.push_back({site, rule.kind, trigger, r});
+    }
+    switch (rule.kind) {
+      case FaultKind::Stall:
+        std::this_thread::sleep_for(std::chrono::microseconds(rule.stall_us));
+        break;  // a stall delays the trigger; later rules still apply
+      case FaultKind::Corrupt: {
+        const std::uint64_t word = draw(r, trigger, 1) * 1e9;
+        const auto bit =
+            static_cast<unsigned>(draw(r, trigger, 2) * 32.0) % 32u;
+        if (!payload.empty()) {
+          payload[word % payload.size()] ^= (1u << bit);
+        } else if (!outcome.corrupt) {
+          outcome.corrupt = true;
+          outcome.corrupt_word = word;
+          outcome.corrupt_mask = 1u << bit;
+        }
+        break;
+      }
+      case FaultKind::Transient:
+        throw TransientFault("injected transient fault at " +
+                             std::string(to_string(site)) + " (trigger " +
+                             std::to_string(trigger) + ")");
+      case FaultKind::Sticky:
+        throw StickyFault("injected sticky fault at " +
+                          std::string(to_string(site)) + " (trigger " +
+                          std::to_string(trigger) + ")");
+    }
+  }
+  return outcome;
+}
+
+std::uint64_t FaultInjector::triggers(FaultSite site) const {
+  return counters_[static_cast<std::size_t>(site)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_.size();
+}
+
+std::vector<FaultRecord> FaultInjector::trace() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_;
+}
+
+std::string FaultInjector::trace_string() const {
+  std::string out;
+  for (const auto& rec : trace()) {
+    out += std::string(to_string(rec.site)) + ":" + to_string(rec.kind) +
+           "@" + std::to_string(rec.trigger) + "\n";
+  }
+  return out;
+}
+
+}  // namespace simt::faults

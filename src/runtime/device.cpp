@@ -117,14 +117,15 @@ void SimtCoreBackend::write_words(std::uint32_t base,
 
 // ---- MultiCoreBackend ------------------------------------------------------
 
-MultiCoreBackend::MultiCoreBackend(const system::SystemConfig& cfg,
-                                   double staging_words_per_cycle,
-                                   unsigned stage_workers)
+MultiCoreBackend::MultiCoreBackend(
+    const system::SystemConfig& cfg, double staging_words_per_cycle,
+    unsigned stage_workers, std::shared_ptr<faults::FaultInjector> faults)
     : sys_(cfg),
       master_(cfg.core.shared_mem_words, 0),
       stale_(sys_.num_cores()),
       staging_words_per_cycle_(staging_words_per_cycle),
-      stage_workers_(std::min(stage_workers, sys_.num_cores())) {
+      stage_workers_(std::min(stage_workers, sys_.num_cores())),
+      faults_(std::move(faults)) {
   // Cores power up zeroed, exactly like the master image: every shard map
   // starts clean, and staleness accrues only from host writes and sibling
   // cores' merged output shards.
@@ -208,11 +209,29 @@ LaunchStats MultiCoreBackend::launch(std::uint32_t entry, unsigned threads,
     sys_.post(c, [this, c, &stage_us, &stage_errors, set = std::move(set)] {
       const auto t0 = std::chrono::steady_clock::now();
       try {
+        faults::SiteOutcome bend;
+        if (faults_) {
+          bend = faults_->at(faults::FaultSite::Staging);
+        }
         auto& gpu = sys_.core(c);
+        bool first = true;
         for (const auto& r : set.ranges()) {
-          gpu.write_shared_span(
-              r.lo, std::span<const std::uint32_t>(master_.data() + r.lo,
-                                                   r.words()));
+          if (first && bend.corrupt && r.words() > 0) {
+            // Corrupt the staged copy, never the master image: flip one
+            // bit of a local duplicate of the first range and ship that.
+            std::vector<std::uint32_t> bent(master_.data() + r.lo,
+                                            master_.data() + r.lo +
+                                                r.words());
+            bent[bend.corrupt_word % bent.size()] ^= bend.corrupt_mask;
+            gpu.write_shared_span(
+                r.lo, std::span<const std::uint32_t>(bent.data(),
+                                                     bent.size()));
+          } else {
+            gpu.write_shared_span(
+                r.lo, std::span<const std::uint32_t>(master_.data() + r.lo,
+                                                     r.words()));
+          }
+          first = false;
         }
       } catch (...) {
         stage_errors[c] = std::current_exception();
@@ -586,7 +605,8 @@ std::unique_ptr<DeviceBackend> make_backend(const DeviceDescriptor& desc) {
       cfg.num_cores = desc.num_cores;
       cfg.core = desc.core;
       return std::make_unique<MultiCoreBackend>(
-          cfg, desc.staging_words_per_cycle, desc.stage_workers);
+          cfg, desc.staging_words_per_cycle, desc.stage_workers,
+          desc.faults);
     }
     case BackendKind::Scalar:
       return std::make_unique<ScalarBackend>(desc.scalar);
@@ -755,6 +775,11 @@ void Device::rebind(LaunchPlan& plan, KernelArgs args) const {
 }
 
 LaunchStats Device::execute_plan(const LaunchPlan& plan) {
+  if (auto* f = fault_injector()) {
+    // One Launch trigger per plan execution -- eager launches and graph
+    // replay launch subs both funnel through here.
+    f->at(faults::FaultSite::Launch);
+  }
   const Kernel& kernel = plan.kernel;
   const KernelArgs& args = plan.args;
   if (plan.alloc_gen != alloc_gen_) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "baseline/scalar_cpu.hpp"
+#include "common/faults.hpp"
 #include "core/gpgpu.hpp"
 #include "core/perf.hpp"
 #include "runtime/args.hpp"
@@ -67,6 +68,11 @@ struct DeviceDescriptor {
   /// word accounting, and all results are bit-identical either way.
   static constexpr unsigned kAllStageWorkers = ~0u;
   unsigned stage_workers = kAllStageWorkers;
+  /// Optional deterministic fault plan (common/faults.hpp). Null (the
+  /// default) keeps every injection hook an untaken null-check branch, so
+  /// the modeled timeline and all results are bit-identical to a device
+  /// with no fault machinery at all.
+  std::shared_ptr<faults::FaultInjector> faults;
 
   static DeviceDescriptor simt_core(core::CoreConfig cfg = {});
   static DeviceDescriptor multi_core(unsigned cores,
@@ -247,7 +253,8 @@ class SimtCoreBackend final : public DeviceBackend {
 class MultiCoreBackend final : public DeviceBackend {
  public:
   MultiCoreBackend(const system::SystemConfig& cfg,
-                   double staging_words_per_cycle, unsigned stage_workers);
+                   double staging_words_per_cycle, unsigned stage_workers,
+                   std::shared_ptr<faults::FaultInjector> faults = nullptr);
 
   std::string_view name() const override { return "multicore"; }
   unsigned mem_words() const override {
@@ -283,6 +290,8 @@ class MultiCoreBackend final : public DeviceBackend {
   /// workers; the rest stage serially on the submitting thread. See
   /// DeviceDescriptor::stage_workers.
   unsigned stage_workers_;
+  /// The device's fault plan (Staging site); null = no injection.
+  std::shared_ptr<faults::FaultInjector> faults_;
 };
 
 /// Backend wrapping the scalar soft-CPU baseline. A grid launch is emulated
@@ -372,6 +381,10 @@ class Device {
   Device& operator=(const Device&) = delete;
 
   const DeviceDescriptor& descriptor() const { return desc_; }
+  /// The device's fault injector, or nullptr (the default). Injection
+  /// hooks across the runtime gate on this pointer, so a device without a
+  /// fault plan pays one untaken branch per hook.
+  faults::FaultInjector* fault_injector() const { return desc_.faults.get(); }
   std::string_view backend_name() const { return backend_->name(); }
   unsigned mem_words() const { return backend_->mem_words(); }
   unsigned max_concurrent_threads() const {

@@ -332,6 +332,19 @@ Event GraphExec::launch(Stream& stream, GraphUpdates updates) {
             dma_burst_cycles(sub.words, state->staging_words_per_cycle);
         sub.run = [state, i, cycles] {
           const auto& node = state->nodes[i];
+          if (auto* f = state->dev->fault_injector()) {
+            // The captured payload is replayed every launch, so a Corrupt
+            // rule must never bend it in place: apply the flip to a local
+            // copy and ship that.
+            const faults::SiteOutcome bend =
+                f->at(faults::FaultSite::CopyIn);
+            if (bend.corrupt && !node.op.data.empty()) {
+              std::vector<std::uint32_t> bent(node.op.data);
+              bent[bend.corrupt_word % bent.size()] ^= bend.corrupt_mask;
+              state->dev->write_words(node.op.base, bent);
+              return cycles;
+            }
+          }
           state->dev->write_words(node.op.base, node.op.data);
           return cycles;
         };
@@ -347,6 +360,13 @@ Event GraphExec::launch(Stream& stream, GraphUpdates updates) {
         sub.run = [state, i, cycles] {
           const auto& node = state->nodes[i];
           state->dev->read_words(node.op.base, {node.op.dst, node.op.count});
+          if (auto* f = state->dev->fault_injector()) {
+            // The host slot is rewritten on every replay, so in-place
+            // corruption here is safe and lands where a readback bit
+            // error would.
+            f->at(faults::FaultSite::CopyOut,
+                  std::span<std::uint32_t>(node.op.dst, node.op.count));
+          }
           return cycles;
         };
         break;

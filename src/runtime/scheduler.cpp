@@ -193,6 +193,13 @@ void Scheduler::loop() {
       // Composite command: execute the frozen sub-sequence in order. A
       // faulting sub-command aborts the rest of the replay (the fault
       // lands on the parent's event and stream error slot).
+      if (!node.cmd.sub.empty()) {
+        if (auto* f = dev_.fault_injector()) {
+          // One Replay trigger per composite replay dispatch; a thrown
+          // fault fails the whole replay before any sub executes.
+          f->at(faults::FaultSite::Replay);
+        }
+      }
       for (auto& sub : node.cmd.sub) {
         sub_cycles.push_back(sub.run ? sub.run() : 0);
       }

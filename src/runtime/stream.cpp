@@ -74,7 +74,14 @@ Event Stream::submit_op(StreamOp op) {
       const std::uint64_t cycles = dma_burst_cycles(
           op.data.size(), dev_->descriptor().staging_words_per_cycle);
       cmd.run = [dev = dev_, base = op.base, payload = std::move(op.data),
-                 cycles] {
+                 cycles]() mutable {
+        if (auto* f = dev->fault_injector()) {
+          // Pre-write: a Corrupt rule bends the in-flight payload (this
+          // command's private snapshot), so the flipped bit lands on the
+          // device like a real DMA bit error.
+          f->at(faults::FaultSite::CopyIn,
+                std::span<std::uint32_t>(payload));
+        }
         dev->write_words(base, payload);
         return cycles;
       };
@@ -90,6 +97,12 @@ Event Stream::submit_op(StreamOp op) {
       cmd.run = [dev = dev_, base = op.base, dst = op.dst, count = op.count,
                  cycles] {
         dev->read_words(base, {dst, count});
+        if (auto* f = dev->fault_injector()) {
+          // Post-read: corruption lands in the host-side destination, as
+          // a bit error on the readback path would.
+          f->at(faults::FaultSite::CopyOut,
+                std::span<std::uint32_t>(dst, count));
+        }
         return cycles;
       };
       break;
@@ -265,6 +278,11 @@ void Stream::synchronize() {
   if (err) {
     std::rethrow_exception(err);
   }
+}
+
+void Stream::clear_error() {
+  std::lock_guard<std::mutex> lock(error_->mutex);
+  error_->error = nullptr;
 }
 
 }  // namespace simt::runtime

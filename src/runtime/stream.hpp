@@ -155,6 +155,13 @@ class Stream {
   /// surface on their own synchronize().
   void synchronize();
 
+  /// Drop a sticky stream error without rethrowing it. Test/recovery use
+  /// only: the serving tier's probe path clears a quarantined device's
+  /// stream before replaying its canary, and fault-injection tests use it
+  /// to reuse a stream past an injected fault. Ordinary code should let
+  /// synchronize() surface the error instead.
+  void clear_error();
+
   Device& device() { return *dev_; }
   /// The modeled staging channel this stream's copies occupy.
   unsigned channel() const { return channel_; }

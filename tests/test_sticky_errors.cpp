@@ -115,5 +115,45 @@ TEST(StickyErrors, ReplayFaultSurfacesOnResultAfter) {
   EXPECT_THROW(ticket.result_after(replay), Error);
 }
 
+TEST(StickyErrors, ResetThenReuseDoesNotResurrectOldFault) {
+  Device dev(DeviceDescriptor::simt_core(small_cfg()));
+  const auto boom = dev.load_module(boom_abi()).kernel("boom");
+  auto in = dev.alloc<std::uint32_t>(4);
+  auto out = dev.alloc<std::uint32_t>(4);
+
+  // Fault the default stream, but do NOT synchronize: the sticky error is
+  // parked in the stream's slot, exactly the state a recovery path finds.
+  Event fault =
+      dev.stream().launch(boom, 4, KernelArgs().arg(in).arg(out));
+  EXPECT_THROW(fault.wait(), Error);  // wait() does not consume the slot
+  EXPECT_TRUE(fault.failed());
+
+  // Recovery: wipe device memory and move new work to a fresh stream. The
+  // fresh stream has its own error slot -- the old fault must not leak
+  // into it.
+  dev.mem_reset();
+  Stream& fresh = dev.create_stream();
+  const auto ok = dev.load_module(kernels::scale_abi()).kernel("scale");
+  auto in2 = dev.alloc<std::uint32_t>(4);
+  auto out2 = dev.alloc<std::uint32_t>(4);
+  const std::vector<std::uint32_t> payload{1, 2, 3, 4};
+  std::vector<std::uint32_t> result(4, 0);
+  fresh.copy_in(in2, std::span<const std::uint32_t>(payload));
+  fresh.launch(ok, 4, KernelArgs().arg(in2).arg(out2).scalar(3).scalar(5));
+  fresh.copy_out(out2, std::span<std::uint32_t>(result));
+  EXPECT_NO_THROW(fresh.synchronize());
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(result[i], payload[i] * 3 + 5);
+  }
+
+  // The faulted stream still holds its parked sticky error. clear_error()
+  // (the documented test/recovery escape hatch) drops it, after which the
+  // stream is reusable and the old fault never resurfaces.
+  dev.stream().clear_error();
+  dev.stream().launch(ok, 4,
+                      KernelArgs().arg(in2).arg(out2).scalar(2).scalar(0));
+  EXPECT_NO_THROW(dev.stream().synchronize());
+}
+
 }  // namespace
 }  // namespace simt::runtime

@@ -16,17 +16,23 @@ Metrics are classified by how reproducible they are across hosts:
   * everything else (modeled cycles/us/ratios) -- deterministic model
     outputs, must be within ``--rel-tol``.
 
-A baseline metric missing from the fresh run fails (schema regression); new
-metrics in the fresh run are reported but do not fail, so benches can grow.
-If a diff is intentional, regenerate with ``<bench> --quick`` and copy the
-JSON over the baseline.
+A metric present on only one side fails with a named schema error: missing
+from the current run is a schema regression, missing from the baseline (when
+``--require-baselined`` is set) means the baseline was never refreshed after
+the bench grew. By default new metrics are reported but do not fail, so
+benches can grow. If a diff is intentional, regenerate with ``<bench>
+--quick`` and copy the JSON over the baseline.
 
 Benches whose JSON carries additional host-timed or load-dependent metrics
-(e.g. measured serving latencies) pass ``--skip REGEX`` to merge extra
-skip patterns with the built-in ones.
+(e.g. measured serving latencies, chaos-storm retry counts) pass ``--skip
+REGEX`` to merge extra skip patterns with the built-in ones. ``--list-skipped``
+prints an audit of every metric that was excluded from gating and which
+pattern excluded it -- use it to check a ``--skip`` regex is not quietly
+swallowing metrics that should be gated.
 
 usage: bench_diff.py <baseline.json> <current.json> [--rel-tol F]
-                     [--min-frac F] [--skip REGEX]
+                     [--min-frac F] [--skip REGEX] [--list-skipped]
+                     [--require-baselined]
 """
 
 import argparse
@@ -38,14 +44,37 @@ SKIP_PAT = re.compile(r"wall_s$|speedup")
 THROUGHPUT_PAT = re.compile(r"(mips|mops|qps)($|_)")
 
 
+def skip_reason(key, extra_skip=None):
+    """The pattern that excludes this metric from gating, or None."""
+    if SKIP_PAT.search(key):
+        return f"built-in /{SKIP_PAT.pattern}/"
+    if extra_skip and extra_skip.search(key):
+        return f"--skip /{extra_skip.pattern}/"
+    return None
+
+
 def classify(key, base_value, extra_skip=None):
-    if SKIP_PAT.search(key) or (extra_skip and extra_skip.search(key)):
+    if skip_reason(key, extra_skip):
         return "skip"
     if THROUGHPUT_PAT.search(key):
         return "throughput"
     if isinstance(base_value, int) or float(base_value).is_integer():
         return "exact"
     return "model"
+
+
+def load_metrics(path, side):
+    """Parse one report; exit with a named schema error, never a traceback."""
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        sys.exit(f"FAIL: cannot read {side} report {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"FAIL: {side} report {path} is not valid JSON: {e}")
+    if not isinstance(report, dict) or "metrics" not in report:
+        sys.exit(f"FAIL: {side} report {path} has no 'metrics' object")
+    return report
 
 
 def main():
@@ -72,13 +101,26 @@ def main():
         help="extra metric-name pattern to skip (merged with the built-in "
         "host wall-clock / speedup patterns)",
     )
+    parser.add_argument(
+        "--list-skipped",
+        action="store_true",
+        help="print an audit of every metric excluded from gating and "
+        "which pattern excluded it",
+    )
+    parser.add_argument(
+        "--require-baselined",
+        action="store_true",
+        help="also fail on metrics the current run reports but the "
+        "baseline lacks (stale-baseline detector)",
+    )
     args = parser.parse_args()
-    extra_skip = re.compile(args.skip) if args.skip else None
+    try:
+        extra_skip = re.compile(args.skip) if args.skip else None
+    except re.error as e:
+        sys.exit(f"FAIL: bad --skip regex {args.skip!r}: {e}")
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.current) as f:
-        current = json.load(f)
+    baseline = load_metrics(args.baseline, "baseline")
+    current = load_metrics(args.current, "current")
 
     if baseline.get("bench") != current.get("bench"):
         print(
@@ -90,14 +132,35 @@ def main():
     base_metrics = baseline.get("metrics", {})
     cur_metrics = current.get("metrics", {})
     failures = []
+    skipped = []
 
     for key, base_value in base_metrics.items():
         if key not in cur_metrics:
-            failures.append(f"{key}: missing from current run")
+            failures.append(
+                f"{key}: in baseline {args.baseline} but missing from the "
+                f"current run (schema regression -- the bench stopped "
+                f"reporting it)"
+            )
             continue
         cur_value = cur_metrics[key]
+        if not isinstance(base_value, (int, float)) or isinstance(
+            base_value, bool
+        ):
+            failures.append(
+                f"{key}: baseline value {base_value!r} is not numeric "
+                f"(malformed baseline -- regenerate it)"
+            )
+            continue
+        if not isinstance(cur_value, (int, float)) or isinstance(
+            cur_value, bool
+        ):
+            failures.append(
+                f"{key}: current value {cur_value!r} is not numeric"
+            )
+            continue
         kind = classify(key, base_value, extra_skip)
         if kind == "skip":
+            skipped.append((key, cur_value, skip_reason(key, extra_skip)))
             print(f"  skip  {key}: {cur_value} (host-dependent)")
         elif kind == "throughput":
             floor = args.min_frac * base_value
@@ -125,7 +188,20 @@ def main():
                 print(f"  ok    {key}: {cur_value:.6g} (drift {rel:.2%})")
 
     for key in sorted(set(cur_metrics) - set(base_metrics)):
-        print(f"  new   {key}: {cur_metrics[key]} (not in baseline)")
+        if args.require_baselined:
+            failures.append(
+                f"{key}: reported by the current run but missing from the "
+                f"baseline {args.baseline} (stale baseline -- regenerate it)"
+            )
+        else:
+            print(f"  new   {key}: {cur_metrics[key]} (not in baseline)")
+
+    if args.list_skipped:
+        print(f"\nskipped-metric audit ({len(skipped)} excluded from gating):")
+        if not skipped:
+            print("  (none)")
+        for key, value, reason in skipped:
+            print(f"  {key}: {value}  [{reason}]")
 
     bench = baseline.get("bench")
     if failures:

@@ -9,12 +9,23 @@
 //                 [--kernel NAME] [--arg base:size | --arg value]...
 //                 [--bit-accurate] [--no-simd-lanes] [--stage-workers N]
 //        simt-run --cluster N [--qps R] [--requests K]
+//                 [--fault-spec STR] [--seed N] [--deadline-us N]
 //
 // --cluster N serves a built-in scale workload through a DeviceCluster of
 // N SIMT-core devices (no kernel file): every request is one plan-cached
 // graph replay on the least-loaded device. --qps R paces the open-loop
 // arrivals (0 = submit as fast as possible); the run reports achieved
 // QPS, request-latency percentiles, and the cluster's modeled makespan.
+//
+// --fault-spec STR arms a deterministic fault storm against the cluster
+// (grammar in docs/robustness.md, e.g. "launch:transient:p=0.1;dma:
+// stall=50us"), seeded by --seed so the same invocation replays the same
+// storm; retry-with-backoff and quarantine/probation recovery are enabled
+// alongside it. --deadline-us N arms a per-request deadline enforced by
+// the cluster watchdog. A file-less chaos demo needs nothing else:
+//
+//   simt-run --cluster 2 --requests 16 --fault-spec launch:transient:p=0.2 \
+//            --seed 7 --deadline-us 500000
 //
 // --bit-accurate simulates lanes through the structural datapath models
 // (Mul33/shifter/LogicUnit) instead of the functional fast path; results
@@ -61,8 +72,11 @@
 
 namespace {
 
-/// `--cluster N` serving loop: a built-in scale workload over N devices.
-int run_cluster(unsigned devices, double qps, unsigned requests) {
+/// `--cluster N` serving loop: a built-in scale workload over N devices,
+/// optionally under a seeded fault storm with deadlines armed.
+int run_cluster(unsigned devices, double qps, unsigned requests,
+                const std::string& fault_spec, std::uint64_t fault_seed,
+                std::uint64_t deadline_us) {
   using namespace simt;
   constexpr unsigned kN = 256;
 
@@ -72,6 +86,16 @@ int run_cluster(unsigned devices, double qps, unsigned requests) {
   cfg.predicates_enabled = true;
   cluster::ClusterConfig ccfg;
   ccfg.queue_capacity = requests + 8;
+  ccfg.default_deadline_us = deadline_us;
+  if (!fault_spec.empty()) {
+    ccfg.fault_spec = fault_spec;
+    ccfg.fault_seed = fault_seed;
+    // Recovery machinery for the storm: retries back off instead of
+    // hammering, quarantined devices are canary-probed back in.
+    ccfg.retry_backoff_us = 200;
+    ccfg.retry_backoff_cap_us = 5000;
+    ccfg.probation_delay_us = 2000;
+  }
   cluster::DeviceCluster c(
       std::vector<runtime::DeviceDescriptor>(
           devices, runtime::DeviceDescriptor::simt_core(cfg)),
@@ -138,6 +162,15 @@ int run_cluster(unsigned devices, double qps, unsigned requests) {
                 static_cast<unsigned long long>(stats.per_device_completed[i]));
   }
   std::printf("\n");
+  if (!fault_spec.empty() || deadline_us > 0) {
+    std::printf("recovery: retried=%llu quarantined=%llu readmitted=%llu "
+                "corruption=%llu deadline_failures=%llu\n",
+                static_cast<unsigned long long>(stats.retried),
+                static_cast<unsigned long long>(stats.quarantined),
+                static_cast<unsigned long long>(stats.readmitted),
+                static_cast<unsigned long long>(stats.corruption_detected),
+                static_cast<unsigned long long>(stats.deadline_failures));
+  }
   return ok == requests ? 0 : 1;
 }
 
@@ -297,6 +330,8 @@ int main(int argc, char** argv) {
                  "[--dump base count] [--bit-accurate] [--no-simd-lanes] "
                  "[--stage-workers N]\n"
                  "       simt-run --cluster N [--qps R] [--requests K]\n"
+                 "                [--fault-spec STR] [--seed N] "
+                 "[--deadline-us N]\n"
                  "       simt-run --graph-streams N\n");
     return 2;
   }
@@ -309,6 +344,9 @@ int main(int argc, char** argv) {
   unsigned graph_streams = 0;
   unsigned requests = 64;
   double qps = 0.0;
+  std::string fault_spec;
+  std::uint64_t fault_seed = 0x950;
+  std::uint64_t deadline_us = 0;
   double fmax = 0.0;
   std::string backend = "core";
   std::string mem_file;
@@ -341,6 +379,12 @@ int main(int argc, char** argv) {
       qps = std::stod(argv[++i]);
     } else if (!std::strcmp(argv[i], "--requests") && i + 1 < argc) {
       requests = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--fault-spec") && i + 1 < argc) {
+      fault_spec = argv[++i];
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      fault_seed = std::stoull(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--deadline-us") && i + 1 < argc) {
+      deadline_us = std::stoull(argv[++i]);
     } else if (!std::strcmp(argv[i], "--fmax") && i + 1 < argc) {
       fmax = std::stod(argv[++i]);
     } else if (!std::strcmp(argv[i], "--kernel") && i + 1 < argc) {
@@ -377,7 +421,8 @@ int main(int argc, char** argv) {
   }
   if (cluster_n > 0) {
     try {
-      return run_cluster(cluster_n, qps, requests);
+      return run_cluster(cluster_n, qps, requests, fault_spec, fault_seed,
+                         deadline_us);
     } catch (const simt::Error& e) {
       std::fprintf(stderr, "simt-run: %s\n", e.what());
       return 1;
